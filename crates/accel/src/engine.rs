@@ -1,0 +1,549 @@
+//! The cycle-level ToPick engine: out-of-order step-0 score calculation
+//! over on-demand DRAM chunk requests, followed by the step-1 weighted
+//! value sum — plus the baseline, estimate-only and blocking variants used
+//! in the paper's evaluation.
+//!
+//! The simulator co-simulates function and timing: pruning decisions are
+//! made with the same conservative estimator as `topick-core`, but in DRAM
+//! *arrival order*, exactly as the hardware's RPDU sees them.
+
+use std::collections::{HashMap, VecDeque};
+
+use topick_core::{
+    should_prune, softmax, weighted_value_sum, CoreError, KeptToken, LogDenominator, MarginTable,
+    PruneStats, QMatrix, QVector,
+};
+use topick_dram::DramSim;
+use topick_energy::{EnergyBreakdown, EventCounts, EventEnergies};
+
+use crate::config::{AccelConfig, AccelMode};
+use crate::layout::KvLayout;
+use crate::result::AttentionStepResult;
+
+const V_FLAG: u64 = 1 << 63;
+
+fn k_req_id(token: usize, chunk: u32, burst: u64) -> u64 {
+    ((token as u64) << 16) | (u64::from(chunk) << 8) | burst
+}
+
+fn v_req_id(token: usize, burst: u64) -> u64 {
+    V_FLAG | ((token as u64) << 16) | burst
+}
+
+fn decode_req(id: u64) -> (bool, usize, u32, u64) {
+    let is_v = id & V_FLAG != 0;
+    let id = id & !V_FLAG;
+    let token = (id >> 16) as usize;
+    let chunk = ((id >> 8) & 0xFF) as u32;
+    let burst = id & 0xFF;
+    (is_v, token, chunk, burst)
+}
+
+/// The ToPick accelerator simulator.
+///
+/// # Examples
+///
+/// ```
+/// use topick_accel::{AccelConfig, AccelMode, ToPickAccelerator};
+/// use topick_core::{PrecisionConfig, QMatrix, QVector};
+///
+/// let pc = PrecisionConfig::paper();
+/// let query = QVector::quantize(&vec![0.5; 64], pc);
+/// let rows: Vec<Vec<f32>> = (0..32).map(|i| vec![0.01 * i as f32; 64]).collect();
+/// let keys = QMatrix::quantize_rows(&rows, pc)?;
+/// let values: Vec<Vec<f32>> = (0..32).map(|_| vec![1.0; 64]).collect();
+///
+/// let accel = ToPickAccelerator::new(AccelConfig::paper(AccelMode::OutOfOrder, 1e-3)?);
+/// let result = accel.run_attention(&query, &keys, &values)?;
+/// assert!(result.cycles > 0);
+/// # Ok::<(), topick_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ToPickAccelerator {
+    cfg: AccelConfig,
+}
+
+/// Mutable machinery shared by every mode during one run.
+#[derive(Debug)]
+struct RunState {
+    dram: DramSim,
+    layout: KvLayout,
+    clock_ratio: u64,
+    cycle: u64,
+    events: EventCounts,
+    /// Bursts arrived per (token, chunk) K transfer.
+    k_arrivals: HashMap<(usize, u32), u64>,
+    /// Bursts arrived per token V transfer.
+    v_arrivals: HashMap<usize, u64>,
+    /// K chunk evaluations whose data is fully on-chip, per lane.
+    k_ready: Vec<VecDeque<(usize, u32)>>,
+    /// V rows fully on-chip awaiting the weighted-sum MAC, per lane.
+    v_ready: Vec<VecDeque<usize>>,
+}
+
+impl RunState {
+    fn new(cfg: &AccelConfig, n: usize, dim: usize) -> Self {
+        let chunk_bytes = (dim as u64 * u64::from(cfg.precision.chunk_bits())).div_ceil(8);
+        let row_bytes = (dim as u64 * u64::from(cfg.precision.total_bits())).div_ceil(8);
+        let burst = u64::from(cfg.dram.access_bytes);
+        let layout = KvLayout::new(n, chunk_bytes, row_bytes, cfg.precision.num_chunks(), burst);
+        Self {
+            dram: DramSim::new(cfg.dram.clone()),
+            layout,
+            clock_ratio: cfg.clock_ratio,
+            cycle: 0,
+            events: EventCounts::default(),
+            k_arrivals: HashMap::new(),
+            v_arrivals: HashMap::new(),
+            k_ready: (0..cfg.lanes).map(|_| VecDeque::new()).collect(),
+            v_ready: (0..cfg.lanes).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Advances one accelerator cycle: runs the DRAM for `clock_ratio`
+    /// memory cycles and routes completions to the lane ready queues.
+    fn advance_cycle(&mut self, lanes: usize, burst_bytes: u64) {
+        for _ in 0..self.clock_ratio {
+            self.dram.tick();
+        }
+        while let Some(c) = self.dram.pop_completed() {
+            self.events.buffer_write_bytes += burst_bytes;
+            let (is_v, token, chunk, _burst) = decode_req(c.id);
+            if is_v {
+                let cnt = self.v_arrivals.entry(token).or_insert(0);
+                *cnt += 1;
+                if *cnt == self.layout.v_bursts_per_row() {
+                    self.v_ready[token % lanes].push_back(token);
+                }
+            } else {
+                let cnt = self.k_arrivals.entry((token, chunk)).or_insert(0);
+                *cnt += 1;
+                if *cnt == self.layout.k_bursts_per_chunk() {
+                    // chunks_known for the evaluation = chunk index + 1.
+                    self.k_ready[token % lanes].push_back((token, chunk + 1));
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+}
+
+impl ToPickAccelerator {
+    /// Creates a simulator with the given configuration.
+    #[must_use]
+    pub fn new(cfg: AccelConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &AccelConfig {
+        &self.cfg
+    }
+
+    /// Simulates one attention step (one query over one head's KV cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if the query length differs
+    /// from the key dimension or the value rows are ragged, and
+    /// [`CoreError::EmptyKeySet`] for an empty cache.
+    pub fn run_attention(
+        &self,
+        query: &QVector,
+        keys: &QMatrix,
+        values: &[Vec<f32>],
+    ) -> Result<AttentionStepResult, CoreError> {
+        if query.len() != keys.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: keys.dim(),
+                actual: query.len(),
+            });
+        }
+        let n = keys.num_tokens();
+        if n == 0 {
+            return Err(CoreError::EmptyKeySet);
+        }
+        if values.len() != n {
+            return Err(CoreError::DimensionMismatch {
+                expected: n,
+                actual: values.len(),
+            });
+        }
+        for row in values {
+            if row.len() != keys.dim() {
+                return Err(CoreError::DimensionMismatch {
+                    expected: keys.dim(),
+                    actual: row.len(),
+                });
+            }
+        }
+        match self.cfg.mode {
+            AccelMode::Baseline => Ok(self.run_baseline(query, keys, values, false)),
+            AccelMode::EstimateOnly => Ok(self.run_baseline(query, keys, values, true)),
+            AccelMode::OutOfOrder => Ok(self.run_chunked(query, keys, values, false)),
+            AccelMode::Blocking => Ok(self.run_chunked(query, keys, values, true)),
+        }
+    }
+
+    /// Chunked on-demand K pipeline (full ToPick, or the blocking ablation).
+    fn run_chunked(
+        &self,
+        query: &QVector,
+        keys: &QMatrix,
+        values: &[Vec<f32>],
+        blocking: bool,
+    ) -> AttentionStepResult {
+        let cfg = &self.cfg;
+        let n = keys.num_tokens();
+        let dim = keys.dim();
+        let pc = cfg.precision;
+        let num_chunks = pc.num_chunks();
+        let burst_bytes = u64::from(cfg.dram.access_bytes);
+        let chunk_bytes = (dim as u64 * u64::from(pc.chunk_bits())).div_ceil(8);
+        let row_bytes = (dim as u64 * u64::from(pc.total_bits())).div_ceil(8);
+
+        let mut st = RunState::new(cfg, n, dim);
+        st.cycle = cfg.margin_gen_latency;
+        let margins = MarginTable::from_query_codes(query.codes(), pc);
+        let scale = topick_core::score_scale(query, keys);
+        let ln_thr = cfg.threshold.ln();
+        let mut denom = LogDenominator::new();
+        let mut prev_smin = vec![f64::NAN; n];
+        let lanes = cfg.lanes;
+
+        // Per-lane first-chunk streams in scan order, and next-chunk queues.
+        let mut lane_first: Vec<VecDeque<usize>> = vec![VecDeque::new(); lanes];
+        for tok in cfg.order.sequence(n) {
+            lane_first[tok % lanes].push_back(tok);
+        }
+        // (token, chunk-to-fetch, next burst)
+        let mut lane_next: Vec<VecDeque<(usize, u32, u64)>> = vec![VecDeque::new(); lanes];
+        // Burst progress of the current first-chunk request per lane.
+        let mut first_burst: Vec<u64> = vec![0; lanes];
+        let mut sb_used = vec![0usize; lanes];
+        // In blocking mode a lane may not start a new first chunk while it
+        // still has an unresolved token in flight.
+        let mut lane_inflight = vec![0usize; lanes];
+
+        let mut stats = PruneStats::new(n, num_chunks);
+        let mut kept: Vec<KeptToken> = Vec::new();
+        let mut resolved = 0usize;
+        let bursts_per_chunk = st.layout.k_bursts_per_chunk();
+        let mut guard = 0u64;
+
+        while resolved < n {
+            guard += 1;
+            assert!(
+                guard < 100_000_000,
+                "step 0 failed to converge: resolved {resolved}/{n}"
+            );
+            // (1) Issue at most one DRAM request per lane, next-chunk first.
+            for lane in 0..lanes {
+                let issued =
+                    if let Some(&mut (tok, chunk, ref mut burst)) = lane_next[lane].front_mut() {
+                        let addr = st.layout.k_addr(tok, chunk, *burst);
+                        if st.dram.try_enqueue(k_req_id(tok, chunk, *burst), addr) {
+                            *burst += 1;
+                            if *burst == bursts_per_chunk {
+                                lane_next[lane].pop_front();
+                            }
+                        }
+                        true
+                    } else {
+                        false
+                    };
+                if issued {
+                    continue;
+                }
+                let can_start_first = !blocking || lane_inflight[lane] == 0;
+                if can_start_first {
+                    if let Some(&tok) = lane_first[lane].front() {
+                        let burst = first_burst[lane];
+                        let addr = st.layout.k_addr(tok, 0, burst);
+                        if st.dram.try_enqueue(k_req_id(tok, 0, burst), addr) {
+                            if burst + 1 == bursts_per_chunk {
+                                lane_first[lane].pop_front();
+                                first_burst[lane] = 0;
+                                lane_inflight[lane] += 1;
+                            } else {
+                                first_burst[lane] = burst + 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // (2) DRAM progress.
+            st.advance_cycle(lanes, burst_bytes);
+
+            // (3) Compute: each lane evaluates at most one arrived chunk.
+            for lane in 0..lanes {
+                // A surviving first-chunk evaluation needs a scoreboard
+                // entry. When the scoreboard is full, the RPDU services a
+                // deeper-chunk refinement instead (it already owns an entry
+                // and will free it) — otherwise a stalled first chunk at the
+                // queue head would deadlock the lane.
+                let sb_full = sb_used[lane] >= cfg.scoreboard_entries;
+                let pick = {
+                    let queue = &st.k_ready[lane];
+                    if queue.is_empty() {
+                        continue;
+                    }
+                    let front_needs_entry = {
+                        let &(_, ck) = queue.front().expect("non-empty");
+                        ck == 1 && ck < num_chunks && sb_full
+                    };
+                    if front_needs_entry {
+                        match queue.iter().position(|&(_, ck)| ck > 1) {
+                            Some(i) => i,
+                            None => continue, // all arrivals need entries; wait
+                        }
+                    } else {
+                        0
+                    }
+                };
+                let (tok, chunks_known) = st.k_ready[lane].remove(pick).expect("index valid");
+                stats.chunk_fetches[(chunks_known - 1) as usize] += 1;
+                st.events.mac_12x4 += dim as u64;
+                st.events.buffer_read_bytes += chunk_bytes;
+                st.events.exp += 1; // PEC partial-exp
+                st.events.scoreboard += if chunks_known > 1 { 2 } else { 1 };
+
+                let ps = query.dot_known(keys.row(tok), chunks_known);
+                let pair = margins.pair(chunks_known);
+                let smin = (ps + pair.min) as f64 * scale;
+                let smax = (ps + pair.max) as f64 * scale;
+                if chunks_known == 1 {
+                    denom.add(smin);
+                } else {
+                    denom.replace(prev_smin[tok], smin);
+                }
+                prev_smin[tok] = smin;
+
+                let release_entry = |sb: &mut usize, ck: u32| {
+                    if ck > 1 {
+                        *sb -= 1;
+                    }
+                };
+                if should_prune(smax, denom.ln(), ln_thr) {
+                    stats.pruned_at[(chunks_known - 1) as usize] += 1;
+                    resolved += 1;
+                    lane_inflight[lane] -= 1;
+                    release_entry(&mut sb_used[lane], chunks_known);
+                } else if chunks_known == num_chunks {
+                    kept.push(KeptToken {
+                        index: tok,
+                        score_int: ps,
+                        score_real: smax,
+                    });
+                    resolved += 1;
+                    lane_inflight[lane] -= 1;
+                    release_entry(&mut sb_used[lane], chunks_known);
+                } else {
+                    if chunks_known == 1 {
+                        sb_used[lane] += 1;
+                    }
+                    lane_next[lane].push_back((tok, chunks_known, 0));
+                }
+            }
+        }
+
+        kept.sort_by_key(|k| k.index);
+        stats.kept = kept.len();
+        self.finish_with_step1(st, stats, kept, values, dim, row_bytes, burst_bytes)
+    }
+
+    /// Full-precision K streaming pipeline: the no-pruning baseline, or the
+    /// estimate-only variant that skips V rows of negligible tokens.
+    fn run_baseline(
+        &self,
+        query: &QVector,
+        keys: &QMatrix,
+        values: &[Vec<f32>],
+        estimate: bool,
+    ) -> AttentionStepResult {
+        let cfg = &self.cfg;
+        let n = keys.num_tokens();
+        let dim = keys.dim();
+        let pc = cfg.precision;
+        let burst_bytes = u64::from(cfg.dram.access_bytes);
+        let row_bytes = (dim as u64 * u64::from(pc.total_bits())).div_ceil(8);
+
+        // Full-precision K rows modeled as a single "chunk" of row width.
+        let mut st = RunState::new(cfg, n, dim);
+        {
+            // Rebuild the layout with one full-width chunk.
+            let burst = u64::from(cfg.dram.access_bytes);
+            st.layout = KvLayout::new(n, row_bytes, row_bytes, 1, burst);
+        }
+        let scale = topick_core::score_scale(query, keys);
+        let ln_thr = cfg.threshold.ln();
+        let mut denom = LogDenominator::new();
+        let lanes = cfg.lanes;
+
+        let order = if estimate {
+            cfg.order.sequence(n)
+        } else {
+            (0..n).collect()
+        };
+        let mut lane_first: Vec<VecDeque<usize>> = vec![VecDeque::new(); lanes];
+        for tok in order {
+            lane_first[tok % lanes].push_back(tok);
+        }
+        let mut first_burst = vec![0u64; lanes];
+        let bursts_per_row = st.layout.k_bursts_per_chunk();
+
+        let num_chunks = pc.num_chunks();
+        let mut stats = PruneStats::new(n, num_chunks);
+        // All chunks of all tokens are fetched in these modes.
+        for c in &mut stats.chunk_fetches {
+            *c = n as u64;
+        }
+        let mut kept: Vec<KeptToken> = Vec::new();
+        let mut scored = 0usize;
+        let mut guard = 0u64;
+
+        while scored < n {
+            guard += 1;
+            assert!(guard < 100_000_000, "baseline K phase failed to converge");
+            for lane in 0..lanes {
+                if let Some(&tok) = lane_first[lane].front() {
+                    let burst = first_burst[lane];
+                    let addr = st.layout.k_addr(tok, 0, burst);
+                    if st.dram.try_enqueue(k_req_id(tok, 0, burst), addr) {
+                        if burst + 1 == bursts_per_row {
+                            lane_first[lane].pop_front();
+                            first_burst[lane] = 0;
+                        } else {
+                            first_burst[lane] = burst + 1;
+                        }
+                    }
+                }
+            }
+            st.advance_cycle(lanes, burst_bytes);
+            for lane in 0..lanes {
+                let Some(&(tok, _)) = st.k_ready[lane].front() else {
+                    continue;
+                };
+                st.k_ready[lane].pop_front();
+                st.events.mac_12x12 += dim as u64;
+                st.events.buffer_read_bytes += row_bytes;
+                let ps = query.dot_codes(keys.row(tok));
+                let s = ps as f64 * scale;
+                scored += 1;
+                if estimate {
+                    st.events.exp += 1;
+                    denom.add(s);
+                    if should_prune(s, denom.ln(), ln_thr) {
+                        stats.pruned_at[(num_chunks - 1) as usize] += 1;
+                    } else {
+                        kept.push(KeptToken {
+                            index: tok,
+                            score_int: ps,
+                            score_real: s,
+                        });
+                    }
+                } else {
+                    kept.push(KeptToken {
+                        index: tok,
+                        score_int: ps,
+                        score_real: s,
+                    });
+                }
+            }
+        }
+        if !estimate {
+            // Softmax over all scores: one EXP per token through the
+            // lanes' 2 EXP units each.
+            st.events.exp += n as u64;
+            st.cycle += (n as u64).div_ceil(lanes as u64 * 2);
+        }
+
+        kept.sort_by_key(|k| k.index);
+        stats.kept = kept.len();
+        self.finish_with_step1(st, stats, kept, values, dim, row_bytes, burst_bytes)
+    }
+
+    /// Step 1: fetch V rows of kept tokens and accumulate the output.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_with_step1(
+        &self,
+        mut st: RunState,
+        stats: PruneStats,
+        kept: Vec<KeptToken>,
+        values: &[Vec<f32>],
+        dim: usize,
+        row_bytes: u64,
+        burst_bytes: u64,
+    ) -> AttentionStepResult {
+        let cfg = &self.cfg;
+        let lanes = cfg.lanes;
+        let scores: Vec<f64> = kept.iter().map(|k| k.score_real).collect();
+        let probs = softmax(&scores);
+        // Probability Generator: one EXP per surviving token.
+        st.events.exp += kept.len() as u64;
+
+        let mut lane_v: Vec<VecDeque<usize>> = vec![VecDeque::new(); lanes];
+        for k in &kept {
+            lane_v[k.index % lanes].push_back(k.index);
+        }
+        let mut v_burst = vec![0u64; lanes];
+        let bursts_per_row = st.layout.v_bursts_per_row();
+        let mut maced = 0usize;
+        let total = kept.len();
+        let mut guard = 0u64;
+        while maced < total {
+            guard += 1;
+            assert!(guard < 100_000_000, "step 1 failed to converge");
+            for lane in 0..lanes {
+                if let Some(&tok) = lane_v[lane].front() {
+                    let burst = v_burst[lane];
+                    let addr = st.layout.v_addr(tok, burst);
+                    if st.dram.try_enqueue(v_req_id(tok, burst), addr) {
+                        if burst + 1 == bursts_per_row {
+                            lane_v[lane].pop_front();
+                            v_burst[lane] = 0;
+                        } else {
+                            v_burst[lane] = burst + 1;
+                        }
+                    }
+                }
+            }
+            st.advance_cycle(lanes, burst_bytes);
+            for lane in 0..lanes {
+                if st.v_ready[lane].pop_front().is_some() {
+                    st.events.mac_12x12 += dim as u64;
+                    st.events.buffer_read_bytes += row_bytes;
+                    maced += 1;
+                }
+            }
+        }
+
+        let pairs: Vec<(usize, f64)> = kept
+            .iter()
+            .zip(&probs)
+            .map(|(k, &p)| (k.index, p))
+            .collect();
+        let output = weighted_value_sum(&pairs, values);
+
+        let energies = EventEnergies::node_65nm();
+        let dram_cycles = st.dram.cycle();
+        let dram_stats = st.dram.stats().clone();
+        let energy = EnergyBreakdown {
+            dram_pj: dram_stats.energy_pj(&cfg.dram, dram_cycles),
+            buffer_pj: st.events.buffer_energy_pj(&energies),
+            compute_pj: st.events.compute_energy_pj(&energies),
+        };
+        AttentionStepResult {
+            cycles: st.cycle,
+            output,
+            kept: kept.iter().map(|k| k.index).collect(),
+            prune: stats,
+            events: st.events,
+            dram_stats,
+            dram_cycles,
+            energy,
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! DRAM layout of the KV cache, chunk-major for K so that a pruning pass
+//! over chunk `b` streams sequentially.
+
+/// Address generator for one head's K (bit-chunked) and V (full-precision)
+/// data in DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvLayout {
+    n_tokens: usize,
+    k_chunk_bytes: u64,
+    v_row_bytes: u64,
+    num_chunks: u32,
+    burst_bytes: u64,
+    k_base: u64,
+    v_base: u64,
+}
+
+impl KvLayout {
+    /// Builds the layout. K chunks are stored chunk-major
+    /// (`[chunk0 of all tokens][chunk1 of all tokens]…`), V rows
+    /// token-major, V after K.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero.
+    #[must_use]
+    pub fn new(
+        n_tokens: usize,
+        k_chunk_bytes: u64,
+        v_row_bytes: u64,
+        num_chunks: u32,
+        burst_bytes: u64,
+    ) -> Self {
+        assert!(n_tokens > 0 && k_chunk_bytes > 0 && v_row_bytes > 0 && num_chunks > 0);
+        assert!(burst_bytes > 0);
+        let k_chunk_padded = k_chunk_bytes.div_ceil(burst_bytes) * burst_bytes;
+        let v_row_padded = v_row_bytes.div_ceil(burst_bytes) * burst_bytes;
+        let k_total = k_chunk_padded * n_tokens as u64 * u64::from(num_chunks);
+        Self {
+            n_tokens,
+            k_chunk_bytes: k_chunk_padded,
+            v_row_bytes: v_row_padded,
+            num_chunks,
+            burst_bytes,
+            k_base: 0,
+            v_base: k_total,
+        }
+    }
+
+    /// DRAM bursts needed for one K chunk of one token.
+    #[must_use]
+    pub fn k_bursts_per_chunk(&self) -> u64 {
+        self.k_chunk_bytes / self.burst_bytes
+    }
+
+    /// DRAM bursts needed for one V row.
+    #[must_use]
+    pub fn v_bursts_per_row(&self) -> u64 {
+        self.v_row_bytes / self.burst_bytes
+    }
+
+    /// Address of burst `burst` of chunk `chunk` of token `token`'s key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn k_addr(&self, token: usize, chunk: u32, burst: u64) -> u64 {
+        assert!(token < self.n_tokens, "token out of range");
+        assert!(chunk < self.num_chunks, "chunk out of range");
+        assert!(burst < self.k_bursts_per_chunk(), "burst out of range");
+        self.k_base
+            + (u64::from(chunk) * self.n_tokens as u64 + token as u64) * self.k_chunk_bytes
+            + burst * self.burst_bytes
+    }
+
+    /// Address of burst `burst` of token `token`'s value row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn v_addr(&self, token: usize, burst: u64) -> u64 {
+        assert!(token < self.n_tokens, "token out of range");
+        assert!(burst < self.v_bursts_per_row(), "burst out of range");
+        self.v_base + token as u64 * self.v_row_bytes + burst * self.burst_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_major_is_sequential_within_a_chunk() {
+        let l = KvLayout::new(100, 32, 96, 3, 32);
+        assert_eq!(l.k_addr(0, 0, 0), 0);
+        assert_eq!(l.k_addr(1, 0, 0), 32);
+        assert_eq!(l.k_addr(0, 1, 0), 3200);
+        assert_eq!(l.k_bursts_per_chunk(), 1);
+        assert_eq!(l.v_bursts_per_row(), 3);
+    }
+
+    #[test]
+    fn v_region_does_not_overlap_k() {
+        let l = KvLayout::new(10, 32, 96, 3, 32);
+        let k_max = l.k_addr(9, 2, 0) + 32;
+        assert!(l.v_addr(0, 0) >= k_max);
+        assert_eq!(l.v_addr(1, 0) - l.v_addr(0, 0), 96);
+    }
+
+    #[test]
+    fn padding_rounds_to_bursts() {
+        // 128-dim head: chunk = 64B (2 bursts), row = 192B (6 bursts).
+        let l = KvLayout::new(4, 64, 192, 3, 32);
+        assert_eq!(l.k_bursts_per_chunk(), 2);
+        assert_eq!(l.v_bursts_per_row(), 6);
+        assert_eq!(l.k_addr(0, 0, 1) - l.k_addr(0, 0, 0), 32);
+    }
+}

@@ -1,0 +1,54 @@
+//! # topick-accel
+//!
+//! A cycle-level simulator of the **ToPick** accelerator (paper §4) and its
+//! no-pruning baseline: 16 PE lanes fed by 8-channel HBM2, with the Margin
+//! Generator, Scoreboard, RPDU, PEC and DAG modules implementing
+//! probability estimation and out-of-order score calculation.
+//!
+//! Four pipeline variants are modeled (see [`AccelMode`]):
+//!
+//! | mode | K traffic | V traffic | latency hiding |
+//! |---|---|---|---|
+//! | `Baseline` | full | full | n/a |
+//! | `EstimateOnly` | full | pruned | n/a (no on-demand requests) |
+//! | `OutOfOrder` | chunked on-demand | pruned | out-of-order scoreboard |
+//! | `Blocking` | chunked on-demand | pruned | none (ablation) |
+//!
+//! ## Example
+//!
+//! ```
+//! use topick_accel::{AccelConfig, AccelMode, ToPickAccelerator};
+//! use topick_core::{PrecisionConfig, QMatrix, QVector};
+//!
+//! let pc = PrecisionConfig::paper();
+//! let query = QVector::quantize(&vec![0.4; 64], pc);
+//! let rows: Vec<Vec<f32>> = (0..64).map(|i| vec![(i as f32 - 32.0) / 40.0; 64]).collect();
+//! let keys = QMatrix::quantize_rows(&rows, pc)?;
+//! let values: Vec<Vec<f32>> = (0..64).map(|_| vec![0.5; 64]).collect();
+//!
+//! let baseline = ToPickAccelerator::new(AccelConfig::baseline())
+//!     .run_attention(&query, &keys, &values)?;
+//! let topick = ToPickAccelerator::new(AccelConfig::paper(AccelMode::OutOfOrder, 1e-3)?)
+//!     .run_attention(&query, &keys, &values)?;
+//! println!("speedup: {:.2}x", topick.speedup_vs(&baseline));
+//! # Ok::<(), topick_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batch;
+pub mod config;
+pub mod engine;
+pub mod generation;
+pub mod layout;
+pub mod prompt;
+pub mod result;
+
+pub use batch::{compare_batch_step, simulate_batch_step, BatchStepParams, BatchStepResult};
+pub use config::{AccelConfig, AccelMode};
+pub use engine::ToPickAccelerator;
+pub use generation::{GenerationConfig, GenerationRunResult, GenerationSimulator};
+pub use layout::KvLayout;
+pub use prompt::{run_prompt_phase, PromptPhaseResult};
+pub use result::AttentionStepResult;

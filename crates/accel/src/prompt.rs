@@ -1,0 +1,209 @@
+//! Prompt-phase execution (paper §4): "During the prompt phase, all K/V
+//! vectors are preloaded into the on-chip buffer to be reused across
+//! queries."
+//!
+//! Unlike the memory-bound generation phase, the prompt phase is
+//! compute-bound: the whole prompt's K/V fits the 2×192 KB buffers and
+//! every query attends over it from SRAM. Token-Picker leaves this phase
+//! unmodified, so the model here is the shared baseline for both designs —
+//! it exists to complete the accelerator and to show *why* the paper
+//! focuses on generation.
+
+use topick_core::{softmax, CoreError, QMatrix, QVector};
+use topick_dram::DramSim;
+use topick_energy::{EnergyBreakdown, EventCounts, EventEnergies};
+
+use crate::config::AccelConfig;
+
+/// Result of simulating one head's prompt phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromptPhaseResult {
+    /// Accelerator cycles: KV preload + score compute + output compute.
+    pub cycles: u64,
+    /// Cycles of the DRAM preload portion.
+    pub preload_cycles: u64,
+    /// Cycles of the compute portion.
+    pub compute_cycles: u64,
+    /// On-chip event counts.
+    pub events: EventCounts,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Attention outputs, one row per query.
+    pub outputs: Vec<Vec<f32>>,
+}
+
+/// Simulates the prompt phase of one head: preload K/V from DRAM, then for
+/// every query compute all causal scores and the attention output from the
+/// on-chip buffers.
+///
+/// Query `i` attends over tokens `0..=i` (causal masking).
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimensionMismatch`] on shape mismatches,
+/// [`CoreError::EmptyKeySet`] if there are no tokens, and
+/// [`CoreError::InvalidThreshold`] never (listed for parity with the
+/// generation path).
+pub fn run_prompt_phase(
+    cfg: &AccelConfig,
+    queries: &[QVector],
+    keys: &QMatrix,
+    values: &[Vec<f32>],
+) -> Result<PromptPhaseResult, CoreError> {
+    let n = keys.num_tokens();
+    if n == 0 {
+        return Err(CoreError::EmptyKeySet);
+    }
+    if queries.len() != n || values.len() != n {
+        return Err(CoreError::DimensionMismatch {
+            expected: n,
+            actual: queries.len().min(values.len()),
+        });
+    }
+    let dim = keys.dim();
+    for q in queries {
+        if q.len() != dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: dim,
+                actual: q.len(),
+            });
+        }
+    }
+
+    let mut events = EventCounts::default();
+    let row_bytes = (dim as u64 * u64::from(cfg.precision.total_bits())).div_ceil(8);
+    let burst = u64::from(cfg.dram.access_bytes);
+
+    // (1) Preload: stream all K and V rows sequentially into the buffers.
+    let total_bursts = 2 * n as u64 * row_bytes.div_ceil(burst);
+    let mut dram = DramSim::new(cfg.dram.clone());
+    let mut issued = 0u64;
+    let mut addr = 0u64;
+    while issued < total_bursts || !dram.is_idle() {
+        while issued < total_bursts && dram.try_enqueue(issued, addr) {
+            issued += 1;
+            addr += burst;
+        }
+        dram.tick();
+        while dram.pop_completed().is_some() {}
+    }
+    let preload_cycles = dram.cycle().div_ceil(cfg.clock_ratio);
+    events.buffer_write_bytes += total_bursts * burst;
+
+    // (2) Compute: query i needs i+1 score dots and i+1 value MACs, all
+    // from SRAM; the lanes complete `lanes` dots per cycle.
+    let total_dots: u64 = (1..=n as u64).sum::<u64>() * 2; // scores + value MACs
+    let compute_cycles = total_dots.div_ceil(cfg.lanes as u64);
+    events.mac_12x12 += total_dots * dim as u64;
+    events.exp += (1..=n as u64).sum::<u64>(); // softmax exps
+    events.buffer_read_bytes += (1..=n as u64).sum::<u64>() * 2 * row_bytes;
+
+    // Functional outputs.
+    let scale = topick_core::score_scale(&queries[0], keys);
+    let mut outputs = Vec::with_capacity(n);
+    for (i, q) in queries.iter().enumerate() {
+        let scores: Vec<f64> = (0..=i)
+            .map(|t| q.dot_codes(keys.row(t)) as f64 * scale)
+            .collect();
+        let probs = softmax(&scores);
+        let mut out = vec![0f32; dim];
+        for (t, &p) in probs.iter().enumerate() {
+            for (o, &v) in out.iter_mut().zip(&values[t]) {
+                *o += p as f32 * v;
+            }
+        }
+        outputs.push(out);
+    }
+
+    let energies = EventEnergies::node_65nm();
+    let energy = EnergyBreakdown {
+        dram_pj: dram.stats().energy_pj(&cfg.dram, dram.cycle()),
+        buffer_pj: events.buffer_energy_pj(&energies),
+        compute_pj: events.compute_energy_pj(&energies),
+    };
+    Ok(PromptPhaseResult {
+        cycles: preload_cycles + compute_cycles,
+        preload_cycles,
+        compute_cycles,
+        events,
+        energy,
+        outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topick_core::{exact_probabilities, PrecisionConfig};
+
+    fn prompt_workload(n: usize) -> (Vec<QVector>, QMatrix, Vec<Vec<f32>>) {
+        let pc = PrecisionConfig::paper();
+        let dim = 64;
+        let mut s = 0xB00Fu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 33) as f32 / 2_147_483_648.0) * 2.0 - 1.0
+        };
+        let queries: Vec<QVector> = (0..n)
+            .map(|_| QVector::quantize(&(0..dim).map(|_| next()).collect::<Vec<_>>(), pc))
+            .collect();
+        let keys: Vec<Vec<f32>> = (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect();
+        let values: Vec<Vec<f32>> = (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect();
+        (
+            queries,
+            QMatrix::quantize_rows(&keys, pc).expect("non-empty"),
+            values,
+        )
+    }
+
+    #[test]
+    fn outputs_match_causal_attention() {
+        let (queries, keys, values) = prompt_workload(12);
+        let cfg = AccelConfig::baseline();
+        let r = run_prompt_phase(&cfg, &queries, &keys, &values).unwrap();
+        assert_eq!(r.outputs.len(), 12);
+        // The last query attends over everything: compare with the exact
+        // full-context attention.
+        let probs = exact_probabilities(&queries[11], &keys);
+        let mut expect = vec![0f32; 64];
+        for (t, &p) in probs.iter().enumerate() {
+            for (o, &v) in expect.iter_mut().zip(&values[t]) {
+                *o += p as f32 * v;
+            }
+        }
+        for (a, b) in r.outputs[11].iter().zip(&expect) {
+            // f32 accumulation order differs between the two paths.
+            assert!((a - b).abs() < 2e-3, "{a} vs {b}");
+        }
+        // The first query attends only over token 0.
+        for (a, b) in r.outputs[0].iter().zip(&values[0]) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn prompt_phase_is_compute_dominated() {
+        // Once the prompt is long, compute cycles (O(n^2)) exceed the
+        // preload (O(n)) — the opposite regime from generation.
+        let (queries, keys, values) = prompt_workload(128);
+        let cfg = AccelConfig::baseline();
+        let r = run_prompt_phase(&cfg, &queries, &keys, &values).unwrap();
+        assert!(
+            r.compute_cycles > r.preload_cycles,
+            "compute {} vs preload {}",
+            r.compute_cycles,
+            r.preload_cycles
+        );
+        assert_eq!(r.cycles, r.compute_cycles + r.preload_cycles);
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let (queries, keys, values) = prompt_workload(8);
+        let cfg = AccelConfig::baseline();
+        assert!(run_prompt_phase(&cfg, &queries[..4], &keys, &values).is_err());
+        assert!(run_prompt_phase(&cfg, &queries, &keys, &values[..4]).is_err());
+    }
+}

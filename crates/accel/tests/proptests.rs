@@ -1,0 +1,116 @@
+//! Property tests of the accelerator: soundness under arbitrary timing,
+//! exact traffic accounting, and robustness to degenerate configurations.
+
+use proptest::prelude::*;
+use topick_accel::{AccelConfig, AccelMode, ToPickAccelerator};
+use topick_core::{exact_probabilities, PrecisionConfig, QMatrix, QVector};
+
+fn random_instance(seed: u64, n: usize, dim: usize) -> (QVector, QMatrix, Vec<Vec<f32>>) {
+    let pc = PrecisionConfig::paper();
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        ((s >> 33) as f32 / 2_147_483_648.0) * 4.0 - 2.0
+    };
+    let q: Vec<f32> = (0..dim).map(|_| next()).collect();
+    let keys: Vec<Vec<f32>> = (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect();
+    let values: Vec<Vec<f32>> = (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect();
+    (
+        QVector::quantize(&q, pc),
+        QMatrix::quantize_rows(&keys, pc).expect("non-empty"),
+        values,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness holds for every mode regardless of workload and timing.
+    #[test]
+    fn no_dominant_token_pruned_any_mode(
+        seed in any::<u64>(),
+        n in 2usize..96,
+        thr_exp in 1.5f64..4.0,
+    ) {
+        let dim = 64;
+        let (q, keys, values) = random_instance(seed, n, dim);
+        let thr = 10f64.powf(-thr_exp);
+        let exact = exact_probabilities(&q, &keys);
+        for mode in [AccelMode::EstimateOnly, AccelMode::OutOfOrder, AccelMode::Blocking] {
+            let accel = ToPickAccelerator::new(
+                AccelConfig::paper(mode, thr).expect("thr in range"),
+            );
+            let r = accel.run_attention(&q, &keys, &values).expect("run");
+            for (t, &p) in exact.iter().enumerate() {
+                if p > thr {
+                    prop_assert!(
+                        r.kept.contains(&t),
+                        "{:?}: token {} with p={} pruned at thr={}",
+                        mode, t, p, thr
+                    );
+                }
+            }
+        }
+    }
+
+    /// DRAM bytes moved equal the bit-level accounting in PruneStats, for
+    /// both 64-dim (1 burst/chunk) and 128-dim (2 bursts/chunk) heads.
+    #[test]
+    fn traffic_identity(seed in any::<u64>(), n in 2usize..64, wide in any::<bool>()) {
+        let dim = if wide { 128 } else { 64 };
+        let (q, keys, values) = random_instance(seed, n, dim);
+        let accel = ToPickAccelerator::new(
+            AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr"),
+        );
+        let r = accel.run_attention(&q, &keys, &values).expect("run");
+        let pc = PrecisionConfig::paper();
+        let k_bits = r.prune.k_bits_fetched(dim, &pc);
+        let v_bits = r.prune.v_bits_fetched(dim, &pc);
+        let dram_bits = r.dram_stats.reads * 32 * 8;
+        prop_assert_eq!(dram_bits, k_bits + v_bits);
+    }
+
+    /// A one-entry scoreboard still completes and stays sound — it only
+    /// costs cycles.
+    #[test]
+    fn tiny_scoreboard_is_safe(seed in any::<u64>(), n in 2usize..48) {
+        let dim = 64;
+        let (q, keys, values) = random_instance(seed, n, dim);
+        let mut cfg = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr");
+        cfg.scoreboard_entries = 1;
+        let tiny = ToPickAccelerator::new(cfg)
+            .run_attention(&q, &keys, &values)
+            .expect("tiny scoreboard run");
+        let full = ToPickAccelerator::new(
+            AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr"),
+        )
+        .run_attention(&q, &keys, &values)
+        .expect("full scoreboard run");
+        prop_assert!(tiny.cycles >= full.cycles);
+        let exact = exact_probabilities(&q, &keys);
+        for (t, &p) in exact.iter().enumerate() {
+            if p > 1e-3 {
+                prop_assert!(tiny.kept.contains(&t));
+            }
+        }
+    }
+
+    /// Baseline output equals exact attention for any workload.
+    #[test]
+    fn baseline_always_exact(seed in any::<u64>(), n in 1usize..64) {
+        let dim = 64;
+        let (q, keys, values) = random_instance(seed, n, dim);
+        let r = ToPickAccelerator::new(AccelConfig::baseline())
+            .run_attention(&q, &keys, &values)
+            .expect("run");
+        let probs = exact_probabilities(&q, &keys);
+        let pairs: Vec<(usize, f64)> = probs.into_iter().enumerate().collect();
+        let expect = topick_core::weighted_value_sum(&pairs, &values);
+        for (a, b) in r.output.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+        prop_assert_eq!(r.kept.len(), n);
+    }
+}

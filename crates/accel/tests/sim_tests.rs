@@ -1,0 +1,192 @@
+//! Integration tests of the cycle-level accelerator: functional
+//! correctness against exact attention, estimator soundness in arrival
+//! order, and the architectural claims (speedup ordering of the modes).
+
+use topick_accel::{AccelConfig, AccelMode, ToPickAccelerator};
+use topick_core::{exact_probabilities, weighted_value_sum, PrecisionConfig, QMatrix, QVector};
+use topick_model::{SynthInstance, SynthProfile};
+
+fn quantized_instance(n: usize, seed: u64) -> (QVector, QMatrix, Vec<Vec<f32>>) {
+    let pc = PrecisionConfig::paper();
+    let inst = SynthInstance::generate(&SynthProfile::realistic(n, 64), seed);
+    let q = QVector::quantize(&inst.query, pc);
+    let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
+    (q, keys, inst.values)
+}
+
+fn run(mode: AccelMode, thr: f64, n: usize, seed: u64) -> topick_accel::AttentionStepResult {
+    let (q, keys, values) = quantized_instance(n, seed);
+    let accel = ToPickAccelerator::new(AccelConfig::paper(mode, thr).expect("valid thr"));
+    accel.run_attention(&q, &keys, &values).expect("valid run")
+}
+
+#[test]
+fn baseline_output_matches_exact_attention() {
+    let (q, keys, values) = quantized_instance(128, 1);
+    let accel = ToPickAccelerator::new(AccelConfig::baseline());
+    let result = accel.run_attention(&q, &keys, &values).unwrap();
+    let probs = exact_probabilities(&q, &keys);
+    let pairs: Vec<(usize, f64)> = probs.into_iter().enumerate().collect();
+    let expect = weighted_value_sum(&pairs, &values);
+    for (a, b) in result.output.iter().zip(&expect) {
+        assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+    assert_eq!(result.kept.len(), 128);
+}
+
+#[test]
+fn out_of_order_output_close_to_exact() {
+    let (q, keys, values) = quantized_instance(256, 2);
+    let thr = 1e-4;
+    let accel = ToPickAccelerator::new(AccelConfig::paper(AccelMode::OutOfOrder, thr).unwrap());
+    let result = accel.run_attention(&q, &keys, &values).unwrap();
+    let probs = exact_probabilities(&q, &keys);
+    let pairs: Vec<(usize, f64)> = probs.into_iter().enumerate().collect();
+    let expect = weighted_value_sum(&pairs, &values);
+    for (a, b) in result.output.iter().zip(&expect) {
+        assert!((a - b).abs() < 0.1, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn soundness_in_arrival_order() {
+    // No token with true probability above thr may be pruned, regardless of
+    // the DRAM arrival order driving the decisions.
+    for seed in 0..4 {
+        let (q, keys, values) = quantized_instance(192, 100 + seed);
+        let thr = 1e-3;
+        let accel = ToPickAccelerator::new(AccelConfig::paper(AccelMode::OutOfOrder, thr).unwrap());
+        let result = accel.run_attention(&q, &keys, &values).unwrap();
+        let exact = exact_probabilities(&q, &keys);
+        for (t, &p) in exact.iter().enumerate() {
+            if p > thr {
+                assert!(
+                    result.kept.contains(&t),
+                    "seed {seed}: token {t} with p={p} pruned"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn topick_is_faster_than_baseline() {
+    let n = 512;
+    let baseline = run(AccelMode::Baseline, 0.5, n, 7);
+    let topick = run(AccelMode::OutOfOrder, 1e-3, n, 7);
+    let speedup = topick.speedup_vs(&baseline);
+    assert!(
+        speedup > 1.5,
+        "expected >1.5x speedup, got {speedup:.2} ({} vs {} cycles)",
+        baseline.cycles,
+        topick.cycles
+    );
+}
+
+#[test]
+fn mode_ordering_matches_paper() {
+    // Baseline slowest; estimate-only in between; full ToPick fastest.
+    let n = 512;
+    let baseline = run(AccelMode::Baseline, 0.5, n, 8);
+    let est = run(AccelMode::EstimateOnly, 1e-3, n, 8);
+    let ooo = run(AccelMode::OutOfOrder, 1e-3, n, 8);
+    assert!(
+        est.cycles < baseline.cycles,
+        "estimate-only should beat baseline"
+    );
+    assert!(
+        ooo.cycles < est.cycles,
+        "out-of-order should beat estimate-only"
+    );
+}
+
+#[test]
+fn blocking_is_slower_than_out_of_order_with_same_traffic_shape() {
+    let n = 256;
+    let ooo = run(AccelMode::OutOfOrder, 1e-3, n, 9);
+    let blocking = run(AccelMode::Blocking, 1e-3, n, 9);
+    assert!(
+        blocking.cycles > ooo.cycles,
+        "blocking {} should exceed ooo {}",
+        blocking.cycles,
+        ooo.cycles
+    );
+    // Both prune V heavily; K chunk traffic is within 2x of each other
+    // (decision order differs slightly).
+    let pc = PrecisionConfig::paper();
+    let k_ooo = ooo.prune.k_bits_fetched(64, &pc);
+    let k_blk = blocking.prune.k_bits_fetched(64, &pc);
+    let ratio = k_ooo as f64 / k_blk as f64;
+    assert!(ratio > 0.5 && ratio < 2.0, "K traffic ratio {ratio}");
+}
+
+#[test]
+fn energy_breakdown_is_dram_dominated() {
+    // The generation phase is memory-bound: DRAM should dominate energy in
+    // the baseline (paper Fig. 10b shows ~70-90% DRAM).
+    let baseline = run(AccelMode::Baseline, 0.5, 512, 10);
+    let (d, _s, _c) = baseline.energy.fractions();
+    assert!(d > 0.5, "DRAM fraction {d} unexpectedly low");
+}
+
+#[test]
+fn topick_saves_energy() {
+    let baseline = run(AccelMode::Baseline, 0.5, 512, 11);
+    let topick = run(AccelMode::OutOfOrder, 1e-3, 512, 11);
+    let gain = topick.energy_gain_vs(&baseline);
+    assert!(gain > 1.3, "energy gain {gain:.2} too small");
+}
+
+#[test]
+fn traffic_accounting_consistent_with_dram() {
+    // Bits counted by PruneStats must equal the bytes the DRAM actually
+    // moved (modulo per-burst padding).
+    let result = run(AccelMode::OutOfOrder, 1e-3, 128, 12);
+    let pc = PrecisionConfig::paper();
+    let k_bits = result.prune.k_bits_fetched(64, &pc);
+    let v_bits = result.prune.v_bits_fetched(64, &pc);
+    let dram_bits = result.dram_stats.reads * 32 * 8;
+    assert_eq!(dram_bits, k_bits + v_bits, "DRAM traffic mismatch");
+}
+
+#[test]
+fn single_token_context_works() {
+    let pc = PrecisionConfig::paper();
+    let q = QVector::quantize(&vec![0.5; 64], pc);
+    let keys = QMatrix::quantize_rows(&[vec![0.5; 64]], pc).unwrap();
+    let values = vec![vec![2.0; 64]];
+    for mode in [
+        AccelMode::Baseline,
+        AccelMode::EstimateOnly,
+        AccelMode::OutOfOrder,
+        AccelMode::Blocking,
+    ] {
+        let accel = ToPickAccelerator::new(AccelConfig::paper(mode, 1e-3).unwrap());
+        let r = accel.run_attention(&q, &keys, &values).unwrap();
+        assert_eq!(r.kept, vec![0], "{mode:?}");
+        assert!((r.output[0] - 2.0).abs() < 1e-5, "{mode:?}");
+    }
+}
+
+#[test]
+fn dimension_mismatch_rejected() {
+    let pc = PrecisionConfig::paper();
+    let q = QVector::quantize(&[0.5; 32], pc);
+    let keys = QMatrix::quantize_rows(&[vec![0.5; 64]], pc).unwrap();
+    let values = vec![vec![1.0; 64]];
+    let accel = ToPickAccelerator::new(AccelConfig::baseline());
+    assert!(accel.run_attention(&q, &keys, &values).is_err());
+}
+
+#[test]
+fn wider_head_dimension_is_supported() {
+    // OPT/LLaMa shapes use 128-dim heads: chunks span multiple bursts.
+    let pc = PrecisionConfig::paper();
+    let inst = SynthInstance::generate(&SynthProfile::realistic(64, 128), 13);
+    let q = QVector::quantize(&inst.query, pc);
+    let keys = QMatrix::quantize_rows(&inst.keys, pc).unwrap();
+    let accel = ToPickAccelerator::new(AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).unwrap());
+    let r = accel.run_attention(&q, &keys, &inst.values).unwrap();
+    assert!(!r.kept.is_empty());
+    assert!(r.cycles > 0);
+}

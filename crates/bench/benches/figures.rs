@@ -1,0 +1,17 @@
+//! `cargo bench --bench figures` — regenerates every paper figure/table in
+//! fast mode and prints them to stdout.
+fn main() {
+    // cargo bench passes --bench; accept and ignore all flags.
+    topick_bench::fig2::run();
+    topick_bench::fig3::run(true);
+    topick_bench::fig4::run(true);
+    topick_bench::table2::run();
+    topick_bench::fig8::run(true);
+    topick_bench::fig9::run(true);
+    topick_bench::fig10::run(true);
+    topick_bench::ablation::run_order(true);
+    topick_bench::ablation::run_chunks(true);
+    topick_bench::ablation::run_ooo(true);
+    topick_bench::ablation::run_scoreboard(true);
+    topick_bench::ablation::run_vchunks(true);
+}

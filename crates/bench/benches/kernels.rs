@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks of the core kernels: the progressive pruner
+//! vs exact attention, the DRAM simulator, and a transformer forward step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topick_core::{
+    exact_probabilities, PrecisionConfig, ProgressivePruner, PrunerConfig, QMatrix, QVector,
+};
+use topick_dram::{DramConfig, DramSim};
+use topick_model::{ExactAttention, InstanceSampler, KvCache, ModelSpec, TransformerModel};
+
+fn quantized(ctx: usize, seed: u64) -> (QVector, QMatrix) {
+    let pc = PrecisionConfig::paper();
+    let inst = InstanceSampler::realistic(ctx, 64).sample(seed);
+    (
+        QVector::quantize(&inst.query, pc),
+        QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty"),
+    )
+}
+
+fn bench_pruner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step0");
+    for ctx in [256usize, 1024] {
+        let (q, keys) = quantized(ctx, 1);
+        let pruner = ProgressivePruner::new(PrunerConfig::new(1e-3).expect("thr"));
+        group.bench_with_input(BenchmarkId::new("token_picker", ctx), &ctx, |b, _| {
+            b.iter(|| pruner.run(&q, &keys).expect("run"))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_softmax", ctx), &ctx, |b, _| {
+            b.iter(|| exact_probabilities(&q, &keys))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_stream_1024_bursts", |b| {
+        b.iter(|| {
+            let cfg = DramConfig::hbm2();
+            let mut sim = DramSim::new(cfg.clone());
+            let mut issued = 0u64;
+            let mut addr = 0u64;
+            while issued < 1024 || !sim.is_idle() {
+                while issued < 1024 && sim.try_enqueue(issued, addr) {
+                    issued += 1;
+                    addr += u64::from(cfg.access_bytes);
+                }
+                sim.tick();
+                while sim.pop_completed().is_some() {}
+            }
+            sim.cycle()
+        })
+    });
+}
+
+fn bench_model(c: &mut Criterion) {
+    let spec = ModelSpec::toy();
+    let model = TransformerModel::new_random(spec.clone(), 1);
+    c.bench_function("toy_forward_32_tokens", |b| {
+        b.iter(|| {
+            let mut cache = KvCache::new(spec.n_layers, spec.n_heads, spec.head_dim());
+            let mut kernel = ExactAttention::new();
+            for pos in 0..32 {
+                let _ = model.forward(pos % spec.vocab, pos, &mut cache, &mut kernel);
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_pruner, bench_dram, bench_model);
+criterion_main!(benches);

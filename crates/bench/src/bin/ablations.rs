@@ -1,0 +1,9 @@
+//! Runs the scan-order, chunk-width and out-of-order ablations.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    topick_bench::ablation::run_order(fast);
+    topick_bench::ablation::run_chunks(fast);
+    topick_bench::ablation::run_ooo(fast);
+    topick_bench::ablation::run_scoreboard(fast);
+    topick_bench::ablation::run_vchunks(fast);
+}

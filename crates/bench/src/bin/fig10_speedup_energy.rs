@@ -1,0 +1,5 @@
+//! Regenerates Fig. 10 (speedup and energy breakdown).
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    topick_bench::fig10::run(fast);
+}

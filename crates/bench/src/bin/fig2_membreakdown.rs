@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2 (memory transfer breakdown).
+fn main() {
+    topick_bench::fig2::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 3 (score distribution variability).
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    topick_bench::fig3::run(fast);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4 (locality heatmap and margin brackets).
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    topick_bench::fig4::run(fast);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 8 (normalized DRAM access + perplexity across models).
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    topick_bench::fig8::run(fast);
+}

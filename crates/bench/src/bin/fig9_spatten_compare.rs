@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9 (ToPick-0.5 vs SpAtten / SpAtten*).
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    topick_bench::fig9::run(fast);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (area/power breakdown).
+fn main() {
+    topick_bench::table2::run();
+}

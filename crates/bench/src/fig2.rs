@@ -1,0 +1,83 @@
+//! Fig. 2 — off-chip memory-transfer breakdown in the generation phase
+//! across batch sizes, for GPT2-XL (S=1024), OPT-6.7B (S=2048) and
+//! LLaMa-2-7B (S=4096).
+
+use topick_model::{ModelSpec, TrafficBreakdown};
+
+use crate::util::{bar, header};
+
+/// One bar of the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    /// Model name.
+    pub model: &'static str,
+    /// Batch size.
+    pub batch: usize,
+    /// KV / weights / embedding fractions.
+    pub fractions: (f64, f64, f64),
+}
+
+/// Computes every bar of the figure.
+#[must_use]
+pub fn compute() -> Vec<Fig2Row> {
+    let cases = [
+        (ModelSpec::gpt2_xl(), 1024usize),
+        (ModelSpec::opt_6_7b(), 2048),
+        (ModelSpec::llama2_7b(), 4096),
+    ];
+    let mut rows = Vec::new();
+    for (spec, ctx) in cases {
+        for batch in [1usize, 4, 16, 64] {
+            let t = TrafficBreakdown::compute(&spec, batch, ctx);
+            rows.push(Fig2Row {
+                model: spec.name,
+                batch,
+                fractions: (t.kv_fraction(), t.weight_fraction(), t.embedding_fraction()),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the figure as text bars.
+pub fn run() {
+    header("Fig. 2 — memory transfer breakdown (generation phase)");
+    println!(
+        "{:<12} {:>5}  {:>8} {:>8} {:>8}  KV-share",
+        "model", "B", "KV", "weights", "embed"
+    );
+    for r in compute() {
+        let (kv, w, e) = r.fractions;
+        println!(
+            "{:<12} {:>5}  {:>7.1}% {:>7.1}% {:>7.1}%  {}",
+            r.model,
+            r.batch,
+            100.0 * kv,
+            100.0 * w,
+            100.0 * e,
+            bar(kv, 30)
+        );
+    }
+    println!();
+    println!("paper anchors: KV share 7.8% at B=1 grows to 84.3% at B=64 (GPT2-XL class)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_bars() {
+        assert_eq!(compute().len(), 12);
+    }
+
+    #[test]
+    fn kv_share_monotone_in_batch() {
+        let rows = compute();
+        for chunk in rows.chunks(4) {
+            for w in chunk.windows(2) {
+                assert!(w[0].fractions.0 < w[1].fractions.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Table 2 — area and power breakdown of ToPick at 500 MHz, 65 nm.
+
+use topick_energy::AreaPowerModel;
+
+use crate::util::header;
+
+/// Prints the model-vs-paper table and the §5.2.3 overhead summary.
+pub fn run() {
+    header("Table 2 — area and power breakdown @ 500 MHz (65 nm model)");
+    let model = AreaPowerModel::paper();
+    println!(
+        "{:<32} {:>10} {:>10}   {:>10} {:>10}",
+        "module", "area mm2", "power mW", "paper mm2", "paper mW"
+    );
+    for row in model.table2() {
+        println!(
+            "{:<32} {:>10.3} {:>10.2}   {:>10.3} {:>10.2}",
+            row.name, row.area_mm2, row.power_mw, row.paper_area_mm2, row.paper_power_mw
+        );
+    }
+    let (va, vp, ka, kp) = model.overheads();
+    println!();
+    println!("overheads over the baseline accelerator (paper values in parentheses):");
+    println!(
+        "  V-saving modules (Margin Gen, DAG, PEC): {va:.1}% area (1.0%), {vp:.1}% power (1.3%)"
+    );
+    println!(
+        "  K-saving modules (Scoreboard, RPDU):     {ka:.1}% area (4.9%), {kp:.1}% power (5.6%)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_does_not_panic() {
+        run();
+    }
+}

@@ -1,0 +1,45 @@
+//! Small formatting helpers shared by the experiment harnesses.
+
+/// Renders a horizontal bar of `width` cells filled proportionally to
+/// `value` in `[0, 1]`.
+#[must_use]
+pub fn bar(value: f64, width: usize) -> String {
+    let filled = ((value.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Prints a section header in the style every harness uses.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+/// Formats a float with a fixed width for table columns.
+#[must_use]
+pub fn col(v: f64, width: usize, precision: usize) -> String {
+    format!("{v:>width$.precision$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_extremes() {
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(1.0, 4), "####");
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(2.0, 4), "####"); // clamped
+        assert_eq!(bar(-1.0, 4), "....");
+    }
+
+    #[test]
+    fn col_width() {
+        assert_eq!(col(1.2345, 8, 2), "    1.23");
+    }
+}

@@ -1,0 +1,200 @@
+//! Conservative probability estimation (paper §3.1, Eq. 5).
+//!
+//! The estimator maintains a running denominator
+//! `D = Σ_{j ∈ subset} exp(ŝ_min,j)` over every token evaluated so far,
+//! where `ŝ_min,j` is token `j`'s deepest-refined score lower bound. A token
+//! is pruned when its score *upper* bound satisfies
+//! `ŝ_max,i − ln D ≤ ln thr`, which is equivalent to the probability upper
+//! bound `p''_i = exp(ŝ_max,i) / D ≤ thr`. Because `ŝ_max,i ≥ s_i` and
+//! `D ≤ Σ_all exp(s_j)`, the true probability satisfies `p_i ≤ p''_i`, so
+//! pruning is *safe*: no token with true probability above `thr` is ever
+//! removed.
+
+/// Streaming softmax denominator kept in a numerically safe scaled form.
+///
+/// Internally stores `(offset, sum)` with `D = sum · exp(offset)` and rebases
+/// the offset whenever an incoming exponent would overflow the linear-domain
+/// accumulator. This mirrors the hardware DAG, which accumulates partial-exp
+/// differences from the PE lanes and broadcasts `ln(denominator)` back.
+///
+/// # Examples
+///
+/// ```
+/// use topick_core::LogDenominator;
+///
+/// let mut d = LogDenominator::new();
+/// d.add(0.0);           // exp(0) = 1
+/// d.add(f64::ln(3.0));  // + 3
+/// assert!((d.ln() - f64::ln(4.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDenominator {
+    offset: f64,
+    sum: f64,
+}
+
+impl LogDenominator {
+    /// An empty denominator (`D = 0`, `ln D = -inf`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            offset: 0.0,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds `exp(x)` to the denominator.
+    pub fn add(&mut self, x: f64) {
+        self.rebase_for(x);
+        self.sum += (x - self.offset).exp();
+    }
+
+    /// Replaces a previous contribution `exp(old)` with `exp(new)`.
+    ///
+    /// This is the PEC semantics: when a deeper chunk refines a token's
+    /// lower bound from `old` to `new`, the lane emits the difference
+    /// `exp(new) − exp(old)` for the DAG to aggregate. Refinement is
+    /// monotone, so `new >= old` always holds for chunk updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `new < old`, which would indicate a
+    /// non-monotone refinement.
+    pub fn replace(&mut self, old: f64, new: f64) {
+        debug_assert!(
+            new >= old,
+            "denominator refinement must be monotone: old={old}, new={new}"
+        );
+        self.rebase_for(new);
+        let delta = (new - self.offset).exp() - (old - self.offset).exp();
+        self.sum += delta;
+        if self.sum < 0.0 {
+            // Guard against floating-point cancellation.
+            self.sum = 0.0;
+        }
+    }
+
+    /// Natural log of the denominator; `-inf` when empty.
+    #[must_use]
+    pub fn ln(&self) -> f64 {
+        if self.sum <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.offset + self.sum.ln()
+        }
+    }
+
+    /// Linear-domain value of the denominator (may overflow to `inf` for
+    /// extreme exponents; prefer [`ln`](Self::ln) for decisions).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.sum * self.offset.exp()
+    }
+
+    fn rebase_for(&mut self, x: f64) {
+        // Keep exponents fed to exp() under ~60 so the linear accumulator
+        // stays far from f64 overflow even after many additions.
+        if x - self.offset > 60.0 {
+            let new_offset = x;
+            self.sum *= (self.offset - new_offset).exp();
+            self.offset = new_offset;
+        }
+    }
+}
+
+impl Default for LogDenominator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The prune decision of Eq. 5: prune iff
+/// `s_max − ln D ≤ ln thr`, i.e. `p'' = exp(s_max)/D ≤ thr`.
+///
+/// `s_max` is the token's real-valued score upper bound and `ln_denominator`
+/// the current `ln D`. An empty denominator (`-inf`) never prunes.
+#[must_use]
+pub fn should_prune(s_max: f64, ln_denominator: f64, ln_threshold: f64) -> bool {
+    if ln_denominator == f64::NEG_INFINITY {
+        return false;
+    }
+    s_max - ln_denominator <= ln_threshold
+}
+
+/// The estimated probability upper bound `p'' = exp(s_max − ln D)`.
+///
+/// Mostly useful for diagnostics; the decision path uses
+/// [`should_prune`] directly in the log domain.
+#[must_use]
+pub fn estimated_probability(s_max: f64, ln_denominator: f64) -> f64 {
+    if ln_denominator == f64::NEG_INFINITY {
+        return f64::INFINITY;
+    }
+    (s_max - ln_denominator).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_denominator_never_prunes() {
+        let d = LogDenominator::new();
+        assert_eq!(d.ln(), f64::NEG_INFINITY);
+        assert!(!should_prune(-100.0, d.ln(), (1e-3f64).ln()));
+    }
+
+    #[test]
+    fn add_matches_logsumexp() {
+        let xs = [1.0, -2.5, 3.7, 0.0, -50.0];
+        let mut d = LogDenominator::new();
+        for &x in &xs {
+            d.add(x);
+        }
+        let direct: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((d.ln() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replace_matches_recomputation() {
+        let mut d = LogDenominator::new();
+        d.add(1.0);
+        d.add(2.0);
+        d.replace(1.0, 1.5);
+        let direct: f64 = (1.5f64.exp() + 2.0f64.exp()).ln();
+        assert!((d.ln() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebase_handles_large_exponents() {
+        let mut d = LogDenominator::new();
+        d.add(0.0);
+        d.add(500.0); // would overflow a naive linear accumulator
+        d.add(501.0);
+        let expect = 501.0 + (1.0 + (-1.0f64).exp() + (-501.0f64).exp()).ln();
+        assert!((d.ln() - expect).abs() < 1e-9, "{} vs {expect}", d.ln());
+    }
+
+    #[test]
+    fn prune_decision_equivalence() {
+        // s_max - lnD <= ln(thr)  <=>  exp(s_max)/D <= thr
+        let mut d = LogDenominator::new();
+        for x in [0.0, 1.0, 2.0] {
+            d.add(x);
+        }
+        let thr = 1e-3f64;
+        for s_max in [-10.0, -4.0, 0.0, 5.0] {
+            let log_decision = should_prune(s_max, d.ln(), thr.ln());
+            let lin_decision = s_max.exp() / d.value() <= thr;
+            assert_eq!(log_decision, lin_decision, "s_max={s_max}");
+        }
+    }
+
+    #[test]
+    fn estimated_probability_diagnostic() {
+        let mut d = LogDenominator::new();
+        d.add(0.0); // D = 1
+        assert!((estimated_probability(0.0, d.ln()) - 1.0).abs() < 1e-12);
+        assert!((estimated_probability((0.5f64).ln(), d.ln()) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! A 32-bit fixed-point exponential unit — the arithmetic block the PE
+//! lanes use for partial-exp generation and the Probability Generator uses
+//! for softmax (Table 1: "2 × 32 bit fixed-point EXP unit").
+//!
+//! The implementation mirrors a standard shift-add hardware scheme:
+//!
+//! 1. range-reduce `x = n·ln2 + r` with `r ∈ [0, ln2)`,
+//! 2. evaluate `e^r` by polynomial in Q2.30 fixed point,
+//! 3. apply `2^n` as a barrel shift.
+//!
+//! The reference pruner uses `f64` math (document §DESIGN.md); this module
+//! exists to quantify what the hardware's reduced precision would do to the
+//! estimate, and is exercised by the fidelity tests below.
+
+/// Fractional bits of the Q2.30 fixed-point format used internally.
+const FRAC_BITS: u32 = 30;
+const ONE: i64 = 1 << FRAC_BITS;
+
+/// `ln 2` in Q2.30.
+const LN2_Q: i64 = 744_261_117; // round(ln2 * 2^30)
+
+/// A 32-bit fixed-point EXP unit.
+///
+/// Evaluates `e^x` for `x ≤ ~20` with a relative error of a few parts in
+/// 10⁵ — ample for prune decisions, whose margins are orders of magnitude
+/// wider.
+///
+/// # Examples
+///
+/// ```
+/// use topick_core::FixExp;
+///
+/// let unit = FixExp::new();
+/// let y = unit.exp(1.0);
+/// assert!((y - std::f64::consts::E).abs() / std::f64::consts::E < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixExp;
+
+impl FixExp {
+    /// Creates the unit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Evaluates `e^x` through the fixed-point pipeline.
+    ///
+    /// Inputs below the representable range return 0; inputs above ~20
+    /// saturate (the hardware clamps — by then the token is certain to be
+    /// kept).
+    #[must_use]
+    pub fn exp(&self, x: f64) -> f64 {
+        if x < -20.0 {
+            return 0.0;
+        }
+        let x = x.min(20.0);
+        // Range reduction in fixed point: x = n*ln2 + r.
+        let x_q = (x * f64::from(1u32 << FRAC_BITS)).round() as i64;
+        let n = x_q.div_euclid(LN2_Q);
+        let r_q = x_q.rem_euclid(LN2_Q); // in [0, ln2) Q2.30
+
+        // e^r by 5-term Horner polynomial in Q2.30:
+        // e^r = 1 + r(1 + r/2(1 + r/3(1 + r/4(1 + r/5)))).
+        let mut acc: i64 = ONE + r_q / 5;
+        acc = ONE + mul_q(r_q, acc) / 4;
+        acc = ONE + mul_q(r_q, acc) / 3;
+        acc = ONE + mul_q(r_q, acc) / 2;
+        acc = ONE + mul_q(r_q, acc);
+
+        // Apply 2^n as a shift on the way out (f64 carries the exponent so
+        // extreme n do not overflow the fixed-point register; hardware does
+        // the same with a floating output stage or wider accumulator).
+        let mantissa = acc as f64 / f64::from(1u32 << FRAC_BITS);
+        mantissa * 2f64.powi(n as i32)
+    }
+
+    /// Evaluates `ln(x)` for `x > 0` through the inverse pipeline
+    /// (normalize to `[1, 2)`, polynomial for `ln m`, add `n·ln2`). Used by
+    /// the DAG to broadcast `ln(denominator)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x <= 0`.
+    #[must_use]
+    pub fn ln(&self, x: f64) -> f64 {
+        assert!(x > 0.0, "ln of non-positive value");
+        let n = x.log2().floor();
+        let m = x / 2f64.powf(n); // [1, 2)
+        let m_q = ((m - 1.0) * f64::from(1u32 << FRAC_BITS)).round() as i64; // t = m-1 in Q2.30
+
+        // ln(1+t) ≈ t - t²/2 + t³/3 - t⁴/4 + t⁵/5 - t⁶/6 + t⁷/7 (t < 1).
+        let mut acc: i64 = ONE / 7;
+        acc = mul_q(m_q, acc) - ONE / 6;
+        acc = mul_q(m_q, acc) + ONE / 5;
+        acc = mul_q(m_q, acc) - ONE / 4;
+        acc = mul_q(m_q, acc) + ONE / 3;
+        acc = mul_q(m_q, acc) - ONE / 2;
+        acc = mul_q(m_q, acc) + ONE;
+        let ln_m = mul_q(m_q, acc) as f64 / f64::from(1u32 << FRAC_BITS);
+        ln_m + n * std::f64::consts::LN_2
+    }
+}
+
+/// Q2.30 multiply with 64-bit intermediate.
+fn mul_q(a: i64, b: i64) -> i64 {
+    ((i128::from(a) * i128::from(b)) >> FRAC_BITS) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_relative_error_small_over_decision_range() {
+        let unit = FixExp::new();
+        let mut x = -18.0;
+        while x <= 18.0 {
+            let got = unit.exp(x);
+            let want = x.exp();
+            let rel = (got - want).abs() / want;
+            assert!(rel < 5e-4, "x={x}: rel error {rel}");
+            x += 0.37;
+        }
+    }
+
+    #[test]
+    fn exp_extremes_clamp() {
+        let unit = FixExp::new();
+        assert_eq!(unit.exp(-100.0), 0.0);
+        assert!(unit.exp(100.0).is_finite());
+        assert!(unit.exp(100.0) >= unit.exp(19.0));
+    }
+
+    #[test]
+    fn ln_relative_error_small() {
+        let unit = FixExp::new();
+        for x in [1e-6, 0.01, 0.5, 1.0, 2.0, 10.0, 1e4, 1e8] {
+            let got = unit.ln(x);
+            let want = x.ln();
+            let err = (got - want).abs();
+            // The 7-term alternating series tops out near m=2 (t→1) at a
+            // few 1e-4 absolute — far inside the prune-decision margins.
+            assert!(err < 5e-4, "x={x}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let unit = FixExp::new();
+        for x in [0.1, 1.0, 3.5, 12.0] {
+            let rt = unit.ln(unit.exp(x));
+            assert!((rt - x).abs() < 1e-3, "roundtrip {x} -> {rt}");
+        }
+    }
+
+    #[test]
+    fn prune_decisions_agree_with_f64_math() {
+        // The decision s_max - lnD <= ln(thr) computed through the
+        // fixed-point unit must agree with f64 math except within a
+        // vanishing band around equality.
+        let unit = FixExp::new();
+        let thr: f64 = 1e-3;
+        let scores = [-4.0, -1.0, 0.0, 0.7, 2.2, 5.0];
+        let denominator: f64 = scores.iter().map(|s| unit.exp(*s)).sum();
+        let ln_d_fix = unit.ln(denominator);
+        let ln_d_f64 = scores.iter().map(|s| s.exp()).sum::<f64>().ln();
+        assert!((ln_d_fix - ln_d_f64).abs() < 1e-3);
+        for s_max in [-10.0, -4.5, -2.0, 0.0, 3.0] {
+            let fix_decision = s_max - ln_d_fix <= thr.ln();
+            let f64_decision = s_max - ln_d_f64 <= thr.ln();
+            // Decisions may only differ within the approximation band.
+            if (s_max - ln_d_f64 - thr.ln()).abs() > 1e-3 {
+                assert_eq!(fix_decision, f64_decision, "s_max={s_max}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ln of non-positive")]
+    fn ln_rejects_non_positive() {
+        let _ = FixExp::new().ln(0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Token scan orders for the progressive pruner.
+//!
+//! Token-Picker probes tokens in an order that front-loads the likely
+//! dominant ones so the running softmax denominator grows quickly and weak
+//! tokens can be pruned after their first bit chunk (§3.1: "recently
+//! generated tokens and the first token often carry more weights than
+//! others. Therefore, beginning the score calculation with these tokens and
+//! progressing in reverse chronological order effectively enhances the
+//! pruning ratio").
+
+/// The order in which key vectors are probed during step 0.
+///
+/// # Examples
+///
+/// ```
+/// use topick_core::ScanOrder;
+///
+/// // Newest token first, then the first token, then backwards from t-1.
+/// assert_eq!(ScanOrder::FirstAndReverse.sequence(5), vec![4, 0, 3, 2, 1]);
+/// assert_eq!(ScanOrder::ReverseChronological.sequence(4), vec![3, 2, 1, 0]);
+/// assert_eq!(ScanOrder::Sequential.sequence(3), vec![0, 1, 2]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScanOrder {
+    /// The paper's order: the most recent token, then the first token
+    /// (attention-sink), then the remaining tokens in reverse chronological
+    /// order. Exploits the locality visible in Fig. 4(a).
+    #[default]
+    FirstAndReverse,
+    /// Most recent token first, strictly backwards.
+    ReverseChronological,
+    /// Oldest token first (ablation; ignores locality).
+    Sequential,
+}
+
+impl ScanOrder {
+    /// Produces the probe sequence for a context of `n` tokens
+    /// (indices `0..n`, where `n-1` is the most recent token).
+    #[must_use]
+    pub fn sequence(&self, n: usize) -> Vec<usize> {
+        match self {
+            ScanOrder::Sequential => (0..n).collect(),
+            ScanOrder::ReverseChronological => (0..n).rev().collect(),
+            ScanOrder::FirstAndReverse => {
+                let mut seq = Vec::with_capacity(n);
+                if n == 0 {
+                    return seq;
+                }
+                seq.push(n - 1);
+                if n >= 2 {
+                    seq.push(0);
+                    seq.extend((1..n - 1).rev());
+                }
+                seq
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(seq: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &i in seq {
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+        seq.len() == n
+    }
+
+    #[test]
+    fn all_orders_are_permutations() {
+        for n in 0..20 {
+            for order in [
+                ScanOrder::FirstAndReverse,
+                ScanOrder::ReverseChronological,
+                ScanOrder::Sequential,
+            ] {
+                assert!(is_permutation(&order.sequence(n), n), "{order:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_and_reverse_edge_cases() {
+        assert_eq!(ScanOrder::FirstAndReverse.sequence(0), Vec::<usize>::new());
+        assert_eq!(ScanOrder::FirstAndReverse.sequence(1), vec![0]);
+        assert_eq!(ScanOrder::FirstAndReverse.sequence(2), vec![1, 0]);
+        assert_eq!(ScanOrder::FirstAndReverse.sequence(3), vec![2, 0, 1]);
+        assert_eq!(
+            ScanOrder::FirstAndReverse.sequence(6),
+            vec![5, 0, 4, 3, 2, 1]
+        );
+    }
+
+    #[test]
+    fn default_is_paper_order() {
+        assert_eq!(ScanOrder::default(), ScanOrder::FirstAndReverse);
+    }
+}

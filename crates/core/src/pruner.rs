@@ -1,0 +1,400 @@
+//! The progressive token pruner — the reference (functional) implementation
+//! of Token-Picker's step 0.
+//!
+//! Tokens are probed chunk-by-chunk through a work queue: chunk-0 jobs are
+//! enqueued in scan order, and a token surviving chunk `c` re-enqueues its
+//! chunk `c+1` job at the queue tail. This mirrors the out-of-order hardware
+//! (deeper chunks are evaluated only after many more first chunks have
+//! contributed to the denominator), while staying deterministic and
+//! cycle-agnostic. The cycle-accurate version lives in `topick-accel`.
+
+use std::collections::VecDeque;
+
+use crate::config::PrunerConfig;
+use crate::error::CoreError;
+use crate::estimate::{should_prune, LogDenominator};
+use crate::margin::MarginTable;
+use crate::quant::{QMatrix, QVector};
+use crate::softmax::{score_scale, softmax};
+use crate::stats::PruneStats;
+
+/// A token that survived pruning, with its exact integer and real scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeptToken {
+    /// Token index in the context (0 = oldest).
+    pub index: usize,
+    /// Exact integer dot-product score.
+    pub score_int: i64,
+    /// Real-valued score after quantization scales and `1/sqrt(d_h)`.
+    pub score_real: f64,
+}
+
+/// Result of one pruning run: the surviving tokens, their softmax
+/// probabilities (renormalized over survivors, as the hardware's Probability
+/// Generator does after step 0), and access statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneOutcome {
+    /// Surviving tokens in ascending index order.
+    pub kept: Vec<KeptToken>,
+    /// Softmax probabilities over the survivors, aligned with `kept`.
+    pub probabilities: Vec<f64>,
+    /// Chunk-fetch and prune-depth statistics.
+    pub stats: PruneStats,
+}
+
+impl PruneOutcome {
+    /// `(token index, probability)` pairs for feeding
+    /// [`weighted_value_sum`](crate::softmax::weighted_value_sum).
+    #[must_use]
+    pub fn probability_pairs(&self) -> Vec<(usize, f64)> {
+        self.kept
+            .iter()
+            .zip(&self.probabilities)
+            .map(|(k, &p)| (k.index, p))
+            .collect()
+    }
+}
+
+/// The progressive pruner (paper §3).
+///
+/// # Examples
+///
+/// ```
+/// use topick_core::{PrecisionConfig, ProgressivePruner, PrunerConfig, QMatrix, QVector};
+///
+/// let pc = PrecisionConfig::paper();
+/// let query = QVector::quantize(&[0.9, -0.3, 0.5, 0.1], pc);
+/// let keys = QMatrix::quantize_rows(
+///     &[
+///         vec![0.9, -0.3, 0.5, 0.1],   // aligned with the query -> dominant
+///         vec![-0.9, 0.3, -0.5, -0.1], // anti-aligned -> prunable
+///         vec![0.8, -0.2, 0.4, 0.0],
+///     ],
+///     pc,
+/// )?;
+/// let pruner = ProgressivePruner::new(PrunerConfig::new(1e-3)?);
+/// let outcome = pruner.run(&query, &keys)?;
+/// assert!(!outcome.kept.is_empty());
+/// let total: f64 = outcome.probabilities.iter().sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// # Ok::<(), topick_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressivePruner {
+    cfg: PrunerConfig,
+}
+
+impl ProgressivePruner {
+    /// Creates a pruner with the given configuration.
+    #[must_use]
+    pub fn new(cfg: PrunerConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &PrunerConfig {
+        &self.cfg
+    }
+
+    /// Runs step 0 over a query and key set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if the query length differs
+    /// from the key dimension, or [`CoreError::EmptyKeySet`] for an empty
+    /// key set.
+    pub fn run(&self, query: &QVector, keys: &QMatrix) -> Result<PruneOutcome, CoreError> {
+        if query.len() != keys.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: keys.dim(),
+                actual: query.len(),
+            });
+        }
+        let n = keys.num_tokens();
+        if n == 0 {
+            return Err(CoreError::EmptyKeySet);
+        }
+        let pc = self.cfg.precision();
+        let num_chunks = pc.num_chunks();
+        let margins = MarginTable::from_query_codes(query.codes(), pc);
+        let scale = score_scale(query, keys);
+        let ln_thr = self.cfg.threshold().ln();
+
+        let mut stats = PruneStats::new(n, num_chunks);
+        let mut denom = LogDenominator::new();
+        // Last emitted lower bound per token, for PEC-style replacement.
+        let mut prev_smin: Vec<f64> = vec![f64::NAN; n];
+
+        let mut queue: VecDeque<(usize, u32)> = self
+            .cfg
+            .order()
+            .sequence(n)
+            .into_iter()
+            .map(|t| (t, 1u32))
+            .collect();
+
+        let mut kept: Vec<KeptToken> = Vec::new();
+        while let Some((token, chunks_known)) = queue.pop_front() {
+            stats.chunk_fetches[(chunks_known - 1) as usize] += 1;
+            let ps = query.dot_known(keys.row(token), chunks_known);
+            let pair = margins.pair(chunks_known);
+            let smin = (ps + pair.min) as f64 * scale;
+            let smax = (ps + pair.max) as f64 * scale;
+            if chunks_known == 1 {
+                denom.add(smin);
+            } else {
+                denom.replace(prev_smin[token], smin);
+            }
+            prev_smin[token] = smin;
+
+            if should_prune(smax, denom.ln(), ln_thr) {
+                stats.pruned_at[(chunks_known - 1) as usize] += 1;
+            } else if chunks_known == num_chunks {
+                // Margins are zero here, so ps is the exact integer score.
+                kept.push(KeptToken {
+                    index: token,
+                    score_int: ps,
+                    score_real: smax,
+                });
+            } else {
+                queue.push_back((token, chunks_known + 1));
+            }
+        }
+
+        kept.sort_by_key(|k| k.index);
+        stats.kept = kept.len();
+        let scores: Vec<f64> = kept.iter().map(|k| k.score_real).collect();
+        let probabilities = softmax(&scores);
+        Ok(PruneOutcome {
+            kept,
+            probabilities,
+            stats,
+        })
+    }
+}
+
+/// An "oracle" pruner that computes all exact scores first and prunes tokens
+/// with true probability below the threshold.
+///
+/// This is the ideal (non-streaming) V-pruning achievable with full K data:
+/// every K bit is fetched, but V rows of negligible tokens are skipped. It
+/// models the paper's estimation-only configuration ("ToPick-V" in Fig. 10,
+/// which reduces V access but not K access) and upper-bounds what the
+/// conservative estimator can keep out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OraclePruner {
+    threshold: f64,
+}
+
+impl OraclePruner {
+    /// Creates an oracle pruner with probability threshold `thr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidThreshold`] if `thr` is not in `(0, 1)`.
+    pub fn new(threshold: f64) -> Result<Self, CoreError> {
+        if !(threshold > 0.0 && threshold < 1.0) {
+            return Err(CoreError::InvalidThreshold(threshold));
+        }
+        Ok(Self { threshold })
+    }
+
+    /// Runs exact scoring + post-softmax thresholding.
+    ///
+    /// All key chunks count as fetched; only surviving tokens' V rows do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] or [`CoreError::EmptyKeySet`]
+    /// on malformed input.
+    pub fn run(&self, query: &QVector, keys: &QMatrix) -> Result<PruneOutcome, CoreError> {
+        if query.len() != keys.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: keys.dim(),
+                actual: query.len(),
+            });
+        }
+        let n = keys.num_tokens();
+        if n == 0 {
+            return Err(CoreError::EmptyKeySet);
+        }
+        let pc = keys.precision();
+        let scale = score_scale(query, keys);
+        let scores_int: Vec<i64> = (0..n)
+            .map(|t| query.dot_known(keys.row(t), pc.num_chunks()))
+            .collect();
+        let scores: Vec<f64> = scores_int.iter().map(|&s| s as f64 * scale).collect();
+        let probs = softmax(&scores);
+
+        let mut stats = PruneStats::new(n, pc.num_chunks());
+        // Full K fetched: every chunk of every token.
+        for c in &mut stats.chunk_fetches {
+            *c = n as u64;
+        }
+        let mut kept = Vec::new();
+        for t in 0..n {
+            if probs[t] > self.threshold {
+                kept.push(KeptToken {
+                    index: t,
+                    score_int: scores_int[t],
+                    score_real: scores[t],
+                });
+            } else {
+                *stats.pruned_at.last_mut().expect("at least one chunk") += 1;
+            }
+        }
+        stats.kept = kept.len();
+        let kept_scores: Vec<f64> = kept.iter().map(|k| k.score_real).collect();
+        let probabilities = softmax(&kept_scores);
+        Ok(PruneOutcome {
+            kept,
+            probabilities,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrecisionConfig;
+    use crate::softmax::exact_probabilities;
+
+    fn peaky_workload(n: usize, dim: usize) -> (QVector, QMatrix) {
+        // Deterministic pseudo-random keys with one strongly aligned token.
+        let pc = PrecisionConfig::paper();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / 16_777_216.0 - 0.5
+        };
+        let qv: Vec<f32> = (0..dim).map(|_| next()).collect();
+        let mut rows = Vec::with_capacity(n);
+        for t in 0..n {
+            if t == n - 1 || t == 0 {
+                // Aligned with the query -> dominant score.
+                rows.push(qv.iter().map(|&x| x * 2.0).collect());
+            } else {
+                rows.push((0..dim).map(|_| next() * 0.3).collect());
+            }
+        }
+        let q = QVector::quantize(&qv, pc);
+        let keys = QMatrix::quantize_rows(&rows, pc).unwrap();
+        (q, keys)
+    }
+
+    #[test]
+    fn soundness_no_dominant_token_pruned() {
+        let (q, keys) = peaky_workload(128, 32);
+        let thr = 1e-3;
+        let pruner = ProgressivePruner::new(PrunerConfig::new(thr).unwrap());
+        let outcome = pruner.run(&q, &keys).unwrap();
+        let exact = exact_probabilities(&q, &keys);
+        let kept: std::collections::HashSet<usize> = outcome.kept.iter().map(|k| k.index).collect();
+        for (t, &p) in exact.iter().enumerate() {
+            if p > thr {
+                assert!(kept.contains(&t), "token {t} with p={p} was pruned");
+            }
+        }
+    }
+
+    #[test]
+    fn kept_scores_are_exact() {
+        let (q, keys) = peaky_workload(64, 16);
+        let pruner = ProgressivePruner::new(PrunerConfig::new(1e-3).unwrap());
+        let outcome = pruner.run(&q, &keys).unwrap();
+        for k in &outcome.kept {
+            assert_eq!(k.score_int, q.dot_codes(keys.row(k.index)));
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (q, keys) = peaky_workload(64, 16);
+        let pruner = ProgressivePruner::new(PrunerConfig::new(1e-3).unwrap());
+        let outcome = pruner.run(&q, &keys).unwrap();
+        let sum: f64 = outcome.probabilities.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn something_gets_pruned_on_peaky_input() {
+        let (q, keys) = peaky_workload(256, 32);
+        let pruner = ProgressivePruner::new(PrunerConfig::new(1e-2).unwrap());
+        let outcome = pruner.run(&q, &keys).unwrap();
+        assert!(
+            outcome.stats.pruned() > 0,
+            "expected pruning on peaky input"
+        );
+        assert!(outcome.stats.kept < 256);
+    }
+
+    #[test]
+    fn chunk_fetches_monotone_decreasing() {
+        let (q, keys) = peaky_workload(256, 32);
+        let pruner = ProgressivePruner::new(PrunerConfig::new(1e-2).unwrap());
+        let outcome = pruner.run(&q, &keys).unwrap();
+        let f = &outcome.stats.chunk_fetches;
+        assert_eq!(f[0], 256);
+        assert!(f[0] >= f[1] && f[1] >= f[2]);
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        // pruned_at sums to pruned count; fetches[c+1] = fetches[c] - pruned_at[c].
+        let (q, keys) = peaky_workload(200, 24);
+        let pruner = ProgressivePruner::new(PrunerConfig::new(1e-2).unwrap());
+        let s = pruner.run(&q, &keys).unwrap().stats;
+        assert_eq!(s.pruned_at.iter().sum::<u64>() as usize, s.pruned());
+        for c in 0..s.chunk_fetches.len() - 1 {
+            assert_eq!(s.chunk_fetches[c + 1], s.chunk_fetches[c] - s.pruned_at[c]);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let pc = PrecisionConfig::paper();
+        let q = QVector::from_codes(vec![1, 2, 3], 1.0, pc);
+        let keys = QMatrix::from_codes(vec![1, 2, 3, 4], 2, 1.0, pc).unwrap();
+        let pruner = ProgressivePruner::new(PrunerConfig::new(1e-3).unwrap());
+        assert!(matches!(
+            pruner.run(&q, &keys),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_token_is_always_kept() {
+        let pc = PrecisionConfig::paper();
+        let q = QVector::from_codes(vec![100; 8], 1.0, pc);
+        let keys = QMatrix::from_codes(vec![-2000; 8], 8, 1.0, pc).unwrap();
+        let pruner = ProgressivePruner::new(PrunerConfig::new(0.5).unwrap());
+        let outcome = pruner.run(&q, &keys).unwrap();
+        // A lone token has true probability 1.0 > any thr < 1.
+        assert_eq!(outcome.kept.len(), 1);
+        assert!((outcome.probabilities[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_prunes_at_least_as_much_as_estimator_keeps_dominants() {
+        let (q, keys) = peaky_workload(128, 32);
+        let thr = 1e-3;
+        let est = ProgressivePruner::new(PrunerConfig::new(thr).unwrap())
+            .run(&q, &keys)
+            .unwrap();
+        let oracle = OraclePruner::new(thr).unwrap().run(&q, &keys).unwrap();
+        // The conservative estimator can only keep a superset of the oracle's
+        // survivors (it may fail to prune, never over-prunes).
+        let est_kept: std::collections::HashSet<usize> = est.kept.iter().map(|k| k.index).collect();
+        for k in &oracle.kept {
+            // Oracle keeps p > thr strictly; estimator must also keep those.
+            assert!(est_kept.contains(&k.index));
+        }
+        assert!(est.stats.kept >= oracle.stats.kept);
+        // Oracle fetches all K.
+        assert_eq!(oracle.stats.k_reduction(32, &keys.precision()), 1.0);
+    }
+}

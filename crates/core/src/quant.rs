@@ -1,0 +1,363 @@
+//! Symmetric fixed-point quantization of attention operands.
+//!
+//! Queries, keys and values are quantized to signed `total_bits`-wide
+//! integers with a shared per-tensor scale, matching the 12-bit operand
+//! format of the ToPick hardware (§4). Keys are later streamed chunk-wise;
+//! the chunk arithmetic itself lives in
+//! [`PrecisionConfig`](crate::PrecisionConfig) and
+//! [`MarginTable`](crate::MarginTable).
+
+use crate::config::PrecisionConfig;
+use crate::error::CoreError;
+
+/// A quantized vector: `i16` codes plus the real-valued scale such that
+/// `real ≈ code * scale`.
+///
+/// # Examples
+///
+/// ```
+/// use topick_core::{PrecisionConfig, QVector};
+///
+/// let q = QVector::quantize(&[0.5, -1.0, 0.25], PrecisionConfig::paper());
+/// assert_eq!(q.len(), 3);
+/// let back = q.dequantize();
+/// assert!((back[1] - -1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QVector {
+    codes: Vec<i16>,
+    scale: f64,
+    precision: PrecisionConfig,
+}
+
+impl QVector {
+    /// Quantizes a real-valued vector symmetrically: the largest absolute
+    /// element maps to the largest representable code.
+    ///
+    /// A zero vector gets scale 1.0 (all codes zero).
+    #[must_use]
+    pub fn quantize(values: &[f32], precision: PrecisionConfig) -> Self {
+        let max_abs = values.iter().fold(0f64, |m, &v| m.max(f64::from(v).abs()));
+        let qmax = f64::from(precision.max_value());
+        let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
+        let codes = values
+            .iter()
+            .map(|&v| {
+                let c = (f64::from(v) / scale).round();
+                c.clamp(f64::from(precision.min_value()), qmax) as i16
+            })
+            .collect();
+        Self {
+            codes,
+            scale,
+            precision,
+        }
+    }
+
+    /// Builds a vector from raw codes and a scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code is outside the representable range of `precision`.
+    #[must_use]
+    pub fn from_codes(codes: Vec<i16>, scale: f64, precision: PrecisionConfig) -> Self {
+        for &c in &codes {
+            assert!(
+                c >= precision.min_value() && c <= precision.max_value(),
+                "code {c} out of range for {}-bit precision",
+                precision.total_bits()
+            );
+        }
+        Self {
+            codes,
+            scale,
+            precision,
+        }
+    }
+
+    /// The integer codes.
+    #[must_use]
+    pub fn codes(&self) -> &[i16] {
+        &self.codes
+    }
+
+    /// The quantization scale (`real ≈ code * scale`).
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The precision configuration this vector was quantized under.
+    #[must_use]
+    pub fn precision(&self) -> PrecisionConfig {
+        self.precision
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the vector has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Reconstructs the real-valued vector.
+    #[must_use]
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.codes
+            .iter()
+            .map(|&c| (f64::from(c) * self.scale) as f32)
+            .collect()
+    }
+
+    /// Exact integer dot product with another code slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn dot_codes(&self, other: &[i16]) -> i64 {
+        assert_eq!(self.codes.len(), other.len(), "dot length mismatch");
+        self.codes
+            .iter()
+            .zip(other)
+            .map(|(&a, &b)| i64::from(a) * i64::from(b))
+            .sum()
+    }
+
+    /// Partial integer dot product using only the `chunks_known`
+    /// most-significant chunks of `other` (the streamed key), i.e.
+    /// `Σ q_j · known(k_j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or `chunks_known` exceeds the chunk count.
+    #[must_use]
+    pub fn dot_known(&self, other: &[i16], chunks_known: u32) -> i64 {
+        assert_eq!(self.codes.len(), other.len(), "dot length mismatch");
+        let pc = self.precision;
+        self.codes
+            .iter()
+            .zip(other)
+            .map(|(&a, &b)| i64::from(a) * i64::from(pc.known_value(b, chunks_known)))
+            .sum()
+    }
+}
+
+/// A quantized key (or value) matrix: `n` token rows of dimension `dim`,
+/// sharing one scale, stored row-major.
+///
+/// # Examples
+///
+/// ```
+/// use topick_core::{PrecisionConfig, QMatrix};
+///
+/// let rows = vec![vec![1.0_f32, 0.0], vec![0.0, -2.0]];
+/// let m = QMatrix::quantize_rows(&rows, PrecisionConfig::paper())?;
+/// assert_eq!(m.num_tokens(), 2);
+/// assert_eq!(m.dim(), 2);
+/// # Ok::<(), topick_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QMatrix {
+    codes: Vec<i16>,
+    dim: usize,
+    num_tokens: usize,
+    scale: f64,
+    precision: PrecisionConfig,
+}
+
+impl QMatrix {
+    /// Quantizes a set of token rows with a single shared symmetric scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if rows have differing
+    /// lengths, or [`CoreError::EmptyKeySet`] if `rows` is empty.
+    pub fn quantize_rows(rows: &[Vec<f32>], precision: PrecisionConfig) -> Result<Self, CoreError> {
+        let first = rows.first().ok_or(CoreError::EmptyKeySet)?;
+        let dim = first.len();
+        let mut max_abs = 0f64;
+        for row in rows {
+            if row.len() != dim {
+                return Err(CoreError::DimensionMismatch {
+                    expected: dim,
+                    actual: row.len(),
+                });
+            }
+            for &v in row {
+                max_abs = max_abs.max(f64::from(v).abs());
+            }
+        }
+        let qmax = f64::from(precision.max_value());
+        let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
+        let mut codes = Vec::with_capacity(rows.len() * dim);
+        for row in rows {
+            for &v in row {
+                let c = (f64::from(v) / scale).round();
+                codes.push(c.clamp(f64::from(precision.min_value()), qmax) as i16);
+            }
+        }
+        Ok(Self {
+            codes,
+            dim,
+            num_tokens: rows.len(),
+            scale,
+            precision,
+        })
+    }
+
+    /// Builds a matrix from raw codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `codes.len()` is not a
+    /// multiple of `dim`, or [`CoreError::EmptyKeySet`] if `codes` is empty.
+    pub fn from_codes(
+        codes: Vec<i16>,
+        dim: usize,
+        scale: f64,
+        precision: PrecisionConfig,
+    ) -> Result<Self, CoreError> {
+        if codes.is_empty() {
+            return Err(CoreError::EmptyKeySet);
+        }
+        if dim == 0 || !codes.len().is_multiple_of(dim) {
+            return Err(CoreError::DimensionMismatch {
+                expected: dim,
+                actual: codes.len(),
+            });
+        }
+        let num_tokens = codes.len() / dim;
+        Ok(Self {
+            codes,
+            dim,
+            num_tokens,
+            scale,
+            precision,
+        })
+    }
+
+    /// Number of token rows.
+    #[must_use]
+    pub fn num_tokens(&self) -> usize {
+        self.num_tokens
+    }
+
+    /// Row dimension (head dimension `d_h`).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The shared quantization scale.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The precision configuration.
+    #[must_use]
+    pub fn precision(&self) -> PrecisionConfig {
+        self.precision
+    }
+
+    /// The codes of one token row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of range.
+    #[must_use]
+    pub fn row(&self, token: usize) -> &[i16] {
+        assert!(token < self.num_tokens, "token {token} out of range");
+        &self.codes[token * self.dim..(token + 1) * self.dim]
+    }
+
+    /// Reconstructs one token row as real values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of range.
+    #[must_use]
+    pub fn dequantize_row(&self, token: usize) -> Vec<f32> {
+        self.row(token)
+            .iter()
+            .map(|&c| (f64::from(c) * self.scale) as f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let pc = PrecisionConfig::paper();
+        let vals = [0.37f32, -0.91, 0.004, 1.0, -1.0, 0.0];
+        let q = QVector::quantize(&vals, pc);
+        let back = q.dequantize();
+        // One LSB of error at most: scale/2 per element.
+        let lsb = q.scale() as f32;
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() <= 0.5 * lsb + 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_vector_quantizes_to_zero() {
+        let q = QVector::quantize(&[0.0; 8], PrecisionConfig::paper());
+        assert!(q.codes().iter().all(|&c| c == 0));
+        assert_eq!(q.scale(), 1.0);
+    }
+
+    #[test]
+    fn extreme_values_hit_range_ends() {
+        let pc = PrecisionConfig::paper();
+        let q = QVector::quantize(&[3.0, -3.0], pc);
+        assert_eq!(q.codes()[0], pc.max_value());
+        assert_eq!(q.codes()[1], -pc.max_value()); // symmetric scheme
+    }
+
+    #[test]
+    fn dot_known_converges_to_exact() {
+        let pc = PrecisionConfig::paper();
+        let q = QVector::from_codes(vec![100, -200, 3], 1.0, pc);
+        let k = [517i16, -1033, 2047];
+        let exact = q.dot_codes(&k);
+        assert_eq!(q.dot_known(&k, 3), exact);
+        // Partial dots must be <= exact + something only via margins; just
+        // check monotone convergence of the *known* part toward exact from
+        // below-or-equal in each coordinate handled by margin tests.
+        let d1 = q.dot_known(&k, 1);
+        let d2 = q.dot_known(&k, 2);
+        assert_ne!(d1, exact);
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn matrix_rejects_ragged_rows() {
+        let rows = vec![vec![1.0f32, 2.0], vec![3.0]];
+        let err = QMatrix::quantize_rows(&rows, PrecisionConfig::paper()).unwrap_err();
+        assert!(matches!(err, CoreError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn matrix_rejects_empty() {
+        let err = QMatrix::quantize_rows(&[], PrecisionConfig::paper()).unwrap_err();
+        assert_eq!(err, CoreError::EmptyKeySet);
+    }
+
+    #[test]
+    fn matrix_row_access() {
+        let rows = vec![vec![1.0f32, -1.0], vec![0.5, 0.25]];
+        let m = QMatrix::quantize_rows(&rows, PrecisionConfig::paper()).unwrap();
+        assert_eq!(m.row(0).len(), 2);
+        let r1 = m.dequantize_row(1);
+        assert!((r1[0] - 0.5).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,173 @@
+//! Memory-access accounting for pruning runs.
+//!
+//! All figures in the paper's evaluation are driven by how many key bit
+//! chunks and value vectors actually cross the DRAM boundary. [`PruneStats`]
+//! counts them and derives the normalized-access metrics of Figs. 8 and 9.
+
+use crate::config::PrecisionConfig;
+
+/// Access and decision statistics of a single pruning run (one query over
+/// one key set).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Total number of tokens in the context.
+    pub tokens: usize,
+    /// Number of tokens that survived pruning (their V rows are fetched).
+    pub kept: usize,
+    /// `chunk_fetches[c]` = how many tokens had chunk index `c` fetched.
+    pub chunk_fetches: Vec<u64>,
+    /// `pruned_at[c]` = how many tokens were pruned right after evaluating
+    /// chunk index `c` (i.e. with `c + 1` chunks known).
+    pub pruned_at: Vec<u64>,
+}
+
+impl PruneStats {
+    /// Creates zeroed statistics for a context of `tokens` tokens under the
+    /// given chunk count.
+    #[must_use]
+    pub fn new(tokens: usize, num_chunks: u32) -> Self {
+        Self {
+            tokens,
+            kept: 0,
+            chunk_fetches: vec![0; num_chunks as usize],
+            pruned_at: vec![0; num_chunks as usize],
+        }
+    }
+
+    /// Number of pruned tokens.
+    #[must_use]
+    pub fn pruned(&self) -> usize {
+        self.tokens - self.kept
+    }
+
+    /// Bits of key data fetched from DRAM (`Σ_c fetches[c] · d_h · chunk_bits`).
+    #[must_use]
+    pub fn k_bits_fetched(&self, dim: usize, pc: &PrecisionConfig) -> u64 {
+        let per_chunk = dim as u64 * u64::from(pc.chunk_bits());
+        self.chunk_fetches.iter().sum::<u64>() * per_chunk
+    }
+
+    /// Bits of value data fetched from DRAM (only kept tokens).
+    #[must_use]
+    pub fn v_bits_fetched(&self, dim: usize, pc: &PrecisionConfig) -> u64 {
+        self.kept as u64 * dim as u64 * u64::from(pc.total_bits())
+    }
+
+    /// Bits a no-pruning baseline fetches for keys (all chunks of all tokens).
+    #[must_use]
+    pub fn baseline_k_bits(&self, dim: usize, pc: &PrecisionConfig) -> u64 {
+        self.tokens as u64 * dim as u64 * u64::from(pc.total_bits())
+    }
+
+    /// Bits a no-pruning baseline fetches for values (all tokens).
+    #[must_use]
+    pub fn baseline_v_bits(&self, dim: usize, pc: &PrecisionConfig) -> u64 {
+        self.tokens as u64 * dim as u64 * u64::from(pc.total_bits())
+    }
+
+    /// K-access reduction factor vs. the baseline (paper §5.2.1: 1.45×).
+    #[must_use]
+    pub fn k_reduction(&self, dim: usize, pc: &PrecisionConfig) -> f64 {
+        let fetched = self.k_bits_fetched(dim, pc);
+        if fetched == 0 {
+            return f64::INFINITY;
+        }
+        self.baseline_k_bits(dim, pc) as f64 / fetched as f64
+    }
+
+    /// V-access reduction factor vs. the baseline (paper §5.2.1: 12.1×),
+    /// identical to the pruning ratio `tokens / kept`.
+    #[must_use]
+    pub fn v_reduction(&self) -> f64 {
+        if self.kept == 0 {
+            return f64::INFINITY;
+        }
+        self.tokens as f64 / self.kept as f64
+    }
+
+    /// Total (K+V) access reduction factor vs. the baseline (paper: 2.57×).
+    #[must_use]
+    pub fn total_reduction(&self, dim: usize, pc: &PrecisionConfig) -> f64 {
+        let fetched = self.k_bits_fetched(dim, pc) + self.v_bits_fetched(dim, pc);
+        if fetched == 0 {
+            return f64::INFINITY;
+        }
+        (self.baseline_k_bits(dim, pc) + self.baseline_v_bits(dim, pc)) as f64 / fetched as f64
+    }
+
+    /// Accumulates another run's statistics into this one (for averaging
+    /// over queries, heads, and layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if chunk counts differ.
+    pub fn merge(&mut self, other: &PruneStats) {
+        assert_eq!(
+            self.chunk_fetches.len(),
+            other.chunk_fetches.len(),
+            "chunk count mismatch in merge"
+        );
+        self.tokens += other.tokens;
+        self.kept += other.kept;
+        for (a, b) in self.chunk_fetches.iter_mut().zip(&other.chunk_fetches) {
+            *a += b;
+        }
+        for (a, b) in self.pruned_at.iter_mut().zip(&other.pruned_at) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PruneStats {
+        PruneStats {
+            tokens: 100,
+            kept: 10,
+            chunk_fetches: vec![100, 40, 15],
+            pruned_at: vec![60, 25, 5],
+        }
+    }
+
+    #[test]
+    fn bit_accounting() {
+        let pc = PrecisionConfig::paper();
+        let s = sample();
+        let dim = 64;
+        assert_eq!(s.k_bits_fetched(dim, &pc), 155 * 64 * 4);
+        assert_eq!(s.baseline_k_bits(dim, &pc), 100 * 64 * 12);
+        assert_eq!(s.v_bits_fetched(dim, &pc), 10 * 64 * 12);
+        assert_eq!(s.baseline_v_bits(dim, &pc), 100 * 64 * 12);
+    }
+
+    #[test]
+    fn reductions() {
+        let pc = PrecisionConfig::paper();
+        let s = sample();
+        assert!((s.v_reduction() - 10.0).abs() < 1e-12);
+        // K: 100*12 bits baseline vs 155*4 fetched per element.
+        let expect = (100.0 * 12.0) / (155.0 * 4.0);
+        assert!((s.k_reduction(64, &pc) - expect).abs() < 1e-12);
+        assert!(s.total_reduction(64, &pc) > 1.0);
+    }
+
+    #[test]
+    fn zero_kept_gives_infinite_v_reduction() {
+        let mut s = sample();
+        s.kept = 0;
+        assert!(s.v_reduction().is_infinite());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.tokens, 200);
+        assert_eq!(a.kept, 20);
+        assert_eq!(a.chunk_fetches, vec![200, 80, 30]);
+        assert_eq!(a.pruned_at, vec![120, 50, 10]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Decision tracing: an observable variant of the progressive pruner that
+//! records *why* each token was kept or pruned, and at what chunk depth.
+//!
+//! Useful for debugging estimator behaviour, regenerating Fig. 4-style
+//! analyses, and validating the hardware simulator against the reference.
+
+use std::collections::VecDeque;
+
+use crate::config::PrunerConfig;
+use crate::error::CoreError;
+use crate::estimate::{estimated_probability, should_prune, LogDenominator};
+use crate::margin::MarginTable;
+use crate::quant::{QMatrix, QVector};
+use crate::softmax::score_scale;
+
+/// One evaluation event in a pruning run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionEvent {
+    /// Evaluation sequence number (0-based).
+    pub step: usize,
+    /// Token index evaluated.
+    pub token: usize,
+    /// Chunks of the key known at this evaluation.
+    pub chunks_known: u32,
+    /// Estimated probability upper bound `p''` at decision time.
+    pub estimate: f64,
+    /// `ln` of the running denominator at decision time.
+    pub ln_denominator: f64,
+    /// The decision taken.
+    pub decision: Decision,
+}
+
+/// Outcome of one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Token pruned (probability bound below the threshold).
+    Pruned,
+    /// Token survived this chunk; the next chunk will be requested.
+    RequestNextChunk,
+    /// Token survived the final chunk and is kept.
+    Kept,
+}
+
+/// Runs the progressive pruner while recording every decision.
+///
+/// Functionally identical to
+/// [`ProgressivePruner::run`](crate::ProgressivePruner::run) (same queue
+/// discipline, same decisions); returns the event log.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimensionMismatch`] or [`CoreError::EmptyKeySet`]
+/// on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use topick_core::{trace_pruning, Decision, PrecisionConfig, PrunerConfig, QMatrix, QVector};
+///
+/// let pc = PrecisionConfig::paper();
+/// let q = QVector::quantize(&[0.9, -0.2], pc);
+/// let keys = QMatrix::quantize_rows(&[vec![0.9, -0.2], vec![-0.9, 0.2]], pc)?;
+/// let events = trace_pruning(&PrunerConfig::new(1e-2)?, &q, &keys)?;
+/// assert!(events.iter().any(|e| e.decision == Decision::Kept));
+/// # Ok::<(), topick_core::CoreError>(())
+/// ```
+pub fn trace_pruning(
+    cfg: &PrunerConfig,
+    query: &QVector,
+    keys: &QMatrix,
+) -> Result<Vec<DecisionEvent>, CoreError> {
+    if query.len() != keys.dim() {
+        return Err(CoreError::DimensionMismatch {
+            expected: keys.dim(),
+            actual: query.len(),
+        });
+    }
+    let n = keys.num_tokens();
+    if n == 0 {
+        return Err(CoreError::EmptyKeySet);
+    }
+    let pc = cfg.precision();
+    let num_chunks = pc.num_chunks();
+    let margins = MarginTable::from_query_codes(query.codes(), pc);
+    let scale = score_scale(query, keys);
+    let ln_thr = cfg.threshold().ln();
+
+    let mut denom = LogDenominator::new();
+    let mut prev_smin = vec![f64::NAN; n];
+    let mut queue: VecDeque<(usize, u32)> = cfg
+        .order()
+        .sequence(n)
+        .into_iter()
+        .map(|t| (t, 1u32))
+        .collect();
+
+    let mut events = Vec::new();
+    let mut step = 0usize;
+    while let Some((token, chunks_known)) = queue.pop_front() {
+        let ps = query.dot_known(keys.row(token), chunks_known);
+        let pair = margins.pair(chunks_known);
+        let smin = (ps + pair.min) as f64 * scale;
+        let smax = (ps + pair.max) as f64 * scale;
+        if chunks_known == 1 {
+            denom.add(smin);
+        } else {
+            denom.replace(prev_smin[token], smin);
+        }
+        prev_smin[token] = smin;
+
+        let decision = if should_prune(smax, denom.ln(), ln_thr) {
+            Decision::Pruned
+        } else if chunks_known == num_chunks {
+            Decision::Kept
+        } else {
+            queue.push_back((token, chunks_known + 1));
+            Decision::RequestNextChunk
+        };
+        events.push(DecisionEvent {
+            step,
+            token,
+            chunks_known,
+            estimate: estimated_probability(smax, denom.ln()),
+            ln_denominator: denom.ln(),
+            decision,
+        });
+        step += 1;
+    }
+    Ok(events)
+}
+
+/// Summary statistics over a decision trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Total evaluations.
+    pub evaluations: usize,
+    /// Tokens pruned.
+    pub pruned: usize,
+    /// Tokens kept.
+    pub kept: usize,
+}
+
+/// Summarizes a trace.
+#[must_use]
+pub fn summarize(events: &[DecisionEvent]) -> TraceSummary {
+    let mut s = TraceSummary {
+        evaluations: events.len(),
+        ..Default::default()
+    };
+    for e in events {
+        match e.decision {
+            Decision::Pruned => s.pruned += 1,
+            Decision::Kept => s.kept += 1,
+            Decision::RequestNextChunk => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrecisionConfig;
+    use crate::pruner::ProgressivePruner;
+
+    fn workload(n: usize) -> (QVector, QMatrix) {
+        let pc = PrecisionConfig::paper();
+        let dim = 16;
+        let mut s = 0xFEEDu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 33) as i32 % 1500) as i16
+        };
+        let q = QVector::from_codes((0..dim).map(|_| next()).collect(), 0.01, pc);
+        let keys =
+            QMatrix::from_codes((0..n * dim).map(|_| next()).collect(), dim, 0.01, pc).unwrap();
+        (q, keys)
+    }
+
+    #[test]
+    fn trace_matches_pruner_outcome() {
+        let (q, keys) = workload(48);
+        let cfg = PrunerConfig::new(1e-3).unwrap();
+        let events = trace_pruning(&cfg, &q, &keys).unwrap();
+        let summary = summarize(&events);
+        let outcome = ProgressivePruner::new(cfg).run(&q, &keys).unwrap();
+        assert_eq!(summary.kept, outcome.stats.kept);
+        assert_eq!(summary.pruned, outcome.stats.pruned());
+        assert_eq!(
+            summary.evaluations as u64,
+            outcome.stats.chunk_fetches.iter().sum::<u64>()
+        );
+        // The kept tokens themselves must agree.
+        let traced_kept: Vec<usize> = {
+            let mut v: Vec<usize> = events
+                .iter()
+                .filter(|e| e.decision == Decision::Kept)
+                .map(|e| e.token)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let pruner_kept: Vec<usize> = outcome.kept.iter().map(|k| k.index).collect();
+        assert_eq!(traced_kept, pruner_kept);
+    }
+
+    #[test]
+    fn every_token_resolves_exactly_once() {
+        let (q, keys) = workload(32);
+        let cfg = PrunerConfig::new(1e-2).unwrap();
+        let events = trace_pruning(&cfg, &q, &keys).unwrap();
+        let mut resolved = vec![0usize; 32];
+        for e in &events {
+            if e.decision != Decision::RequestNextChunk {
+                resolved[e.token] += 1;
+            }
+        }
+        assert!(resolved.iter().all(|&r| r == 1), "{resolved:?}");
+    }
+
+    #[test]
+    fn estimates_decrease_with_depth_for_a_token() {
+        // For any given token, the probability upper bound can only tighten
+        // as more chunks arrive (margins shrink, denominator grows).
+        let (q, keys) = workload(40);
+        let cfg = PrunerConfig::new(1e-4).unwrap();
+        let events = trace_pruning(&cfg, &q, &keys).unwrap();
+        let mut last: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        for e in &events {
+            if let Some(&prev) = last.get(&e.token) {
+                assert!(
+                    e.estimate <= prev * (1.0 + 1e-9),
+                    "token {} estimate rose {prev} -> {}",
+                    e.token,
+                    e.estimate
+                );
+            }
+            last.insert(e.token, e.estimate);
+        }
+    }
+
+    #[test]
+    fn step_numbers_are_sequential() {
+        let (q, keys) = workload(16);
+        let events = trace_pruning(&PrunerConfig::new(1e-3).unwrap(), &q, &keys).unwrap();
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.step, i);
+        }
+    }
+}

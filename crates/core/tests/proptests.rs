@@ -1,0 +1,225 @@
+//! Property-based tests for the Token-Picker core invariants.
+//!
+//! The paper's central safety claim (§3.1) is that the estimator is
+//! *conservative*: a pruned token provably has true attention probability
+//! below the threshold. These tests exercise that claim on randomized
+//! queries, keys, precisions and thresholds.
+
+use proptest::prelude::*;
+use topick_core::{
+    exact_probabilities, MarginTable, PrecisionConfig, ProgressivePruner, PrunerConfig, QMatrix,
+    QVector, ScanOrder,
+};
+
+fn code_vec(pc: PrecisionConfig, len: usize) -> impl Strategy<Value = Vec<i16>> {
+    prop::collection::vec(pc.min_value()..=pc.max_value(), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Margins always bracket the exact score, at every chunk depth.
+    #[test]
+    fn margins_bracket_exact(
+        q in code_vec(PrecisionConfig::paper(), 16),
+        k in code_vec(PrecisionConfig::paper(), 16),
+        chunks in 1u32..=3,
+    ) {
+        let pc = PrecisionConfig::paper();
+        let qv = QVector::from_codes(q, 1.0, pc);
+        let table = MarginTable::from_query(&qv);
+        let exact = qv.dot_codes(&k);
+        let ps = qv.dot_known(&k, chunks);
+        let m = table.pair(chunks);
+        prop_assert!(ps + m.min <= exact);
+        prop_assert!(exact <= ps + m.max);
+    }
+
+    /// Margin widths shrink monotonically with chunk depth.
+    #[test]
+    fn margin_width_monotone(q in code_vec(PrecisionConfig::paper(), 32)) {
+        let pc = PrecisionConfig::paper();
+        let qv = QVector::from_codes(q, 1.0, pc);
+        let table = MarginTable::from_query(&qv);
+        let mut prev_width = i64::MAX;
+        for c in 1..=3 {
+            let m = table.pair(c);
+            let width = m.max - m.min;
+            prop_assert!(width >= 0);
+            prop_assert!(width <= prev_width);
+            prev_width = width;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SOUNDNESS: no token with true probability above the threshold is ever
+    /// pruned, for any scan order and threshold.
+    #[test]
+    fn estimator_never_prunes_dominant_tokens(
+        seed in any::<u64>(),
+        n in 2usize..48,
+        dim in 1usize..24,
+        thr_exp in 1.0f64..6.0,
+        order_idx in 0usize..3,
+    ) {
+        let pc = PrecisionConfig::paper();
+        // Deterministic pseudo-random codes from the seed (xorshift).
+        let mut s = seed | 1;
+        let mut next_code = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 32) as i32 % 2048) as i16
+        };
+        let q: Vec<i16> = (0..dim).map(|_| next_code()).collect();
+        let k: Vec<i16> = (0..n * dim).map(|_| next_code()).collect();
+        let qv = QVector::from_codes(q, 0.01, pc);
+        let keys = QMatrix::from_codes(k, dim, 0.01, pc).unwrap();
+        let thr = 10f64.powf(-thr_exp);
+        let order = [
+            ScanOrder::FirstAndReverse,
+            ScanOrder::ReverseChronological,
+            ScanOrder::Sequential,
+        ][order_idx];
+        let cfg = PrunerConfig::new(thr).unwrap().with_order(order);
+        let outcome = ProgressivePruner::new(cfg).run(&qv, &keys).unwrap();
+
+        let exact = exact_probabilities(&qv, &keys);
+        let kept: std::collections::HashSet<usize> =
+            outcome.kept.iter().map(|kt| kt.index).collect();
+        for (t, &p) in exact.iter().enumerate() {
+            if p > thr {
+                prop_assert!(kept.contains(&t), "token {} with p={} pruned (thr={})", t, p, thr);
+            }
+        }
+    }
+
+    /// The attention output computed over survivors is close to the exact
+    /// attention output: pruning error is bounded by the pruned mass.
+    #[test]
+    fn pruned_attention_output_error_bounded(
+        seed in any::<u64>(),
+        n in 4usize..40,
+        dim in 2usize..16,
+    ) {
+        let pc = PrecisionConfig::paper();
+        let mut s = seed | 1;
+        let mut next_code = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 32) as i32 % 2048) as i16
+        };
+        let q: Vec<i16> = (0..dim).map(|_| next_code()).collect();
+        let k: Vec<i16> = (0..n * dim).map(|_| next_code()).collect();
+        let qv = QVector::from_codes(q, 0.02, pc);
+        let keys = QMatrix::from_codes(k, dim, 0.02, pc).unwrap();
+        let thr = 1e-4;
+        let cfg = PrunerConfig::new(thr).unwrap();
+        let outcome = ProgressivePruner::new(cfg).run(&qv, &keys).unwrap();
+
+        // Values in [-1, 1]; compare exact vs pruned attention outputs.
+        let values: Vec<Vec<f32>> = (0..n)
+            .map(|t| (0..dim).map(|d| ((t * 7 + d * 13) % 17) as f32 / 8.5 - 1.0).collect())
+            .collect();
+        let exact_p = exact_probabilities(&qv, &keys);
+        let exact_pairs: Vec<(usize, f64)> = exact_p.iter().cloned().enumerate().collect();
+        let exact_out = topick_core::weighted_value_sum(&exact_pairs, &values);
+        let pruned_out = topick_core::weighted_value_sum(&outcome.probability_pairs(), &values);
+        // Pruned mass <= n * thr; renormalization adds the same order.
+        // |v| <= 1, so output error is bounded by ~2 * n * thr.
+        let bound = 2.0 * n as f64 * thr + 1e-6;
+        for (a, b) in exact_out.iter().zip(&pruned_out) {
+            prop_assert!(
+                (f64::from(*a) - f64::from(*b)).abs() <= bound,
+                "output error {} exceeds bound {}",
+                (a - b).abs(),
+                bound
+            );
+        }
+    }
+
+    /// Scan order never affects soundness, only efficiency; the kept set is
+    /// always a superset of the truly-dominant set and stats stay consistent.
+    #[test]
+    fn stats_consistency_all_orders(
+        seed in any::<u64>(),
+        n in 1usize..64,
+    ) {
+        let dim = 8;
+        let pc = PrecisionConfig::paper();
+        let mut s = seed | 1;
+        let mut next_code = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 32) as i32 % 2048) as i16
+        };
+        let q: Vec<i16> = (0..dim).map(|_| next_code()).collect();
+        let k: Vec<i16> = (0..n * dim).map(|_| next_code()).collect();
+        let qv = QVector::from_codes(q, 0.01, pc);
+        let keys = QMatrix::from_codes(k, dim, 0.01, pc).unwrap();
+        for order in [
+            ScanOrder::FirstAndReverse,
+            ScanOrder::ReverseChronological,
+            ScanOrder::Sequential,
+        ] {
+            let cfg = PrunerConfig::new(1e-3).unwrap().with_order(order);
+            let o = ProgressivePruner::new(cfg).run(&qv, &keys).unwrap();
+            prop_assert_eq!(o.stats.tokens, n);
+            prop_assert_eq!(o.stats.kept, o.kept.len());
+            prop_assert_eq!(o.stats.chunk_fetches[0], n as u64);
+            prop_assert_eq!(
+                o.stats.pruned_at.iter().sum::<u64>() as usize,
+                o.stats.pruned()
+            );
+            // Kept tokens sorted, unique, in range.
+            for w in o.kept.windows(2) {
+                prop_assert!(w[0].index < w[1].index);
+            }
+        }
+    }
+
+    /// Quantization round-trip error is within half an LSB per element.
+    #[test]
+    fn quantization_error_bounded(vals in prop::collection::vec(-10.0f32..10.0, 1..64)) {
+        let pc = PrecisionConfig::paper();
+        let q = QVector::quantize(&vals, pc);
+        let back = q.dequantize();
+        let half_lsb = q.scale() as f32 * 0.5 + 1e-6;
+        for (a, b) in vals.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= half_lsb);
+        }
+    }
+
+    /// Lower thresholds can only keep more tokens (monotonicity in thr).
+    #[test]
+    fn threshold_monotonicity(seed in any::<u64>(), n in 4usize..48) {
+        let dim = 8;
+        let pc = PrecisionConfig::paper();
+        let mut s = seed | 1;
+        let mut next_code = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 32) as i32 % 2048) as i16
+        };
+        let q: Vec<i16> = (0..dim).map(|_| next_code()).collect();
+        let k: Vec<i16> = (0..n * dim).map(|_| next_code()).collect();
+        let qv = QVector::from_codes(q, 0.01, pc);
+        let keys = QMatrix::from_codes(k, dim, 0.01, pc).unwrap();
+        let run = |thr: f64| {
+            ProgressivePruner::new(PrunerConfig::new(thr).unwrap())
+                .run(&qv, &keys)
+                .unwrap()
+                .stats
+                .kept
+        };
+        let strict = run(1e-5);
+        let loose = run(1e-2);
+        prop_assert!(strict >= loose, "kept(1e-5)={} < kept(1e-2)={}", strict, loose);
+    }
+}

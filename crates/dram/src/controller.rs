@@ -1,0 +1,458 @@
+//! The cycle-level DRAM controller: per-channel FR-FCFS scheduling over
+//! bank state machines, with a simple analytic command-timing model.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::address::{AddressMap, Location};
+use crate::config::DramConfig;
+use crate::stats::DramStats;
+
+/// A completed transaction: the data for request `id` finished moving at
+/// `finish_cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Caller-assigned request id.
+    pub id: u64,
+    /// Byte address of the transaction.
+    pub addr: u64,
+    /// Cycle at which the data burst finished.
+    pub finish_cycle: u64,
+    /// Cycle at which the request entered the queue.
+    pub enqueued_at: u64,
+    /// Whether this was a write.
+    pub is_write: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    id: u64,
+    addr: u64,
+    loc: Location,
+    enqueued_at: u64,
+    is_write: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    ready_at: u64,
+    activated_at: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    queue: VecDeque<Pending>,
+    banks: Vec<Bank>,
+    bus_free_at: u64,
+    in_flight: usize,
+    next_refresh_at: u64,
+}
+
+/// In-flight transaction key: `(finish, id, addr, enqueued_at, channel,
+/// is_write)` — ordered by finish cycle.
+type InFlight = (u64, u64, u64, u64, usize, bool);
+
+/// A cycle-level multi-channel DRAM simulator.
+///
+/// Reads model the KV-streaming traffic of the generation phase; writes
+/// model KV-cache appends (one K and one V row per generated token).
+///
+/// # Examples
+///
+/// ```
+/// use topick_dram::{DramConfig, DramSim};
+///
+/// let mut sim = DramSim::new(DramConfig::hbm2());
+/// assert!(sim.try_enqueue(1, 0x0));
+/// let done = sim.run_until_idle(10_000);
+/// assert_eq!(done.len(), 1);
+/// assert!(done[0].finish_cycle > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramSim {
+    cfg: DramConfig,
+    map: AddressMap,
+    channels: Vec<Channel>,
+    in_flight: BinaryHeap<Reverse<InFlight>>,
+    completions: VecDeque<Completion>,
+    cycle: u64,
+    stats: DramStats,
+}
+
+impl DramSim {
+    /// Creates a simulator for the given configuration.
+    #[must_use]
+    pub fn new(cfg: DramConfig) -> Self {
+        let map = AddressMap::new(&cfg);
+        let channels = (0..cfg.channels)
+            .map(|_| Channel {
+                queue: VecDeque::new(),
+                banks: vec![Bank::default(); cfg.banks_per_channel],
+                bus_free_at: 0,
+                in_flight: 0,
+                next_refresh_at: cfg.t_refi,
+            })
+            .collect();
+        Self {
+            cfg,
+            map,
+            channels,
+            in_flight: BinaryHeap::new(),
+            completions: VecDeque::new(),
+            cycle: 0,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle (memory clock).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Enqueues a read of one burst at `addr`. Returns `false` when the
+    /// target channel queue is full (caller should retry next cycle).
+    pub fn try_enqueue(&mut self, id: u64, addr: u64) -> bool {
+        self.enqueue_inner(id, addr, false)
+    }
+
+    /// Enqueues a write of one burst at `addr` (KV-cache append traffic).
+    /// Returns `false` when the target channel queue is full.
+    pub fn try_enqueue_write(&mut self, id: u64, addr: u64) -> bool {
+        self.enqueue_inner(id, addr, true)
+    }
+
+    fn enqueue_inner(&mut self, id: u64, addr: u64, is_write: bool) -> bool {
+        let loc = self.map.decode(addr);
+        let ch = &mut self.channels[loc.channel];
+        if ch.queue.len() >= self.cfg.queue_depth {
+            return false;
+        }
+        ch.queue.push_back(Pending {
+            id,
+            addr,
+            loc,
+            enqueued_at: self.cycle,
+            is_write,
+        });
+        true
+    }
+
+    /// Number of requests still queued or in flight.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.channels.iter().map(|c| c.queue.len()).sum::<usize>() + self.in_flight.len()
+    }
+
+    /// Whether all traffic has drained (completions may still be unread).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.outstanding() == 0
+    }
+
+    /// Advances one memory-clock cycle: schedules at most one transaction
+    /// per channel and retires finished bursts.
+    pub fn tick(&mut self) {
+        let now = self.cycle;
+        for ch_idx in 0..self.channels.len() {
+            self.issue_one(ch_idx, now);
+        }
+        self.cycle += 1;
+        while let Some(&Reverse((finish, id, addr, enq, ch, is_write))) = self.in_flight.peek() {
+            if finish > self.cycle {
+                break;
+            }
+            self.in_flight.pop();
+            self.channels[ch].in_flight -= 1;
+            let latency = finish - enq;
+            if is_write {
+                self.stats.writes += 1;
+            } else {
+                self.stats.reads += 1;
+            }
+            self.stats.total_latency += latency;
+            self.stats.max_latency = self.stats.max_latency.max(latency);
+            self.completions.push_back(Completion {
+                id,
+                addr,
+                finish_cycle: finish,
+                enqueued_at: enq,
+                is_write,
+            });
+        }
+    }
+
+    /// Pops the next completed transaction, if any.
+    pub fn pop_completed(&mut self) -> Option<Completion> {
+        self.completions.pop_front()
+    }
+
+    /// Runs until all outstanding traffic drains (or `max_cycles` elapse),
+    /// returning every completion produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if traffic fails to drain within `max_cycles` — that would be
+    /// a scheduling deadlock, which the model cannot produce by design.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Vec<Completion> {
+        let mut out = Vec::new();
+        let deadline = self.cycle + max_cycles;
+        while !self.is_idle() {
+            assert!(
+                self.cycle < deadline,
+                "dram failed to drain in {max_cycles} cycles"
+            );
+            self.tick();
+            while let Some(c) = self.pop_completed() {
+                out.push(c);
+            }
+        }
+        while let Some(c) = self.pop_completed() {
+            out.push(c);
+        }
+        out
+    }
+
+    /// FR-FCFS: prefer the oldest row-hit request; otherwise the oldest
+    /// request overall. Issues at most one transaction.
+    fn issue_one(&mut self, ch_idx: usize, now: u64) {
+        let cfg = &self.cfg;
+        let ch = &mut self.channels[ch_idx];
+        // All-bank refresh: when tREFI elapses, close every row and block
+        // the channel for tRFC (counted as activates for energy).
+        if cfg.t_refi > 0 && now >= ch.next_refresh_at {
+            ch.next_refresh_at = now + cfg.t_refi;
+            let busy_until = now + cfg.t_rfc;
+            for bank in &mut ch.banks {
+                bank.open_row = None;
+                bank.ready_at = bank.ready_at.max(busy_until);
+            }
+            ch.bus_free_at = ch.bus_free_at.max(busy_until);
+            self.stats.refreshes += 1;
+            return;
+        }
+        if ch.queue.is_empty() {
+            return;
+        }
+        // A real controller keeps a bounded set of transactions in flight
+        // (its CAM); commands for different banks pipeline freely within
+        // that window, which is what lets activates overlap.
+        if ch.in_flight >= 16 {
+            return;
+        }
+        let pick = ch
+            .queue
+            .iter()
+            .position(|p| ch.banks[p.loc.bank].open_row == Some(p.loc.row))
+            .unwrap_or(0);
+        let p = ch.queue.remove(pick).expect("index valid");
+        let bank = &mut ch.banks[p.loc.bank];
+        let col_ready = match bank.open_row {
+            Some(row) if row == p.loc.row => {
+                self.stats.row_hits += 1;
+                now.max(bank.ready_at)
+            }
+            Some(_) => {
+                self.stats.row_misses += 1;
+                self.stats.activates += 1;
+                let start = now.max(bank.ready_at).max(bank.activated_at + cfg.t_ras);
+                let activated = start + cfg.t_rp;
+                bank.open_row = Some(p.loc.row);
+                bank.activated_at = activated;
+                activated + cfg.t_rcd
+            }
+            None => {
+                self.stats.row_misses += 1;
+                self.stats.activates += 1;
+                let start = now.max(bank.ready_at);
+                bank.open_row = Some(p.loc.row);
+                bank.activated_at = start;
+                start + cfg.t_rcd
+            }
+        };
+        let data_start = (col_ready + cfg.t_cl).max(ch.bus_free_at);
+        let finish = data_start + cfg.t_burst;
+        ch.bus_free_at = finish;
+        bank.ready_at = col_ready + cfg.t_burst;
+        ch.in_flight += 1;
+        self.in_flight.push(Reverse((
+            finish,
+            p.id,
+            p.addr,
+            p.enqueued_at,
+            ch_idx,
+            p.is_write,
+        )));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_read_latency_is_activate_plus_cas() {
+        let cfg = DramConfig::test_tiny();
+        let (t_rcd, t_cl, t_burst) = (cfg.t_rcd, cfg.t_cl, cfg.t_burst);
+        let mut sim = DramSim::new(cfg);
+        assert!(sim.try_enqueue(7, 0));
+        let done = sim.run_until_idle(1000);
+        assert_eq!(done.len(), 1);
+        // Issued at cycle 0: closed bank -> tRCD + tCL + tBURST.
+        assert_eq!(done[0].finish_cycle, t_rcd + t_cl + t_burst);
+        assert_eq!(done[0].id, 7);
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_conflicts() {
+        let cfg = DramConfig::test_tiny();
+        // Same channel/bank/row: sequential columns.
+        let col_stride = 32 * 2; // access * channels * banks
+        let mut sim = DramSim::new(cfg.clone());
+        for i in 0..4u64 {
+            assert!(sim.try_enqueue(i, i * col_stride));
+        }
+        sim.run_until_idle(10_000);
+        assert_eq!(sim.stats().row_hits, 3);
+        assert_eq!(sim.stats().row_misses, 1);
+
+        // Alternating rows on the same bank: all conflicts.
+        let row_stride = col_stride * u64::from(cfg.row_bytes / cfg.access_bytes);
+        let mut sim2 = DramSim::new(cfg);
+        for i in 0..4u64 {
+            assert!(sim2.try_enqueue(i, (i % 2) * row_stride));
+        }
+        sim2.run_until_idle(10_000);
+        // FR-FCFS reorders [r0,r1,r0,r1] into [r0,r0,r1,r1]: 2 hits.
+        assert_eq!(sim2.stats().row_hits, 2);
+        assert!(sim2.stats().activates >= 2);
+        assert!(sim2.stats().mean_latency() > sim.stats().mean_latency());
+    }
+
+    #[test]
+    fn channels_work_in_parallel() {
+        let cfg = DramConfig::hbm2();
+        let mut sim = DramSim::new(cfg.clone());
+        // One burst per channel: all should finish at the same cycle.
+        for i in 0..8u64 {
+            assert!(sim.try_enqueue(i, i * u64::from(cfg.access_bytes)));
+        }
+        let done = sim.run_until_idle(1000);
+        assert_eq!(done.len(), 8);
+        let first = done[0].finish_cycle;
+        assert!(done.iter().all(|c| c.finish_cycle == first));
+    }
+
+    #[test]
+    fn queue_backpressure() {
+        let cfg = DramConfig::test_tiny();
+        let depth = cfg.queue_depth;
+        let mut sim = DramSim::new(cfg);
+        let mut accepted = 0;
+        for i in 0..depth as u64 + 5 {
+            if sim.try_enqueue(i, 0) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, depth);
+        // After draining, the queue opens up again.
+        sim.run_until_idle(100_000);
+        assert!(sim.try_enqueue(999, 0));
+    }
+
+    #[test]
+    fn streaming_throughput_approaches_bus_limit() {
+        // Sequential addresses across all channels: the controller should
+        // sustain close to one burst per channel-cycle.
+        let cfg = DramConfig::hbm2();
+        let mut sim = DramSim::new(cfg.clone());
+        let bursts = 1024u64;
+        let mut issued = 0u64;
+        let mut next_addr = 0u64;
+        while issued < bursts || !sim.is_idle() {
+            while issued < bursts && sim.try_enqueue(issued, next_addr) {
+                issued += 1;
+                next_addr += u64::from(cfg.access_bytes);
+            }
+            sim.tick();
+            while sim.pop_completed().is_some() {}
+        }
+        let bw = sim.stats().achieved_bandwidth_gbps(&cfg, sim.cycle());
+        // Peak is 256 GB/s; streaming row-hit traffic should get close.
+        let peak = cfg.total_bandwidth_gbps();
+        assert!(bw > 0.6 * peak, "bandwidth {bw} GB/s too low (peak {peak})");
+    }
+
+    #[test]
+    fn refresh_fires_periodically_and_blocks_banks() {
+        let mut cfg = DramConfig::test_tiny();
+        cfg.t_refi = 100;
+        cfg.t_rfc = 20;
+        let mut sim = DramSim::new(cfg.clone());
+        // Idle ticking across several tREFI periods still performs refresh.
+        for _ in 0..350 {
+            sim.tick();
+        }
+        assert!(sim.stats().refreshes >= 3, "{}", sim.stats().refreshes);
+        // A request right after refresh sees a closed bank.
+        assert!(sim.try_enqueue(1, 0));
+        let done = sim.run_until_idle(10_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(sim.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn refresh_disabled_when_trefi_zero() {
+        let mut cfg = DramConfig::test_tiny();
+        cfg.t_refi = 0;
+        let mut sim = DramSim::new(cfg);
+        for _ in 0..10_000 {
+            sim.tick();
+        }
+        assert_eq!(sim.stats().refreshes, 0);
+    }
+
+    #[test]
+    fn writes_complete_and_are_counted() {
+        let cfg = DramConfig::hbm2();
+        let mut sim = DramSim::new(cfg.clone());
+        assert!(sim.try_enqueue(1, 0));
+        assert!(sim.try_enqueue_write(2, 4096));
+        let done = sim.run_until_idle(10_000);
+        assert_eq!(done.len(), 2);
+        let w = done.iter().find(|c| c.id == 2).unwrap();
+        assert!(w.is_write);
+        assert_eq!(sim.stats().reads, 1);
+        assert_eq!(sim.stats().writes, 1);
+        assert_eq!(sim.stats().bytes(&cfg), 64);
+        assert_eq!(sim.stats().read_bytes(&cfg), 32);
+        assert_eq!(sim.stats().write_bytes(&cfg), 32);
+    }
+
+    #[test]
+    fn stats_latency_consistency() {
+        let cfg = DramConfig::hbm2();
+        let mut sim = DramSim::new(cfg);
+        for i in 0..64u64 {
+            sim.try_enqueue(i, i * 4096);
+            sim.tick();
+        }
+        let done = sim.run_until_idle(100_000);
+        assert_eq!(done.len() as u64, sim.stats().reads);
+        let total: u64 = done.iter().map(|c| c.finish_cycle - c.enqueued_at).sum();
+        assert_eq!(total, sim.stats().total_latency);
+    }
+}

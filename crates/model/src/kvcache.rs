@@ -1,0 +1,177 @@
+//! Per-layer, per-head key/value caches for autoregressive generation
+//! (paper §2.1.2: "KV caching").
+
+/// The KV cache of one attention head: `len` rows of dimension `dim`,
+/// stored row-major and append-only.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HeadCache {
+    keys: Vec<f32>,
+    values: Vec<f32>,
+    dim: usize,
+    len: usize,
+}
+
+impl HeadCache {
+    /// An empty cache for head dimension `dim`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self {
+            keys: Vec::new(),
+            values: Vec::new(),
+            dim,
+            len: 0,
+        }
+    }
+
+    /// Appends one token's key and value rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row length differs from `dim`.
+    pub fn push(&mut self, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), self.dim, "key row dimension mismatch");
+        assert_eq!(value.len(), self.dim, "value row dimension mismatch");
+        self.keys.extend_from_slice(key);
+        self.values.extend_from_slice(value);
+        self.len += 1;
+    }
+
+    /// Number of cached tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Head dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Key row of token `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn key_row(&self, i: usize) -> &[f32] {
+        assert!(i < self.len, "token {i} out of range");
+        &self.keys[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Value row of token `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn value_row(&self, i: usize) -> &[f32] {
+        assert!(i < self.len, "token {i} out of range");
+        &self.values[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// All key rows as a `len x dim` nested vector (for quantization).
+    #[must_use]
+    pub fn key_rows(&self) -> Vec<Vec<f32>> {
+        (0..self.len).map(|i| self.key_row(i).to_vec()).collect()
+    }
+
+    /// All value rows as a `len x dim` nested vector.
+    #[must_use]
+    pub fn value_rows(&self) -> Vec<Vec<f32>> {
+        (0..self.len).map(|i| self.value_row(i).to_vec()).collect()
+    }
+}
+
+/// KV caches for every layer and head of a model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KvCache {
+    layers: Vec<Vec<HeadCache>>,
+}
+
+impl KvCache {
+    /// An empty cache for `n_layers` layers of `n_heads` heads with head
+    /// dimension `head_dim`.
+    #[must_use]
+    pub fn new(n_layers: usize, n_heads: usize, head_dim: usize) -> Self {
+        Self {
+            layers: (0..n_layers)
+                .map(|_| (0..n_heads).map(|_| HeadCache::new(head_dim)).collect())
+                .collect(),
+        }
+    }
+
+    /// Mutable access to one head's cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn head_mut(&mut self, layer: usize, head: usize) -> &mut HeadCache {
+        &mut self.layers[layer][head]
+    }
+
+    /// Shared access to one head's cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn head(&self, layer: usize, head: usize) -> &HeadCache {
+        &self.layers[layer][head]
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Context length currently cached (tokens in layer 0, head 0).
+    #[must_use]
+    pub fn context_len(&self) -> usize {
+        self.layers
+            .first()
+            .and_then(|l| l.first())
+            .map_or(0, HeadCache::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut c = HeadCache::new(2);
+        c.push(&[1.0, 2.0], &[3.0, 4.0]);
+        c.push(&[5.0, 6.0], &[7.0, 8.0]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.key_row(1), &[5.0, 6.0]);
+        assert_eq!(c.value_row(0), &[3.0, 4.0]);
+        assert_eq!(c.key_rows().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_rejects_wrong_dim() {
+        let mut c = HeadCache::new(2);
+        c.push(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn full_cache_layout() {
+        let mut c = KvCache::new(2, 3, 4);
+        assert_eq!(c.num_layers(), 2);
+        assert_eq!(c.context_len(), 0);
+        c.head_mut(0, 0).push(&[0.0; 4], &[0.0; 4]);
+        assert_eq!(c.context_len(), 1);
+        assert_eq!(c.head(1, 2).len(), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # topick-model
+//!
+//! The transformer substrate for the Token-Picker reproduction: a
+//! from-scratch decoder-only language model with KV caching and pluggable
+//! attention kernels, the paper's model zoo shapes, synthetic attention
+//! workloads with controlled score distributions, perplexity evaluation,
+//! and the analytic memory-traffic model behind Fig. 2.
+//!
+//! ## Example: pruned vs exact generation
+//!
+//! ```
+//! use topick_core::PrunerConfig;
+//! use topick_model::{
+//!     AttentionKernel, ExactAttention, ModelSpec, TokenPickerAttention, TransformerModel,
+//! };
+//!
+//! let model = TransformerModel::new_random(ModelSpec::toy(), 42);
+//! let mut exact = ExactAttention::new();
+//! let mut pruned = TokenPickerAttention::new(PrunerConfig::new(1e-5)?);
+//! let a = model.generate(&[1, 2, 3], 4, 0.0, 0, &mut exact);
+//! let b = model.generate(&[1, 2, 3], 4, 0.0, 0, &mut pruned);
+//! assert_eq!(a, b); // tight threshold: outputs unchanged
+//! let stats = pruned.accumulated_stats().expect("token-picker tracks stats");
+//! println!("kept {}/{} tokens", stats.kept, stats.tokens);
+//! # Ok::<(), topick_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attention;
+pub mod kvcache;
+pub mod layers;
+pub mod memory;
+pub mod model;
+pub mod perplexity;
+pub mod qcache;
+pub mod rng;
+pub mod specs;
+pub mod synth;
+pub mod tensor;
+
+pub use attention::{
+    AttentionKernel, ExactAttention, OracleAttention, QuantizedExactAttention, TokenPickerAttention,
+};
+pub use kvcache::{HeadCache, KvCache};
+pub use memory::TrafficBreakdown;
+pub use model::{sample_token, TransformerModel};
+pub use perplexity::{
+    delta_ppl, evaluate_perplexity, nll_from_logits, teacher_corpus,
+    teacher_corpus_with_temperature, PerplexityReport,
+};
+pub use qcache::{requantization_gap, QuantizedHeadCache, QuantizedTokenPicker};
+pub use specs::ModelSpec;
+pub use synth::{InstanceSampler, SynthInstance, SynthProfile};

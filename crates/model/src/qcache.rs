@@ -1,0 +1,307 @@
+//! Quantize-on-append KV caching — the storage discipline the ToPick
+//! hardware actually uses.
+//!
+//! The attention kernels in [`crate::attention`] re-quantize the float
+//! cache on every call, which is simple but (a) re-derives the scale each
+//! step and (b) costs O(n·d) conversion work per query. Hardware quantizes
+//! each K/V row **once, when it is appended**, against a fixed per-head
+//! scale, and streams the stored codes ever after. This module implements
+//! that discipline and a kernel built on it.
+//!
+//! A fixed scale must be chosen up front (hardware calibrates it from the
+//! prompt); values clamping at the rail are counted so saturation is
+//! observable.
+
+use topick_core::{
+    weighted_value_sum, PrecisionConfig, ProgressivePruner, PruneStats, PrunerConfig, QMatrix,
+    QVector,
+};
+
+use crate::attention::AttentionKernel;
+use crate::kvcache::HeadCache;
+
+/// A per-head KV cache storing quantized codes, with quantize-on-append.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedHeadCache {
+    k_codes: Vec<i16>,
+    v_codes: Vec<i16>,
+    dim: usize,
+    len: usize,
+    scale: f64,
+    precision: PrecisionConfig,
+    saturated: u64,
+}
+
+impl QuantizedHeadCache {
+    /// An empty cache with a fixed quantization `scale`
+    /// (`real ≈ code · scale`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or `scale` is not positive and finite.
+    #[must_use]
+    pub fn new(dim: usize, scale: f64, precision: PrecisionConfig) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        Self {
+            k_codes: Vec::new(),
+            v_codes: Vec::new(),
+            dim,
+            len: 0,
+            scale,
+            precision,
+            saturated: 0,
+        }
+    }
+
+    /// Chooses a scale from calibration rows (e.g. the prompt's K/V) so the
+    /// largest observed magnitude maps to the largest code, then builds the
+    /// cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    #[must_use]
+    pub fn calibrated(dim: usize, rows: &[Vec<f32>], precision: PrecisionConfig) -> Self {
+        let max_abs = rows
+            .iter()
+            .flatten()
+            .fold(0f64, |m, &v| m.max(f64::from(v).abs()));
+        let qmax = f64::from(precision.max_value());
+        let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
+        Self::new(dim, scale, precision)
+    }
+
+    /// Appends one token's K and V rows, quantizing against the fixed
+    /// scale. Out-of-range values clamp and are counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row length differs from `dim`.
+    pub fn push(&mut self, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), self.dim, "key row dimension mismatch");
+        assert_eq!(value.len(), self.dim, "value row dimension mismatch");
+        let lo = f64::from(self.precision.min_value());
+        let hi = f64::from(self.precision.max_value());
+        let mut quantize = |v: f32, out: &mut Vec<i16>| {
+            let c = (f64::from(v) / self.scale).round();
+            if c < lo || c > hi {
+                self.saturated += 1;
+            }
+            out.push(c.clamp(lo, hi) as i16);
+        };
+        // Split borrows: quantize into temporaries to appease the closure.
+        let mut k_new = Vec::with_capacity(self.dim);
+        let mut v_new = Vec::with_capacity(self.dim);
+        for &v in key {
+            quantize(v, &mut k_new);
+        }
+        for &v in value {
+            quantize(v, &mut v_new);
+        }
+        self.k_codes.extend_from_slice(&k_new);
+        self.v_codes.extend_from_slice(&v_new);
+        self.len += 1;
+    }
+
+    /// Number of cached tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed quantization scale.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Values that clamped at the representable rail so far.
+    #[must_use]
+    pub fn saturated_count(&self) -> u64 {
+        self.saturated
+    }
+
+    /// A [`QMatrix`] view of the stored key codes (cheap clone of codes;
+    /// no re-quantization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is empty.
+    #[must_use]
+    pub fn keys(&self) -> QMatrix {
+        QMatrix::from_codes(self.k_codes.clone(), self.dim, self.scale, self.precision)
+            .expect("non-empty cache")
+    }
+
+    /// Dequantized value rows (for the weighted sum).
+    #[must_use]
+    pub fn value_rows(&self) -> Vec<Vec<f32>> {
+        (0..self.len)
+            .map(|t| {
+                self.v_codes[t * self.dim..(t + 1) * self.dim]
+                    .iter()
+                    .map(|&c| (f64::from(c) * self.scale) as f32)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Token-Picker attention over a quantize-on-append cache.
+///
+/// Unlike [`crate::TokenPickerAttention`], this kernel maintains its own
+/// [`QuantizedHeadCache`] per (layer, head) pairing is the caller's job —
+/// it wraps a single head and is driven directly with float rows.
+#[derive(Debug, Clone)]
+pub struct QuantizedTokenPicker {
+    cache: QuantizedHeadCache,
+    pruner: ProgressivePruner,
+    stats: PruneStats,
+}
+
+impl QuantizedTokenPicker {
+    /// Creates the kernel around an existing cache.
+    #[must_use]
+    pub fn new(cache: QuantizedHeadCache, cfg: PrunerConfig) -> Self {
+        let chunks = cfg.precision().num_chunks();
+        Self {
+            cache,
+            pruner: ProgressivePruner::new(cfg),
+            stats: PruneStats::new(0, chunks),
+        }
+    }
+
+    /// Appends a token and computes the attention output for `q` over the
+    /// cache (including the new token).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row dimensions mismatch the cache.
+    pub fn step(&mut self, q: &[f32], key: &[f32], value: &[f32]) -> Vec<f32> {
+        self.cache.push(key, value);
+        let pc = self.pruner.config().precision();
+        let qv = QVector::quantize(q, pc);
+        let keys = self.cache.keys();
+        let outcome = self.pruner.run(&qv, &keys).expect("validated dims");
+        self.stats.merge(&outcome.stats);
+        weighted_value_sum(&outcome.probability_pairs(), &self.cache.value_rows())
+    }
+
+    /// Accumulated pruning statistics.
+    #[must_use]
+    pub fn stats(&self) -> &PruneStats {
+        &self.stats
+    }
+
+    /// The underlying cache.
+    #[must_use]
+    pub fn cache(&self) -> &QuantizedHeadCache {
+        &self.cache
+    }
+}
+
+/// Compatibility shim: evaluates the quantize-on-append pipeline against
+/// the re-quantizing kernel on the same float cache, returning the maximum
+/// element-wise output difference. Used by fidelity tests and available for
+/// users validating the simplification.
+#[must_use]
+pub fn requantization_gap(
+    q: &[f32],
+    float_cache: &HeadCache,
+    qcache: &QuantizedHeadCache,
+    cfg: PrunerConfig,
+) -> f32 {
+    let mut requant = crate::attention::TokenPickerAttention::new(cfg);
+    let a = requant.attend(q, float_cache);
+
+    let pc = cfg.precision();
+    let qv = QVector::quantize(q, pc);
+    let keys = qcache.keys();
+    let outcome = ProgressivePruner::new(cfg)
+        .run(&qv, &keys)
+        .expect("validated dims");
+    let b = weighted_value_sum(&outcome.probability_pairs(), &qcache.value_rows());
+    a.iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0f32, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthInstance, SynthProfile};
+
+    fn build_caches(
+        n: usize,
+        dim: usize,
+        seed: u64,
+    ) -> (HeadCache, QuantizedHeadCache, SynthInstance) {
+        let inst = SynthInstance::generate(&SynthProfile::realistic(n, dim), seed);
+        let mut float_cache = HeadCache::new(dim);
+        let mut qcache = QuantizedHeadCache::calibrated(dim, &inst.keys, PrecisionConfig::paper());
+        for (k, v) in inst.keys.iter().zip(&inst.values) {
+            float_cache.push(k, v);
+            qcache.push(k, v);
+        }
+        (float_cache, qcache, inst)
+    }
+
+    #[test]
+    fn quantize_on_append_matches_requantization() {
+        let (float_cache, qcache, inst) = build_caches(96, 32, 3);
+        let cfg = PrunerConfig::new(1e-3).unwrap();
+        let gap = requantization_gap(&inst.query, &float_cache, &qcache, cfg);
+        // Scales differ slightly (per-call max vs calibration max), so the
+        // outputs differ by at most a few LSBs of V.
+        assert!(gap < 0.05, "gap {gap}");
+    }
+
+    #[test]
+    fn saturation_is_counted() {
+        let pc = PrecisionConfig::paper();
+        let mut cache = QuantizedHeadCache::new(2, 0.001, pc);
+        cache.push(&[100.0, 0.0], &[0.0, 0.0]); // 100/0.001 >> 2047
+        assert!(cache.saturated_count() >= 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn kernel_steps_accumulate_stats() {
+        let dim = 16;
+        let inst = SynthInstance::generate(&SynthProfile::realistic(8, dim), 5);
+        let cache = QuantizedHeadCache::calibrated(dim, &inst.keys, PrecisionConfig::paper());
+        let mut kernel = QuantizedTokenPicker::new(cache, PrunerConfig::new(1e-3).unwrap());
+        for (i, (k, v)) in inst.keys.iter().zip(&inst.values).enumerate() {
+            let out = kernel.step(&inst.query, k, v);
+            assert_eq!(out.len(), dim);
+            assert_eq!(kernel.cache().len(), i + 1);
+        }
+        // Sum over steps of context sizes 1..=8.
+        assert_eq!(kernel.stats().tokens, (1..=8).sum::<usize>());
+    }
+
+    #[test]
+    fn calibrated_scale_covers_rows() {
+        let rows = vec![vec![2.0f32, -3.0], vec![0.5, 1.0]];
+        let cache = QuantizedHeadCache::calibrated(2, &rows, PrecisionConfig::paper());
+        let mut c = cache.clone();
+        for r in &rows {
+            c.push(r, r);
+        }
+        assert_eq!(c.saturated_count(), 0, "calibrated scale must not clip");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn invalid_scale_rejected() {
+        let _ = QuantizedHeadCache::new(4, 0.0, PrecisionConfig::paper());
+    }
+}

@@ -1,0 +1,324 @@
+//! The model zoo: architectural shapes of every model the paper evaluates
+//! (§5.1.1), plus down-scaled variants that run quickly on a laptop.
+
+/// Architectural shape of a decoder-only language model.
+///
+/// # Examples
+///
+/// ```
+/// use topick_model::ModelSpec;
+///
+/// let spec = ModelSpec::gpt2_xl();
+/// assert_eq!(spec.n_layers, 48);
+/// assert_eq!(spec.head_dim(), 64);
+/// assert!(spec.num_params() > 1_300_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Human-readable model name.
+    pub name: &'static str,
+    /// Hidden (embedding) dimension.
+    pub d_model: usize,
+    /// Number of decoder layers.
+    pub n_layers: usize,
+    /// Number of attention heads.
+    pub n_heads: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum context length.
+    pub max_context: usize,
+    /// Whether the FFN is gated (SwiGLU-style, three matrices) as in
+    /// LLaMa-2, or plain two-matrix MLP as in GPT-2/OPT.
+    pub gated_ffn: bool,
+}
+
+impl ModelSpec {
+    /// GPT2-Medium (used for the Fig. 9 SpAtten comparison).
+    #[must_use]
+    pub fn gpt2_medium() -> Self {
+        Self {
+            name: "GPT2-Medium",
+            d_model: 1024,
+            n_layers: 24,
+            n_heads: 16,
+            d_ff: 4096,
+            vocab: 50257,
+            max_context: 1024,
+            gated_ffn: false,
+        }
+    }
+
+    /// GPT2-Large.
+    #[must_use]
+    pub fn gpt2_large() -> Self {
+        Self {
+            name: "GPT2-Large",
+            d_model: 1280,
+            n_layers: 36,
+            n_heads: 20,
+            d_ff: 5120,
+            vocab: 50257,
+            max_context: 1024,
+            gated_ffn: false,
+        }
+    }
+
+    /// GPT2-XL.
+    #[must_use]
+    pub fn gpt2_xl() -> Self {
+        Self {
+            name: "GPT2-XL",
+            d_model: 1600,
+            n_layers: 48,
+            n_heads: 25,
+            d_ff: 6400,
+            vocab: 50257,
+            max_context: 1024,
+            gated_ffn: false,
+        }
+    }
+
+    /// OPT-1.3B.
+    #[must_use]
+    pub fn opt_1_3b() -> Self {
+        Self {
+            name: "OPT-1.3B",
+            d_model: 2048,
+            n_layers: 24,
+            n_heads: 32,
+            d_ff: 8192,
+            vocab: 50272,
+            max_context: 2048,
+            gated_ffn: false,
+        }
+    }
+
+    /// OPT-2.7B.
+    #[must_use]
+    pub fn opt_2_7b() -> Self {
+        Self {
+            name: "OPT-2.7B",
+            d_model: 2560,
+            n_layers: 32,
+            n_heads: 32,
+            d_ff: 10240,
+            vocab: 50272,
+            max_context: 2048,
+            gated_ffn: false,
+        }
+    }
+
+    /// OPT-6.7B.
+    #[must_use]
+    pub fn opt_6_7b() -> Self {
+        Self {
+            name: "OPT-6.7B",
+            d_model: 4096,
+            n_layers: 32,
+            n_heads: 32,
+            d_ff: 16384,
+            vocab: 50272,
+            max_context: 2048,
+            gated_ffn: false,
+        }
+    }
+
+    /// OPT-13B.
+    #[must_use]
+    pub fn opt_13b() -> Self {
+        Self {
+            name: "OPT-13B",
+            d_model: 5120,
+            n_layers: 40,
+            n_heads: 40,
+            d_ff: 20480,
+            vocab: 50272,
+            max_context: 2048,
+            gated_ffn: false,
+        }
+    }
+
+    /// LLaMa-2-7B.
+    #[must_use]
+    pub fn llama2_7b() -> Self {
+        Self {
+            name: "LLaMa-2-7B",
+            d_model: 4096,
+            n_layers: 32,
+            n_heads: 32,
+            d_ff: 11008,
+            vocab: 32000,
+            max_context: 4096,
+            gated_ffn: true,
+        }
+    }
+
+    /// LLaMa-2-13B.
+    #[must_use]
+    pub fn llama2_13b() -> Self {
+        Self {
+            name: "LLaMa-2-13B",
+            d_model: 5120,
+            n_layers: 40,
+            n_heads: 40,
+            d_ff: 13824,
+            vocab: 32000,
+            max_context: 4096,
+            gated_ffn: true,
+        }
+    }
+
+    /// The eight models of the paper's Fig. 8 / Fig. 10 sweep, in order.
+    #[must_use]
+    pub fn paper_sweep() -> Vec<Self> {
+        vec![
+            Self::gpt2_large(),
+            Self::gpt2_xl(),
+            Self::opt_1_3b(),
+            Self::opt_2_7b(),
+            Self::opt_6_7b(),
+            Self::opt_13b(),
+            Self::llama2_7b(),
+            Self::llama2_13b(),
+        ]
+    }
+
+    /// A small model that runs fast in tests and examples.
+    #[must_use]
+    pub fn toy() -> Self {
+        Self {
+            name: "Toy",
+            d_model: 64,
+            n_layers: 2,
+            n_heads: 4,
+            d_ff: 128,
+            vocab: 256,
+            max_context: 256,
+            gated_ffn: false,
+        }
+    }
+
+    /// Per-head dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `n_heads`.
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(
+            self.d_model % self.n_heads,
+            0,
+            "d_model must divide by n_heads"
+        );
+        self.d_model / self.n_heads
+    }
+
+    /// Total parameter count (QKV/out projections, FFN, embeddings,
+    /// positional table; biases ignored as negligible).
+    #[must_use]
+    pub fn num_params(&self) -> u64 {
+        let d = self.d_model as u64;
+        let ffn_mats = if self.gated_ffn { 3 } else { 2 };
+        let per_layer = 4 * d * d + ffn_mats * d * self.d_ff as u64;
+        per_layer * self.n_layers as u64 + (self.vocab as u64) * d + (self.max_context as u64) * d
+    }
+
+    /// Bytes of pretrained weights transferred per generation step,
+    /// assuming 16-bit weights (the Fig. 2 accounting).
+    #[must_use]
+    pub fn weight_bytes(&self) -> u64 {
+        let d = self.d_model as u64;
+        let ffn_mats = if self.gated_ffn { 3 } else { 2 };
+        let per_layer = 4 * d * d + ffn_mats * d * self.d_ff as u64;
+        2 * per_layer * self.n_layers as u64
+    }
+
+    /// Bytes of word-embedding table transfer per step (16-bit).
+    #[must_use]
+    pub fn embedding_bytes(&self) -> u64 {
+        2 * (self.vocab as u64) * self.d_model as u64
+    }
+
+    /// Bytes of KV cache per token per request (16-bit K and V across all
+    /// layers).
+    #[must_use]
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * 2 * (self.n_layers as u64) * self.d_model as u64
+    }
+
+    /// A proportionally scaled-down spec (for laptop-scale functional runs):
+    /// dimensions and layer count divided by `factor`, vocabulary capped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero or does not evenly divide the shape.
+    #[must_use]
+    pub fn scaled_down(&self, factor: usize) -> Self {
+        assert!(factor > 0, "factor must be positive");
+        Self {
+            name: self.name,
+            d_model: (self.d_model / factor).max(self.n_heads),
+            n_layers: (self.n_layers / factor).max(1),
+            n_heads: self.n_heads.min((self.d_model / factor).max(1)),
+            d_ff: (self.d_ff / factor).max(4),
+            vocab: self.vocab.min(512),
+            max_context: self.max_context,
+            gated_ffn: self.gated_ffn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts_are_in_the_right_ballpark() {
+        // Published sizes: GPT2-L ~0.77B, GPT2-XL ~1.5B, OPT-6.7B ~6.7B,
+        // LLaMa-2-7B ~6.7B. Allow 20% slack for our simplified accounting.
+        let cases = [
+            (ModelSpec::gpt2_large(), 0.77e9),
+            (ModelSpec::gpt2_xl(), 1.5e9),
+            (ModelSpec::opt_6_7b(), 6.7e9),
+            (ModelSpec::llama2_7b(), 6.7e9),
+            (ModelSpec::opt_13b(), 13.0e9),
+        ];
+        for (spec, expect) in cases {
+            let got = spec.num_params() as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.2,
+                "{}: {got:.2e} vs {expect:.2e}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn head_dims_divide() {
+        for spec in ModelSpec::paper_sweep() {
+            assert_eq!(spec.d_model % spec.n_heads, 0, "{}", spec.name);
+        }
+        assert_eq!(ModelSpec::gpt2_xl().head_dim(), 64);
+        assert_eq!(ModelSpec::opt_6_7b().head_dim(), 128);
+    }
+
+    #[test]
+    fn kv_bytes_gpt2_xl() {
+        // 2 (K+V) * 2 bytes * 48 layers * 1600 dim = 307200 bytes/token.
+        assert_eq!(ModelSpec::gpt2_xl().kv_bytes_per_token(), 307_200);
+    }
+
+    #[test]
+    fn sweep_has_eight_models() {
+        assert_eq!(ModelSpec::paper_sweep().len(), 8);
+    }
+
+    #[test]
+    fn toy_is_small() {
+        let t = ModelSpec::toy();
+        assert!(t.num_params() < 1_000_000);
+        assert_eq!(t.head_dim(), 16);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests of the transformer substrate and synthetic workloads.
+
+use proptest::prelude::*;
+use topick_model::{
+    nll_from_logits, ExactAttention, HeadCache, KvCache, ModelSpec, SynthInstance, SynthProfile,
+    TransformerModel,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Synthetic instances realize their target scores to high precision,
+    /// for any profile in the supported range.
+    #[test]
+    fn synth_scores_match_targets(
+        seed in any::<u64>(),
+        n in 1usize..128,
+        dim_pow in 3u32..8, // 8..128
+        std in 0.0f64..4.0,
+        locality in 0.0f64..6.0,
+    ) {
+        let dim = 1usize << dim_pow;
+        let profile = SynthProfile {
+            score_std: std,
+            locality_strength: locality,
+            ..SynthProfile::realistic(n, dim)
+        };
+        let inst = SynthInstance::generate(&profile, seed);
+        let realized = inst.realized_scores();
+        for (t, r) in inst.target_scores.iter().zip(&realized) {
+            prop_assert!((t - r).abs() < 1e-2, "target {} vs realized {}", t, r);
+        }
+    }
+
+    /// Attention probabilities from any instance form a distribution.
+    #[test]
+    fn synth_probabilities_are_a_distribution(seed in any::<u64>(), n in 1usize..96) {
+        let inst = SynthInstance::generate(&SynthProfile::realistic(n, 32), seed);
+        let p = inst.exact_probabilities();
+        prop_assert_eq!(p.len(), n);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    /// NLL is non-negative for any target and consistent with a direct
+    /// softmax computation.
+    #[test]
+    fn nll_nonnegative_and_consistent(
+        logits in prop::collection::vec(-20.0f32..20.0, 2..64),
+        target_frac in 0.0f64..1.0,
+    ) {
+        let target = ((logits.len() as f64 - 1.0) * target_frac) as usize;
+        let nll = nll_from_logits(&logits, target);
+        prop_assert!(nll >= -1e-9, "nll {}", nll);
+        let probs = topick_core::softmax(&logits.iter().map(|&l| f64::from(l)).collect::<Vec<_>>());
+        prop_assert!((nll - (-probs[target].ln())).abs() < 1e-6);
+    }
+
+    /// The KV cache returns exactly what was pushed, in order.
+    #[test]
+    fn head_cache_roundtrip(
+        rows in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 4), 1..32),
+    ) {
+        let mut cache = HeadCache::new(4);
+        for r in &rows {
+            cache.push(r, r);
+        }
+        prop_assert_eq!(cache.len(), rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(cache.key_row(i), r.as_slice());
+            prop_assert_eq!(cache.value_row(i), r.as_slice());
+        }
+    }
+}
+
+#[test]
+fn model_forward_is_pure_given_cache_state() {
+    // Two models from the same seed must produce identical logits on
+    // identical inputs, independently of each other.
+    let spec = ModelSpec::toy();
+    let m1 = TransformerModel::new_random(spec.clone(), 5);
+    let m2 = TransformerModel::new_random(spec.clone(), 5);
+    let mut c1 = KvCache::new(spec.n_layers, spec.n_heads, spec.head_dim());
+    let mut c2 = KvCache::new(spec.n_layers, spec.n_heads, spec.head_dim());
+    let mut k1 = ExactAttention::new();
+    let mut k2 = ExactAttention::new();
+    for (pos, tok) in [3usize, 14, 15, 92].iter().enumerate() {
+        let l1 = m1.forward(*tok, pos, &mut c1, &mut k1);
+        let l2 = m2.forward(*tok, pos, &mut c2, &mut k2);
+        assert_eq!(l1, l2, "divergence at pos {pos}");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let spec = ModelSpec::toy();
+    let m1 = TransformerModel::new_random(spec.clone(), 1);
+    let m2 = TransformerModel::new_random(spec.clone(), 2);
+    let mut c1 = KvCache::new(spec.n_layers, spec.n_heads, spec.head_dim());
+    let mut c2 = KvCache::new(spec.n_layers, spec.n_heads, spec.head_dim());
+    let mut k = ExactAttention::new();
+    let l1 = m1.forward(7, 0, &mut c1, &mut k);
+    let l2 = m2.forward(7, 0, &mut c2, &mut k);
+    assert_ne!(l1, l2);
+}

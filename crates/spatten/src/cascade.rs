@@ -1,0 +1,294 @@
+//! SpAtten-style cascade token pruning (Wang et al., HPCA 2021), used as
+//! the fixed-ratio baseline of the paper's Fig. 9.
+//!
+//! SpAtten ranks tokens by their *cumulative* attention probability
+//! (accumulated across heads and layers) and keeps only the top fraction;
+//! once a token is pruned at layer `l` it is excluded from all deeper layers
+//! and all later generation steps (the "cascade"). This reduces both K and V
+//! traffic, but by a *fixed ratio* that ignores how many tokens actually
+//! matter in a given instance — the contrast Token-Picker draws in §2.2.2.
+
+use topick_core::softmax;
+
+/// Cascade pruning configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpattenConfig {
+    /// Fraction of tokens retained once the cascade has fully ramped.
+    pub final_keep_ratio: f64,
+    /// Number of leading layers over which the keep ratio ramps linearly
+    /// from 1.0 down to `final_keep_ratio`.
+    pub ramp_layers: usize,
+}
+
+impl SpattenConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `final_keep_ratio` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(final_keep_ratio: f64, ramp_layers: usize) -> Self {
+        assert!(
+            final_keep_ratio > 0.0 && final_keep_ratio <= 1.0,
+            "keep ratio must be in (0, 1]"
+        );
+        Self {
+            final_keep_ratio,
+            ramp_layers,
+        }
+    }
+
+    /// The keep ratio in effect at `layer`.
+    #[must_use]
+    pub fn keep_ratio_at(&self, layer: usize) -> f64 {
+        if self.ramp_layers == 0 {
+            return self.final_keep_ratio;
+        }
+        let t = (layer as f64 / self.ramp_layers as f64).min(1.0);
+        1.0 - (1.0 - self.final_keep_ratio) * t
+    }
+}
+
+/// The cascade pruning state over one generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeState {
+    cumulative: Vec<f64>,
+    active: Vec<bool>,
+}
+
+impl CascadeState {
+    /// State for an initial context of `n` tokens, all active.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            cumulative: vec![0.0; n],
+            active: vec![true; n],
+        }
+    }
+
+    /// Registers one newly generated token (always active).
+    pub fn extend(&mut self) {
+        self.cumulative.push(0.0);
+        self.active.push(true);
+    }
+
+    /// Number of tokens tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether no tokens are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Indices of currently active tokens.
+    #[must_use]
+    pub fn active_tokens(&self) -> Vec<usize> {
+        (0..self.active.len()).filter(|&i| self.active[i]).collect()
+    }
+
+    /// Number of currently active tokens.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Accumulates one head's attention probabilities (aligned with
+    /// [`active_tokens`](Self::active_tokens)) into the importance scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len()` differs from the active count.
+    pub fn accumulate(&mut self, probs: &[f64]) {
+        let active = self.active_tokens();
+        assert_eq!(probs.len(), active.len(), "prob/active length mismatch");
+        for (&tok, &p) in active.iter().zip(probs) {
+            self.cumulative[tok] += p;
+        }
+    }
+
+    /// Prunes the active set down to `keep` tokens by cumulative importance
+    /// (stable: ties keep the older token). No-op if already at or below.
+    pub fn prune_to(&mut self, keep: usize) {
+        let mut active = self.active_tokens();
+        if active.len() <= keep {
+            return;
+        }
+        active.sort_by(|&a, &b| {
+            self.cumulative[b]
+                .partial_cmp(&self.cumulative[a])
+                .expect("finite importance")
+                .then(a.cmp(&b))
+        });
+        for &tok in &active[keep..] {
+            self.active[tok] = false;
+        }
+    }
+}
+
+/// Bit-level access accounting of a cascade run vs. the no-pruning baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpattenAccess {
+    /// Key bits fetched.
+    pub k_bits: u64,
+    /// Value bits fetched.
+    pub v_bits: u64,
+    /// Key bits a no-pruning baseline would fetch.
+    pub baseline_k_bits: u64,
+    /// Value bits the baseline would fetch.
+    pub baseline_v_bits: u64,
+}
+
+impl SpattenAccess {
+    /// Total access reduction factor.
+    #[must_use]
+    pub fn total_reduction(&self) -> f64 {
+        let fetched = self.k_bits + self.v_bits;
+        if fetched == 0 {
+            return f64::INFINITY;
+        }
+        (self.baseline_k_bits + self.baseline_v_bits) as f64 / fetched as f64
+    }
+
+    /// Normalized access (fetched / baseline), the Fig. 9 y-axis.
+    #[must_use]
+    pub fn normalized(&self) -> f64 {
+        (self.k_bits + self.v_bits) as f64 / (self.baseline_k_bits + self.baseline_v_bits) as f64
+    }
+}
+
+/// Simulates cascade pruning over a generation run driven by externally
+/// supplied attention scores.
+///
+/// `scores(step, layer, head, tokens)` must return raw correlation scores
+/// for exactly the requested (active) token indices; the simulator
+/// softmaxes them, accumulates importance, applies the per-layer keep
+/// ratio, and counts K/V bits (12-bit operands, like the paper's setup).
+///
+/// # Panics
+///
+/// Panics if the score callback returns the wrong number of scores.
+pub fn simulate_generation<F>(
+    cfg: &SpattenConfig,
+    prompt_len: usize,
+    gen_steps: usize,
+    layers: usize,
+    heads: usize,
+    dim: usize,
+    mut scores: F,
+) -> SpattenAccess
+where
+    F: FnMut(usize, usize, usize, &[usize]) -> Vec<f64>,
+{
+    const BITS: u64 = 12;
+    let mut state = CascadeState::new(prompt_len);
+    let mut access = SpattenAccess::default();
+    let per_tok_bits = dim as u64 * BITS;
+    for step in 0..gen_steps {
+        let context = state.len();
+        for layer in 0..layers {
+            let active = state.active_tokens();
+            // K of every active token is fetched once per layer (shared by
+            // heads within the layer, as SpAtten's importance ranking is).
+            access.k_bits += active.len() as u64 * per_tok_bits;
+            access.baseline_k_bits += context as u64 * per_tok_bits;
+            for head in 0..heads {
+                let s = scores(step, layer, head, &active);
+                assert_eq!(s.len(), active.len(), "score callback length mismatch");
+                let probs = softmax(&s);
+                state.accumulate(&probs);
+            }
+            // V fetched for the tokens surviving this layer's keep ratio.
+            let keep = ((state.len() as f64) * cfg.keep_ratio_at(layer)).ceil() as usize;
+            state.prune_to(keep.max(1));
+            access.v_bits += state.active_count() as u64 * per_tok_bits;
+            access.baseline_v_bits += context as u64 * per_tok_bits;
+        }
+        let _ = step;
+        state.extend();
+    }
+    access
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_scores(_s: usize, _l: usize, _h: usize, toks: &[usize]) -> Vec<f64> {
+        toks.iter().map(|&t| (t % 7) as f64 * 0.3).collect()
+    }
+
+    #[test]
+    fn keep_ratio_ramps() {
+        let cfg = SpattenConfig::new(0.4, 4);
+        assert!((cfg.keep_ratio_at(0) - 1.0).abs() < 1e-12);
+        assert!((cfg.keep_ratio_at(2) - 0.7).abs() < 1e-12);
+        assert!((cfg.keep_ratio_at(4) - 0.4).abs() < 1e-12);
+        assert!((cfg.keep_ratio_at(10) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_keeps_highest_importance() {
+        let mut st = CascadeState::new(4);
+        st.accumulate(&[0.1, 0.6, 0.05, 0.25]);
+        st.prune_to(2);
+        assert_eq!(st.active_tokens(), vec![1, 3]);
+    }
+
+    #[test]
+    fn cascade_is_monotone() {
+        // Once pruned, a token never comes back.
+        let cfg = SpattenConfig::new(0.5, 2);
+        let mut seen_inactive: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut state = CascadeState::new(8);
+        for layer in 0..6 {
+            let active = state.active_tokens();
+            for &t in &seen_inactive {
+                assert!(!active.contains(&t), "token resurrected");
+            }
+            let probs = vec![1.0 / active.len() as f64; active.len()];
+            state.accumulate(&probs);
+            let keep = ((state.len() as f64) * cfg.keep_ratio_at(layer)).ceil() as usize;
+            state.prune_to(keep.max(1));
+            for i in 0..state.len() {
+                if !state.active_tokens().contains(&i) {
+                    seen_inactive.insert(i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_reduces_access() {
+        let cfg = SpattenConfig::new(0.3, 2);
+        let acc = simulate_generation(&cfg, 64, 8, 4, 2, 16, flat_scores);
+        assert!(acc.k_bits < acc.baseline_k_bits);
+        assert!(acc.v_bits < acc.baseline_v_bits);
+        assert!(acc.total_reduction() > 1.0);
+        assert!(acc.normalized() < 1.0);
+    }
+
+    #[test]
+    fn keep_ratio_one_means_no_pruning() {
+        let cfg = SpattenConfig::new(1.0, 0);
+        let acc = simulate_generation(&cfg, 32, 4, 3, 2, 8, flat_scores);
+        assert_eq!(acc.k_bits, acc.baseline_k_bits);
+        assert_eq!(acc.v_bits, acc.baseline_v_bits);
+    }
+
+    #[test]
+    fn lower_ratio_prunes_more() {
+        let a = simulate_generation(&SpattenConfig::new(0.6, 2), 64, 8, 4, 2, 16, flat_scores);
+        let b = simulate_generation(&SpattenConfig::new(0.2, 2), 64, 8, 4, 2, 16, flat_scores);
+        assert!(b.normalized() < a.normalized());
+    }
+
+    #[test]
+    #[should_panic(expected = "keep ratio must be in (0, 1]")]
+    fn zero_ratio_rejected() {
+        let _ = SpattenConfig::new(0.0, 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! SpAtten's cascade *head* pruning — the second half of the HPCA'21
+//! technique (the paper's §2.2.2 cites "cascade token/head pruning").
+//!
+//! Heads are ranked by cumulative head importance — the magnitude of their
+//! attention outputs accumulated across tokens — and the least important
+//! heads are dropped permanently once enough evidence accumulates. A
+//! pruned head skips its Q/K/V projections and its whole KV traffic.
+
+/// Head-pruning configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadPruneConfig {
+    /// Fraction of heads retained once fully ramped.
+    pub final_keep_ratio: f64,
+    /// Number of generation steps over which the ratio ramps from 1.0.
+    pub ramp_steps: usize,
+}
+
+impl HeadPruneConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `final_keep_ratio` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(final_keep_ratio: f64, ramp_steps: usize) -> Self {
+        assert!(
+            final_keep_ratio > 0.0 && final_keep_ratio <= 1.0,
+            "keep ratio must be in (0, 1]"
+        );
+        Self {
+            final_keep_ratio,
+            ramp_steps,
+        }
+    }
+
+    /// Keep ratio in effect at generation step `step`.
+    #[must_use]
+    pub fn keep_ratio_at(&self, step: usize) -> f64 {
+        if self.ramp_steps == 0 {
+            return self.final_keep_ratio;
+        }
+        let t = (step as f64 / self.ramp_steps as f64).min(1.0);
+        1.0 - (1.0 - self.final_keep_ratio) * t
+    }
+}
+
+/// Cascade head-pruning state across a generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadPruner {
+    cfg: HeadPruneConfig,
+    importance: Vec<f64>,
+    active: Vec<bool>,
+}
+
+impl HeadPruner {
+    /// State for `n_heads` heads, all active.
+    #[must_use]
+    pub fn new(cfg: HeadPruneConfig, n_heads: usize) -> Self {
+        Self {
+            cfg,
+            importance: vec![0.0; n_heads],
+            active: vec![true; n_heads],
+        }
+    }
+
+    /// Indices of currently active heads.
+    #[must_use]
+    pub fn active_heads(&self) -> Vec<usize> {
+        (0..self.active.len()).filter(|&h| self.active[h]).collect()
+    }
+
+    /// Number of active heads.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Accumulates one step's head importances (e.g. attention-output L1
+    /// norms), aligned with [`active_heads`](Self::active_heads), then
+    /// applies the step's keep ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `importances.len()` differs from the active-head count.
+    pub fn observe_step(&mut self, step: usize, importances: &[f64]) {
+        let active = self.active_heads();
+        assert_eq!(
+            importances.len(),
+            active.len(),
+            "importance/active length mismatch"
+        );
+        for (&h, &imp) in active.iter().zip(importances) {
+            self.importance[h] += imp;
+        }
+        let keep = ((self.active.len() as f64) * self.cfg.keep_ratio_at(step)).ceil() as usize;
+        self.prune_to(keep.max(1));
+    }
+
+    fn prune_to(&mut self, keep: usize) {
+        let mut active = self.active_heads();
+        if active.len() <= keep {
+            return;
+        }
+        active.sort_by(|&a, &b| {
+            self.importance[b]
+                .partial_cmp(&self.importance[a])
+                .expect("finite importance")
+                .then(a.cmp(&b))
+        });
+        for &h in &active[keep..] {
+            self.active[h] = false;
+        }
+    }
+
+    /// Fraction of per-step attention KV traffic avoided so far at `step`
+    /// (pruned heads fetch nothing).
+    #[must_use]
+    pub fn traffic_fraction(&self) -> f64 {
+        self.active_count() as f64 / self.active.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heads_prune_to_ratio_after_ramp() {
+        let cfg = HeadPruneConfig::new(0.5, 4);
+        let mut hp = HeadPruner::new(cfg, 8);
+        for step in 0..8 {
+            let n = hp.active_count();
+            let imp: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            hp.observe_step(step, &imp);
+        }
+        assert_eq!(hp.active_count(), 4);
+    }
+
+    #[test]
+    fn important_heads_survive() {
+        let cfg = HeadPruneConfig::new(0.25, 0);
+        let mut hp = HeadPruner::new(cfg, 8);
+        // Head 7 most important, head 0 least.
+        let imp: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        hp.observe_step(0, &imp);
+        let active = hp.active_heads();
+        assert_eq!(active, vec![6, 7]);
+    }
+
+    #[test]
+    fn pruned_heads_never_return() {
+        let cfg = HeadPruneConfig::new(0.5, 2);
+        let mut hp = HeadPruner::new(cfg, 6);
+        let mut ever_inactive = std::collections::HashSet::new();
+        for step in 0..6 {
+            let n = hp.active_count();
+            hp.observe_step(step, &vec![1.0; n]);
+            for h in 0..6 {
+                if !hp.active_heads().contains(&h) {
+                    ever_inactive.insert(h);
+                }
+            }
+            for &h in &ever_inactive {
+                assert!(!hp.active_heads().contains(&h), "head {h} resurrected");
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_fraction_tracks_active_count() {
+        let cfg = HeadPruneConfig::new(0.5, 0);
+        let mut hp = HeadPruner::new(cfg, 4);
+        assert!((hp.traffic_fraction() - 1.0).abs() < 1e-12);
+        hp.observe_step(0, &[1.0, 2.0, 3.0, 4.0]);
+        assert!((hp.traffic_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep ratio must be in (0, 1]")]
+    fn invalid_ratio_rejected() {
+        let _ = HeadPruneConfig::new(1.5, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! A fixed-ratio top-k attention kernel — SpAtten's per-instance behaviour
+//! packaged as a [`topick_model::AttentionKernel`] so the same ΔPPL
+//! calibration harness can drive both designs.
+
+use topick_core::{softmax, PrecisionConfig, PruneStats};
+use topick_model::{AttentionKernel, HeadCache};
+
+/// Attention that keeps only the top `keep_ratio` fraction of tokens by
+/// probability, renormalizing over the survivors.
+///
+/// Unlike Token-Picker's adaptive thresholding, the kept count is a fixed
+/// fraction of the context regardless of how the probability mass is
+/// actually distributed — the failure mode Fig. 3 illustrates.
+///
+/// # Examples
+///
+/// ```
+/// use topick_model::{AttentionKernel, HeadCache};
+/// use topick_spatten::TopKAttention;
+///
+/// let mut cache = HeadCache::new(2);
+/// for i in 0..10 {
+///     cache.push(&[i as f32, 1.0], &[1.0, 0.0]);
+/// }
+/// let mut kernel = TopKAttention::new(0.3);
+/// let out = kernel.attend(&[1.0, 0.0], &cache);
+/// assert_eq!(out.len(), 2);
+/// let stats = kernel.accumulated_stats().expect("tracked");
+/// assert_eq!(stats.kept, 3); // ceil(0.3 * 10)
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopKAttention {
+    keep_ratio: f64,
+    stats: PruneStats,
+}
+
+impl TopKAttention {
+    /// Creates a kernel keeping `keep_ratio` of tokens per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_ratio` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(keep_ratio: f64) -> Self {
+        assert!(
+            keep_ratio > 0.0 && keep_ratio <= 1.0,
+            "keep ratio must be in (0, 1]"
+        );
+        Self {
+            keep_ratio,
+            stats: PruneStats::new(0, PrecisionConfig::paper().num_chunks()),
+        }
+    }
+
+    /// The configured keep ratio.
+    #[must_use]
+    pub fn keep_ratio(&self) -> f64 {
+        self.keep_ratio
+    }
+}
+
+impl AttentionKernel for TopKAttention {
+    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32> {
+        let n = cache.len();
+        assert!(n > 0, "attention over empty cache");
+        let scale = 1.0 / (cache.dim() as f32).sqrt();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| {
+                let k = cache.key_row(i);
+                f64::from(q.iter().zip(k).map(|(&a, &b)| a * b).sum::<f32>() * scale)
+            })
+            .collect();
+        let probs = softmax(&scores);
+        let keep = ((n as f64) * self.keep_ratio).ceil() as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            probs[b]
+                .partial_cmp(&probs[a])
+                .expect("finite probabilities")
+                .then(a.cmp(&b))
+        });
+        let kept = &order[..keep.min(n)];
+        let kept_scores: Vec<f64> = kept.iter().map(|&i| scores[i]).collect();
+        let renorm = softmax(&kept_scores);
+
+        // Accounting: SpAtten loads every key (scores need all of them)
+        // but only the survivors' values.
+        let mut stats = PruneStats::new(n, PrecisionConfig::paper().num_chunks());
+        for c in &mut stats.chunk_fetches {
+            *c = n as u64;
+        }
+        stats.kept = kept.len();
+        *stats.pruned_at.last_mut().expect("chunks") = (n - kept.len()) as u64;
+        self.stats.merge(&stats);
+
+        let dim = cache.dim();
+        let mut out = vec![0.0f32; dim];
+        for (&tok, &p) in kept.iter().zip(&renorm) {
+            let v = cache.value_row(tok);
+            for (o, &vv) in out.iter_mut().zip(v) {
+                *o += p as f32 * vv;
+            }
+        }
+        out
+    }
+
+    fn accumulated_stats(&self) -> Option<&PruneStats> {
+        Some(&self.stats)
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PruneStats::new(0, PrecisionConfig::paper().num_chunks());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_with_scores(n: usize) -> HeadCache {
+        let mut cache = HeadCache::new(2);
+        for i in 0..n {
+            // Key [i, 0] with query [1, 0] gives score i.
+            cache.push(&[i as f32, 0.0], &[i as f32, 1.0]);
+        }
+        cache
+    }
+
+    #[test]
+    fn keeps_exactly_the_ratio() {
+        let cache = cache_with_scores(20);
+        let mut kernel = TopKAttention::new(0.25);
+        let _ = kernel.attend(&[1.0, 0.0], &cache);
+        assert_eq!(kernel.accumulated_stats().unwrap().kept, 5);
+    }
+
+    #[test]
+    fn keeps_the_dominant_tokens() {
+        let cache = cache_with_scores(10);
+        let mut kernel = TopKAttention::new(0.2);
+        let out = kernel.attend(&[1.0, 0.0], &cache);
+        // Tokens 8 and 9 dominate; output ~ weighted toward v = [9, 1].
+        assert!(out[0] > 8.0, "output {out:?}");
+    }
+
+    #[test]
+    fn ratio_one_equals_exact_attention() {
+        let cache = cache_with_scores(12);
+        let q = [1.0f32, 0.0];
+        let mut topk = TopKAttention::new(1.0);
+        let mut exact = topick_model::ExactAttention::new();
+        let a = topk.attend(&q, &cache);
+        let b = exact.attend(&q, &cache);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn full_k_traffic_is_counted() {
+        let cache = cache_with_scores(16);
+        let mut kernel = TopKAttention::new(0.5);
+        let _ = kernel.attend(&[1.0, 0.0], &cache);
+        let stats = kernel.accumulated_stats().unwrap();
+        let pc = PrecisionConfig::paper();
+        assert_eq!(stats.k_reduction(2, &pc), 1.0, "SpAtten reads all K");
+        assert!(stats.v_reduction() >= 2.0);
+    }
+}

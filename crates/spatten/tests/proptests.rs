@@ -1,0 +1,82 @@
+//! Property tests of the SpAtten baselines: cascade invariants and kernel
+//! accounting.
+
+use proptest::prelude::*;
+use topick_spatten::{simulate_generation, CascadeState, SpattenConfig, TopKAttention};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cascade keep-ratio schedule is monotone non-increasing in layer.
+    #[test]
+    fn keep_ratio_monotone(ratio in 0.05f64..1.0, ramp in 0usize..16) {
+        let cfg = SpattenConfig::new(ratio, ramp);
+        let mut prev = 1.0 + 1e-12;
+        for layer in 0..24 {
+            let r = cfg.keep_ratio_at(layer);
+            prop_assert!(r <= prev + 1e-12);
+            prop_assert!(r >= ratio - 1e-12);
+            prev = r;
+        }
+    }
+
+    /// prune_to never removes more than requested and keeps the top-ranked
+    /// tokens by cumulative importance.
+    #[test]
+    fn prune_to_respects_count(
+        scores in prop::collection::vec(0.0f64..1.0, 2..64),
+        keep_frac in 0.1f64..1.0,
+    ) {
+        let n = scores.len();
+        let mut st = CascadeState::new(n);
+        st.accumulate(&scores);
+        let keep = ((n as f64) * keep_frac).ceil() as usize;
+        st.prune_to(keep);
+        prop_assert_eq!(st.active_count(), keep.min(n));
+        // Every surviving token outranks (or ties) every pruned token.
+        let active: std::collections::HashSet<usize> =
+            st.active_tokens().into_iter().collect();
+        let min_kept = st
+            .active_tokens()
+            .iter()
+            .map(|&t| scores[t])
+            .fold(f64::INFINITY, f64::min);
+        for (t, &s) in scores.iter().enumerate() {
+            if !active.contains(&t) {
+                prop_assert!(s <= min_kept + 1e-12);
+            }
+        }
+    }
+
+    /// Access counts are bounded by the baseline and exact at ratio 1.0.
+    #[test]
+    fn access_bounded_by_baseline(
+        ratio in 0.05f64..1.0,
+        prompt in 4usize..48,
+        steps in 1usize..8,
+    ) {
+        let cfg = SpattenConfig::new(ratio, 2);
+        let acc = simulate_generation(&cfg, prompt, steps, 3, 2, 16, |s, l, h, toks| {
+            toks.iter()
+                .map(|&t| ((t * 31 + s * 7 + l * 3 + h) % 13) as f64 * 0.2)
+                .collect()
+        });
+        prop_assert!(acc.k_bits <= acc.baseline_k_bits);
+        prop_assert!(acc.v_bits <= acc.baseline_v_bits);
+        prop_assert!(acc.normalized() <= 1.0 + 1e-12);
+    }
+
+    /// The top-k kernel always keeps ceil(ratio * n) tokens.
+    #[test]
+    fn topk_kernel_count_exact(n in 1usize..64, ratio in 0.05f64..1.0) {
+        use topick_model::{AttentionKernel, HeadCache};
+        let mut cache = HeadCache::new(2);
+        for i in 0..n {
+            cache.push(&[i as f32, 1.0], &[1.0, 0.0]);
+        }
+        let mut kernel = TopKAttention::new(ratio);
+        let _ = kernel.attend(&[1.0, 0.5], &cache);
+        let kept = kernel.accumulated_stats().expect("stats").kept;
+        prop_assert_eq!(kept, ((n as f64) * ratio).ceil() as usize);
+    }
+}

@@ -1,0 +1,55 @@
+//! Batched serving economics: why KV-cache traffic dominates at large batch
+//! sizes (paper §2.2.1 / Fig. 2) and what Token-Picker's reduction buys.
+//!
+//! ```sh
+//! cargo run --release --example batch_serving
+//! ```
+
+use token_picker::core::{PrecisionConfig, ProgressivePruner, PrunerConfig, QMatrix, QVector};
+use token_picker::model::{InstanceSampler, ModelSpec, TrafficBreakdown};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ModelSpec::opt_6_7b();
+    let context = 2048;
+
+    // Measure Token-Picker's KV reduction on this shape once.
+    let pc = PrecisionConfig::paper();
+    let dim = spec.head_dim();
+    let pruner = ProgressivePruner::new(PrunerConfig::new(1e-3)?);
+    let sampler = InstanceSampler::realistic(context, dim);
+    let mut agg = token_picker::core::PruneStats::new(0, pc.num_chunks());
+    for i in 0..8 {
+        let inst = sampler.sample(i);
+        let q = QVector::quantize(&inst.query, pc);
+        let keys = QMatrix::quantize_rows(&inst.keys, pc)?;
+        agg.merge(&pruner.run(&q, &keys)?.stats);
+    }
+    let kv_reduction = agg.total_reduction(dim, &pc);
+    println!(
+        "{} @ context {}: measured KV access reduction {:.2}x\n",
+        spec.name, context, kv_reduction
+    );
+
+    println!(
+        "{:>5}  {:>9} {:>9}  {:>10} {:>10}  {:>8}",
+        "batch", "KV share", "KV GB", "total GB", "pruned GB", "saved"
+    );
+    for batch in [1usize, 4, 16, 64, 128] {
+        let t = TrafficBreakdown::compute(&spec, batch, context);
+        let total_gb = t.total() as f64 / 1e9;
+        let kv_gb = t.kv_bytes as f64 / 1e9;
+        let pruned_total_gb = total_gb - kv_gb + kv_gb / kv_reduction;
+        println!(
+            "{:>5}  {:>8.1}% {:>9.2}  {:>10.2} {:>10.2}  {:>7.1}%",
+            batch,
+            100.0 * t.kv_fraction(),
+            kv_gb,
+            total_gb,
+            pruned_total_gb,
+            100.0 * (1.0 - pruned_total_gb / total_gb),
+        );
+    }
+    println!();
+    println!("(per generation step; the bigger the batch, the more Token-Picker saves)");
+    Ok(())
+}

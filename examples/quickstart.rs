@@ -1,0 +1,55 @@
+//! Quickstart: prune attention tokens with conservative probability
+//! estimation and check what it saved.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use token_picker::core::{
+    exact_probabilities, weighted_value_sum, PrecisionConfig, ProgressivePruner, PrunerConfig,
+    QMatrix, QVector,
+};
+use token_picker::model::{SynthInstance, SynthProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A realistic attention instance: 512 cached tokens, 64-dim head,
+    // locality toward recent tokens and the first token.
+    let profile = SynthProfile::realistic(512, 64);
+    let instance = SynthInstance::generate(&profile, 42);
+
+    // Quantize to the paper's 12-bit / three 4-bit-chunk format.
+    let pc = PrecisionConfig::paper();
+    let query = QVector::quantize(&instance.query, pc);
+    let keys = QMatrix::quantize_rows(&instance.keys, pc)?;
+
+    // Prune tokens whose probability upper bound falls below 1e-3.
+    let pruner = ProgressivePruner::new(PrunerConfig::new(1e-3)?);
+    let outcome = pruner.run(&query, &keys)?;
+
+    let stats = &outcome.stats;
+    println!("context tokens : {}", stats.tokens);
+    println!("tokens kept    : {}", stats.kept);
+    println!(
+        "chunk fetches  : {:?} (of {} per chunk)",
+        stats.chunk_fetches, stats.tokens
+    );
+    println!("V reduction    : {:.1}x", stats.v_reduction());
+    println!("K reduction    : {:.2}x", stats.k_reduction(64, &pc));
+    println!("total reduction: {:.2}x", stats.total_reduction(64, &pc));
+
+    // Safety check: every truly dominant token survived.
+    let exact = exact_probabilities(&query, &keys);
+    let dominant = exact.iter().filter(|&&p| p > 1e-3).count();
+    let kept: std::collections::HashSet<usize> = outcome.kept.iter().map(|k| k.index).collect();
+    let retained = exact
+        .iter()
+        .enumerate()
+        .filter(|(t, &p)| p > 1e-3 && kept.contains(t))
+        .count();
+    println!("dominant tokens retained: {retained}/{dominant}");
+
+    // The attention output over survivors.
+    let output = weighted_value_sum(&outcome.probability_pairs(), &instance.values);
+    println!("output[0..4]   : {:?}", &output[..4]);
+    Ok(())
+}

@@ -1,0 +1,201 @@
+//! `topick` — command-line driver for the Token-Picker reproduction.
+//!
+//! ```text
+//! topick prune   [--context N] [--dim D] [--threshold T] [--seed S]
+//! topick sweep   [--context N] [--dim D] [--seed S]
+//! topick accel   [--context N] [--threshold T] [--seed S]
+//! topick traffic [--model NAME] [--context N]
+//! topick help
+//! ```
+
+use std::collections::HashMap;
+
+use token_picker::accel::{AccelConfig, AccelMode, ToPickAccelerator};
+use token_picker::core::{
+    PrecisionConfig, ProgressivePruner, PrunerConfig, QMatrix, QVector, ScanOrder,
+};
+use token_picker::model::{InstanceSampler, ModelSpec, TrafficBreakdown};
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
+    flags
+        .get(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn workload(ctx: usize, dim: usize, seed: u64) -> (QVector, QMatrix, Vec<Vec<f32>>) {
+    let pc = PrecisionConfig::paper();
+    let inst = InstanceSampler::realistic(ctx, dim).sample(seed);
+    (
+        QVector::quantize(&inst.query, pc),
+        QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty"),
+        inst.values,
+    )
+}
+
+fn cmd_prune(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = flag(flags, "context", 512usize);
+    let dim = flag(flags, "dim", 64usize);
+    let thr = flag(flags, "threshold", 1e-3f64);
+    let seed = flag(flags, "seed", 0u64);
+    let (q, keys, _) = workload(ctx, dim, seed);
+    let outcome = ProgressivePruner::new(PrunerConfig::new(thr)?).run(&q, &keys)?;
+    let pc = PrecisionConfig::paper();
+    println!("context {ctx}, dim {dim}, thr {thr:.1e}, seed {seed}");
+    println!(
+        "kept        : {}/{}",
+        outcome.stats.kept, outcome.stats.tokens
+    );
+    println!("chunk fetches: {:?}", outcome.stats.chunk_fetches);
+    println!("V reduction : {:.2}x", outcome.stats.v_reduction());
+    println!("K reduction : {:.2}x", outcome.stats.k_reduction(dim, &pc));
+    println!(
+        "total       : {:.2}x",
+        outcome.stats.total_reduction(dim, &pc)
+    );
+    Ok(())
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = flag(flags, "context", 512usize);
+    let dim = flag(flags, "dim", 64usize);
+    let seed = flag(flags, "seed", 0u64);
+    let (q, keys, _) = workload(ctx, dim, seed);
+    let pc = PrecisionConfig::paper();
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "threshold", "kept", "V red", "K red", "total"
+    );
+    for exp in 2..=6 {
+        let thr = 10f64.powi(-exp);
+        let cfg = PrunerConfig::new(thr)?.with_order(ScanOrder::FirstAndReverse);
+        let o = ProgressivePruner::new(cfg).run(&q, &keys)?;
+        println!(
+            "{:<12.0e} {:>10} {:>9.1}x {:>9.2}x {:>9.2}x",
+            thr,
+            o.stats.kept,
+            o.stats.v_reduction(),
+            o.stats.k_reduction(dim, &pc),
+            o.stats.total_reduction(dim, &pc)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_accel(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = flag(flags, "context", 1024usize);
+    let thr = flag(flags, "threshold", 1e-3f64);
+    let seed = flag(flags, "seed", 0u64);
+    let (q, keys, values) = workload(ctx, 64, seed);
+    println!(
+        "{:<14} {:>9} {:>9} {:>11} {:>12}",
+        "mode", "cycles", "kept", "DRAM KB", "energy uJ"
+    );
+    for (name, mode, t) in [
+        ("Baseline", AccelMode::Baseline, 0.5),
+        ("EstimateOnly", AccelMode::EstimateOnly, thr),
+        ("OutOfOrder", AccelMode::OutOfOrder, thr),
+        ("Blocking", AccelMode::Blocking, thr),
+    ] {
+        let accel = ToPickAccelerator::new(AccelConfig::paper(mode, t)?);
+        let r = accel.run_attention(&q, &keys, &values)?;
+        println!(
+            "{:<14} {:>9} {:>9} {:>11.1} {:>12.2}",
+            name,
+            r.cycles,
+            r.kept.len(),
+            r.dram_stats.bytes(&accel.config().dram) as f64 / 1e3,
+            r.energy.total_pj() / 1e6
+        );
+    }
+    Ok(())
+}
+
+fn cmd_traffic(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let name = flags
+        .get("model")
+        .map_or("opt-6.7b", String::as_str)
+        .to_lowercase();
+    let spec = match name.as_str() {
+        "gpt2-medium" => ModelSpec::gpt2_medium(),
+        "gpt2-large" => ModelSpec::gpt2_large(),
+        "gpt2-xl" => ModelSpec::gpt2_xl(),
+        "opt-1.3b" => ModelSpec::opt_1_3b(),
+        "opt-2.7b" => ModelSpec::opt_2_7b(),
+        "opt-6.7b" => ModelSpec::opt_6_7b(),
+        "opt-13b" => ModelSpec::opt_13b(),
+        "llama2-7b" => ModelSpec::llama2_7b(),
+        "llama2-13b" => ModelSpec::llama2_13b(),
+        other => return Err(format!("unknown model '{other}'").into()),
+    };
+    let ctx = flag(flags, "context", spec.max_context.min(2048));
+    println!("{} @ context {}", spec.name, ctx);
+    println!(
+        "{:>6} {:>10} {:>12} {:>10}",
+        "batch", "KV share", "total GB", "KV GB"
+    );
+    for batch in [1usize, 4, 16, 64] {
+        let t = TrafficBreakdown::compute(&spec, batch, ctx);
+        println!(
+            "{:>6} {:>9.1}% {:>12.2} {:>10.2}",
+            batch,
+            100.0 * t.kv_fraction(),
+            t.total() as f64 / 1e9,
+            t.kv_bytes as f64 / 1e9
+        );
+    }
+    Ok(())
+}
+
+fn usage() {
+    println!("topick — Token-Picker (DAC 2024) reproduction driver");
+    println!();
+    println!("commands:");
+    println!("  prune    run the progressive pruner on one synthetic instance");
+    println!("           [--context N] [--dim D] [--threshold T] [--seed S]");
+    println!("  sweep    threshold sweep on one instance");
+    println!("           [--context N] [--dim D] [--seed S]");
+    println!("  accel    cycle-level accelerator comparison");
+    println!("           [--context N] [--threshold T] [--seed S]");
+    println!("  traffic  Fig. 2-style memory traffic breakdown");
+    println!("           [--model NAME] [--context N]");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let flags = parse_flags(&args[1.min(args.len())..]);
+    let result = match cmd {
+        "prune" => cmd_prune(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "accel" => cmd_accel(&flags),
+        "traffic" => cmd_traffic(&flags),
+        _ => {
+            usage();
+            Ok(())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
