@@ -13,7 +13,7 @@
 //!
 //! to produce step latency and the batch-size scaling of the speedup.
 
-use topick_core::{CoreError, PrecisionConfig, QMatrix, QVector};
+use topick_core::{CoreError, PrecisionConfig, QMatrix, QVector, Rows};
 
 use crate::config::AccelConfig;
 use crate::engine::ToPickAccelerator;
@@ -71,19 +71,12 @@ pub fn simulate_batch_step(
     params: &BatchStepParams,
     query: &QVector,
     keys: &QMatrix,
-    values: &[Vec<f32>],
+    values: Rows<'_>,
 ) -> Result<BatchStepResult, CoreError> {
     let accel = ToPickAccelerator::new(accel_cfg.clone());
     let one_head = accel.run_attention(query, keys, values)?;
     let attention_cycles = one_head.cycles * params.heads as u64 * params.batch as u64;
-
-    // Weights stream at peak DRAM bandwidth: bytes / (bytes-per-accel-cycle).
-    let bytes_per_dram_cycle = f64::from(accel_cfg.dram.bus_bits) / 8.0
-        * accel_cfg.dram.channels as f64
-        / accel_cfg.dram.t_burst as f64
-        * 2.0; // two transfer clocks per burst move access_bytes
-    let bytes_per_accel_cycle = bytes_per_dram_cycle * accel_cfg.clock_ratio as f64;
-    let weight_cycles = (params.weight_bytes as f64 / bytes_per_accel_cycle).ceil() as u64;
+    let weight_cycles = weight_stream_cycles(accel_cfg, params.weight_bytes);
 
     let total = weight_cycles + attention_cycles;
     Ok(BatchStepResult {
@@ -91,6 +84,21 @@ pub fn simulate_batch_step(
         attention_cycles,
         attention_fraction: attention_cycles as f64 / total as f64,
     })
+}
+
+/// Accelerator cycles spent streaming `weight_bytes` of FC/FFN weights at
+/// the DRAM peak bandwidth — the per-step cost every request in a batch
+/// shares. Factored out so the serving engine prices steps with the same
+/// model the batch simulation uses.
+#[must_use]
+pub fn weight_stream_cycles(accel_cfg: &AccelConfig, weight_bytes: u64) -> u64 {
+    // Weights stream at peak DRAM bandwidth: bytes / (bytes-per-accel-cycle).
+    let bytes_per_dram_cycle = f64::from(accel_cfg.dram.bus_bits) / 8.0
+        * accel_cfg.dram.channels as f64
+        / accel_cfg.dram.t_burst as f64
+        * 2.0; // two transfer clocks per burst move access_bytes
+    let bytes_per_accel_cycle = bytes_per_dram_cycle * accel_cfg.clock_ratio as f64;
+    (weight_bytes as f64 / bytes_per_accel_cycle).ceil() as u64
 }
 
 /// Convenience: simulate the same batch step under two accelerator
@@ -106,7 +114,7 @@ pub fn compare_batch_step(
     params: &BatchStepParams,
     query: &QVector,
     keys: &QMatrix,
-    values: &[Vec<f32>],
+    values: Rows<'_>,
 ) -> Result<(BatchStepResult, BatchStepResult, f64), CoreError> {
     let base = simulate_batch_step(baseline_cfg, params, query, keys, values)?;
     let tp = simulate_batch_step(topick_cfg, params, query, keys, values)?;
@@ -125,7 +133,7 @@ mod tests {
     use super::*;
     use crate::config::AccelMode;
 
-    fn instance(ctx: usize) -> (QVector, QMatrix, Vec<Vec<f32>>) {
+    fn instance(ctx: usize) -> (QVector, QMatrix, Vec<f32>) {
         let pc = PrecisionConfig::paper();
         let inst = topick_model::SynthInstance::generate(
             &topick_model::SynthProfile::realistic(ctx, 64),
@@ -133,8 +141,8 @@ mod tests {
         );
         (
             QVector::quantize(&inst.query, pc),
-            QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty"),
-            inst.values,
+            QMatrix::quantize_flat(inst.keys().data(), 64, pc).expect("non-empty"),
+            inst.into_values(),
         )
     }
 
@@ -149,7 +157,7 @@ mod tests {
                 heads: 4,
                 batch,
             };
-            let r = simulate_batch_step(&cfg, &params, &q, &keys, &values).unwrap();
+            let r = simulate_batch_step(&cfg, &params, &q, &keys, Rows::new(&values, 64)).unwrap();
             assert!(
                 r.attention_fraction > prev_frac,
                 "batch {batch}: fraction {} not growing",
@@ -173,8 +181,15 @@ mod tests {
                 heads: 64,
                 batch,
             };
-            let (_, _, speedup) =
-                compare_batch_step(&base_cfg, &tp_cfg, &params, &q, &keys, &values).unwrap();
+            let (_, _, speedup) = compare_batch_step(
+                &base_cfg,
+                &tp_cfg,
+                &params,
+                &q,
+                &keys,
+                Rows::new(&values, 64),
+            )
+            .unwrap();
             assert!(
                 speedup > prev_speedup,
                 "batch {batch}: speedup {speedup} not growing (prev {prev_speedup})"
@@ -195,8 +210,9 @@ mod tests {
             heads: 2,
             batch: 1,
         };
-        let small = simulate_batch_step(&cfg, &mk(1_000_000), &q, &keys, &values).unwrap();
-        let large = simulate_batch_step(&cfg, &mk(10_000_000), &q, &keys, &values).unwrap();
+        let vrows = Rows::new(&values, 64);
+        let small = simulate_batch_step(&cfg, &mk(1_000_000), &q, &keys, vrows).unwrap();
+        let large = simulate_batch_step(&cfg, &mk(10_000_000), &q, &keys, vrows).unwrap();
         assert!(large.weight_cycles > 9 * small.weight_cycles);
         assert_eq!(small.attention_cycles, large.attention_cycles);
     }

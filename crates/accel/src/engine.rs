@@ -11,7 +11,7 @@ use std::collections::{HashMap, VecDeque};
 
 use topick_core::{
     should_prune, softmax, weighted_value_sum, CoreError, KeptToken, LogDenominator, MarginTable,
-    PruneStats, QMatrix, QVector,
+    PruneStats, QMatrix, QVector, Rows,
 };
 use topick_dram::DramSim;
 use topick_energy::{EnergyBreakdown, EventCounts, EventEnergies};
@@ -49,12 +49,12 @@ fn decode_req(id: u64) -> (bool, usize, u32, u64) {
 ///
 /// let pc = PrecisionConfig::paper();
 /// let query = QVector::quantize(&vec![0.5; 64], pc);
-/// let rows: Vec<Vec<f32>> = (0..32).map(|i| vec![0.01 * i as f32; 64]).collect();
-/// let keys = QMatrix::quantize_rows(&rows, pc)?;
-/// let values: Vec<Vec<f32>> = (0..32).map(|_| vec![1.0; 64]).collect();
+/// let rows: Vec<f32> = (0..32).flat_map(|i| vec![0.01 * i as f32; 64]).collect();
+/// let keys = QMatrix::quantize_flat(&rows, 64, pc)?;
+/// let values = vec![1.0f32; 32 * 64];
 ///
 /// let accel = ToPickAccelerator::new(AccelConfig::paper(AccelMode::OutOfOrder, 1e-3)?);
-/// let result = accel.run_attention(&query, &keys, &values)?;
+/// let result = accel.run_attention(&query, &keys, topick_core::Rows::new(&values, 64))?;
 /// assert!(result.cycles > 0);
 /// # Ok::<(), topick_core::CoreError>(())
 /// ```
@@ -152,7 +152,7 @@ impl ToPickAccelerator {
         &self,
         query: &QVector,
         keys: &QMatrix,
-        values: &[Vec<f32>],
+        values: Rows<'_>,
     ) -> Result<AttentionStepResult, CoreError> {
         if query.len() != keys.dim() {
             return Err(CoreError::DimensionMismatch {
@@ -164,19 +164,17 @@ impl ToPickAccelerator {
         if n == 0 {
             return Err(CoreError::EmptyKeySet);
         }
-        if values.len() != n {
+        if values.num_rows() != n {
             return Err(CoreError::DimensionMismatch {
                 expected: n,
-                actual: values.len(),
+                actual: values.num_rows(),
             });
         }
-        for row in values {
-            if row.len() != keys.dim() {
-                return Err(CoreError::DimensionMismatch {
-                    expected: keys.dim(),
-                    actual: row.len(),
-                });
-            }
+        if values.dim() != keys.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: keys.dim(),
+                actual: values.dim(),
+            });
         }
         match self.cfg.mode {
             AccelMode::Baseline => Ok(self.run_baseline(query, keys, values, false)),
@@ -191,7 +189,7 @@ impl ToPickAccelerator {
         &self,
         query: &QVector,
         keys: &QMatrix,
-        values: &[Vec<f32>],
+        values: Rows<'_>,
         blocking: bool,
     ) -> AttentionStepResult {
         let cfg = &self.cfg;
@@ -214,7 +212,7 @@ impl ToPickAccelerator {
 
         // Per-lane first-chunk streams in scan order, and next-chunk queues.
         let mut lane_first: Vec<VecDeque<usize>> = vec![VecDeque::new(); lanes];
-        for tok in cfg.order.sequence(n) {
+        for tok in cfg.order.indices(n) {
             lane_first[tok % lanes].push_back(tok);
         }
         // (token, chunk-to-fetch, next burst)
@@ -360,7 +358,7 @@ impl ToPickAccelerator {
         &self,
         query: &QVector,
         keys: &QMatrix,
-        values: &[Vec<f32>],
+        values: Rows<'_>,
         estimate: bool,
     ) -> AttentionStepResult {
         let cfg = &self.cfg;
@@ -382,7 +380,7 @@ impl ToPickAccelerator {
         let mut denom = LogDenominator::new();
         let lanes = cfg.lanes;
 
-        let order = if estimate {
+        let order: Vec<usize> = if estimate {
             cfg.order.sequence(n)
         } else {
             (0..n).collect()
@@ -472,7 +470,7 @@ impl ToPickAccelerator {
         mut st: RunState,
         stats: PruneStats,
         kept: Vec<KeptToken>,
-        values: &[Vec<f32>],
+        values: Rows<'_>,
         dim: usize,
         row_bytes: u64,
         burst_bytes: u64,

@@ -5,7 +5,7 @@
 //! This is what the Fig. 10 evaluation measures in aggregate; the driver
 //! exposes it as a reusable simulation with per-step results.
 
-use topick_core::{CoreError, PrecisionConfig, PruneStats, QMatrix, QVector};
+use topick_core::{CoreError, PrecisionConfig, PruneStats, QMatrix, QVector, Rows};
 use topick_dram::DramSim;
 use topick_energy::{EnergyBreakdown, EventCounts};
 
@@ -63,7 +63,8 @@ impl GenerationRunResult {
 /// Workload instances are produced by a caller-supplied factory so the
 /// driver stays decoupled from any particular synthetic distribution:
 /// `instance(step, head, context_len)` must return `(query, keys, values)`
-/// with `keys.num_tokens() == context_len`.
+/// with `keys.num_tokens() == context_len` and `values` a contiguous
+/// row-major buffer of the same shape.
 #[derive(Debug, Clone)]
 pub struct GenerationSimulator {
     cfg: GenerationConfig,
@@ -97,7 +98,7 @@ impl GenerationSimulator {
     /// factory (dimension mismatches, empty key sets).
     pub fn run<F>(&self, mut instance: F) -> Result<GenerationRunResult, CoreError>
     where
-        F: FnMut(usize, usize, usize) -> (QVector, QMatrix, Vec<Vec<f32>>),
+        F: FnMut(usize, usize, usize) -> (QVector, QMatrix, Vec<f32>),
     {
         let accel = ToPickAccelerator::new(self.cfg.accel.clone());
         let pc: PrecisionConfig = self.cfg.accel.precision;
@@ -112,7 +113,7 @@ impl GenerationSimulator {
             let mut step_cycles = 0u64;
             for head in 0..self.cfg.heads {
                 let (q, keys, values) = instance(step, head, ctx);
-                let r = accel.run_attention(&q, &keys, &values)?;
+                let r = accel.run_attention(&q, &keys, Rows::new(&values, keys.dim()))?;
                 step_cycles += r.cycles;
                 prune.merge(&r.prune);
                 events.merge(&r.events);
@@ -169,7 +170,7 @@ mod tests {
 
     fn synthetic_factory(
         seed: u64,
-    ) -> impl FnMut(usize, usize, usize) -> (QVector, QMatrix, Vec<Vec<f32>>) {
+    ) -> impl FnMut(usize, usize, usize) -> (QVector, QMatrix, Vec<f32>) {
         move |step, head, ctx| {
             let pc = PrecisionConfig::paper();
             let profile = topick_model::SynthProfile::realistic(ctx, 64);
@@ -180,8 +181,8 @@ mod tests {
             );
             (
                 QVector::quantize(&inst.query, pc),
-                QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty"),
-                inst.values,
+                QMatrix::quantize_flat(inst.keys().data(), 64, pc).expect("non-empty"),
+                inst.into_values(),
             )
         }
     }

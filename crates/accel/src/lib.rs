@@ -18,18 +18,18 @@
 //!
 //! ```
 //! use topick_accel::{AccelConfig, AccelMode, ToPickAccelerator};
-//! use topick_core::{PrecisionConfig, QMatrix, QVector};
+//! use topick_core::{PrecisionConfig, QMatrix, QVector, Rows};
 //!
 //! let pc = PrecisionConfig::paper();
 //! let query = QVector::quantize(&vec![0.4; 64], pc);
-//! let rows: Vec<Vec<f32>> = (0..64).map(|i| vec![(i as f32 - 32.0) / 40.0; 64]).collect();
-//! let keys = QMatrix::quantize_rows(&rows, pc)?;
-//! let values: Vec<Vec<f32>> = (0..64).map(|_| vec![0.5; 64]).collect();
+//! let rows: Vec<f32> = (0..64).flat_map(|i| vec![(i as f32 - 32.0) / 40.0; 64]).collect();
+//! let keys = QMatrix::quantize_flat(&rows, 64, pc)?;
+//! let values = vec![0.5f32; 64 * 64];
 //!
 //! let baseline = ToPickAccelerator::new(AccelConfig::baseline())
-//!     .run_attention(&query, &keys, &values)?;
+//!     .run_attention(&query, &keys, Rows::new(&values, 64))?;
 //! let topick = ToPickAccelerator::new(AccelConfig::paper(AccelMode::OutOfOrder, 1e-3)?)
-//!     .run_attention(&query, &keys, &values)?;
+//!     .run_attention(&query, &keys, Rows::new(&values, 64))?;
 //! println!("speedup: {:.2}x", topick.speedup_vs(&baseline));
 //! # Ok::<(), topick_core::CoreError>(())
 //! ```
@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod batch;
 pub mod config;
 pub mod engine;
@@ -44,11 +45,19 @@ pub mod generation;
 pub mod layout;
 pub mod prompt;
 pub mod result;
+pub mod serve;
 
-pub use batch::{compare_batch_step, simulate_batch_step, BatchStepParams, BatchStepResult};
+pub use backend::SimulatedAttention;
+pub use batch::{
+    compare_batch_step, simulate_batch_step, weight_stream_cycles, BatchStepParams, BatchStepResult,
+};
 pub use config::{AccelConfig, AccelMode};
 pub use engine::ToPickAccelerator;
 pub use generation::{GenerationConfig, GenerationRunResult, GenerationSimulator};
 pub use layout::KvLayout;
 pub use prompt::{run_prompt_phase, PromptPhaseResult};
 pub use result::AttentionStepResult;
+pub use serve::{
+    AdmissionConfig, RequestStats, ServeError, ServingConfig, ServingEngine, ServingReport,
+    ServingRequest, StepReport,
+};

@@ -9,7 +9,7 @@
 //! it exists to complete the accelerator and to show *why* the paper
 //! focuses on generation.
 
-use topick_core::{softmax, CoreError, QMatrix, QVector};
+use topick_core::{softmax, CoreError, QMatrix, QVector, Rows};
 use topick_dram::DramSim;
 use topick_energy::{EnergyBreakdown, EventCounts, EventEnergies};
 
@@ -48,16 +48,16 @@ pub fn run_prompt_phase(
     cfg: &AccelConfig,
     queries: &[QVector],
     keys: &QMatrix,
-    values: &[Vec<f32>],
+    values: Rows<'_>,
 ) -> Result<PromptPhaseResult, CoreError> {
     let n = keys.num_tokens();
     if n == 0 {
         return Err(CoreError::EmptyKeySet);
     }
-    if queries.len() != n || values.len() != n {
+    if queries.len() != n || values.num_rows() != n {
         return Err(CoreError::DimensionMismatch {
             expected: n,
-            actual: queries.len().min(values.len()),
+            actual: queries.len().min(values.num_rows()),
         });
     }
     let dim = keys.dim();
@@ -108,7 +108,7 @@ pub fn run_prompt_phase(
         let probs = softmax(&scores);
         let mut out = vec![0f32; dim];
         for (t, &p) in probs.iter().enumerate() {
-            for (o, &v) in out.iter_mut().zip(&values[t]) {
+            for (o, &v) in out.iter_mut().zip(values.row(t)) {
                 *o += p as f32 * v;
             }
         }
@@ -136,7 +136,7 @@ mod tests {
     use super::*;
     use topick_core::{exact_probabilities, PrecisionConfig};
 
-    fn prompt_workload(n: usize) -> (Vec<QVector>, QMatrix, Vec<Vec<f32>>) {
+    fn prompt_workload(n: usize) -> (Vec<QVector>, QMatrix, Vec<f32>) {
         let pc = PrecisionConfig::paper();
         let dim = 64;
         let mut s = 0xB00Fu64;
@@ -149,11 +149,11 @@ mod tests {
         let queries: Vec<QVector> = (0..n)
             .map(|_| QVector::quantize(&(0..dim).map(|_| next()).collect::<Vec<_>>(), pc))
             .collect();
-        let keys: Vec<Vec<f32>> = (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect();
-        let values: Vec<Vec<f32>> = (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect();
+        let keys: Vec<f32> = (0..n * dim).map(|_| next()).collect();
+        let values: Vec<f32> = (0..n * dim).map(|_| next()).collect();
         (
             queries,
-            QMatrix::quantize_rows(&keys, pc).expect("non-empty"),
+            QMatrix::quantize_flat(&keys, dim, pc).expect("non-empty"),
             values,
         )
     }
@@ -162,14 +162,15 @@ mod tests {
     fn outputs_match_causal_attention() {
         let (queries, keys, values) = prompt_workload(12);
         let cfg = AccelConfig::baseline();
-        let r = run_prompt_phase(&cfg, &queries, &keys, &values).unwrap();
+        let values = Rows::new(&values, 64);
+        let r = run_prompt_phase(&cfg, &queries, &keys, values).unwrap();
         assert_eq!(r.outputs.len(), 12);
         // The last query attends over everything: compare with the exact
         // full-context attention.
         let probs = exact_probabilities(&queries[11], &keys);
         let mut expect = vec![0f32; 64];
         for (t, &p) in probs.iter().enumerate() {
-            for (o, &v) in expect.iter_mut().zip(&values[t]) {
+            for (o, &v) in expect.iter_mut().zip(values.row(t)) {
                 *o += p as f32 * v;
             }
         }
@@ -178,7 +179,7 @@ mod tests {
             assert!((a - b).abs() < 2e-3, "{a} vs {b}");
         }
         // The first query attends only over token 0.
-        for (a, b) in r.outputs[0].iter().zip(&values[0]) {
+        for (a, b) in r.outputs[0].iter().zip(values.row(0)) {
             assert!((a - b).abs() < 1e-4);
         }
     }
@@ -189,7 +190,7 @@ mod tests {
         // preload (O(n)) — the opposite regime from generation.
         let (queries, keys, values) = prompt_workload(128);
         let cfg = AccelConfig::baseline();
-        let r = run_prompt_phase(&cfg, &queries, &keys, &values).unwrap();
+        let r = run_prompt_phase(&cfg, &queries, &keys, Rows::new(&values, 64)).unwrap();
         assert!(
             r.compute_cycles > r.preload_cycles,
             "compute {} vs preload {}",
@@ -203,7 +204,9 @@ mod tests {
     fn shape_mismatches_rejected() {
         let (queries, keys, values) = prompt_workload(8);
         let cfg = AccelConfig::baseline();
-        assert!(run_prompt_phase(&cfg, &queries[..4], &keys, &values).is_err());
-        assert!(run_prompt_phase(&cfg, &queries, &keys, &values[..4]).is_err());
+        let full = Rows::new(&values, 64);
+        let half = Rows::new(&values[..4 * 64], 64);
+        assert!(run_prompt_phase(&cfg, &queries[..4], &keys, full).is_err());
+        assert!(run_prompt_phase(&cfg, &queries, &keys, half).is_err());
     }
 }

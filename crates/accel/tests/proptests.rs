@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 use topick_accel::{AccelConfig, AccelMode, ToPickAccelerator};
-use topick_core::{exact_probabilities, PrecisionConfig, QMatrix, QVector};
+use topick_core::{exact_probabilities, PrecisionConfig, QMatrix, QVector, Rows};
 
-fn random_instance(seed: u64, n: usize, dim: usize) -> (QVector, QMatrix, Vec<Vec<f32>>) {
+fn random_instance(seed: u64, n: usize, dim: usize) -> (QVector, QMatrix, Vec<f32>) {
     let pc = PrecisionConfig::paper();
     let mut s = seed | 1;
     let mut next = move || {
@@ -15,11 +15,11 @@ fn random_instance(seed: u64, n: usize, dim: usize) -> (QVector, QMatrix, Vec<Ve
         ((s >> 33) as f32 / 2_147_483_648.0) * 4.0 - 2.0
     };
     let q: Vec<f32> = (0..dim).map(|_| next()).collect();
-    let keys: Vec<Vec<f32>> = (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect();
-    let values: Vec<Vec<f32>> = (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect();
+    let keys: Vec<f32> = (0..n * dim).map(|_| next()).collect();
+    let values: Vec<f32> = (0..n * dim).map(|_| next()).collect();
     (
         QVector::quantize(&q, pc),
-        QMatrix::quantize_rows(&keys, pc).expect("non-empty"),
+        QMatrix::quantize_flat(&keys, dim, pc).expect("non-empty"),
         values,
     )
 }
@@ -42,7 +42,9 @@ proptest! {
             let accel = ToPickAccelerator::new(
                 AccelConfig::paper(mode, thr).expect("thr in range"),
             );
-            let r = accel.run_attention(&q, &keys, &values).expect("run");
+            let r = accel
+                .run_attention(&q, &keys, Rows::new(&values, dim))
+                .expect("run");
             for (t, &p) in exact.iter().enumerate() {
                 if p > thr {
                     prop_assert!(
@@ -64,7 +66,9 @@ proptest! {
         let accel = ToPickAccelerator::new(
             AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr"),
         );
-        let r = accel.run_attention(&q, &keys, &values).expect("run");
+        let r = accel
+            .run_attention(&q, &keys, Rows::new(&values, dim))
+            .expect("run");
         let pc = PrecisionConfig::paper();
         let k_bits = r.prune.k_bits_fetched(dim, &pc);
         let v_bits = r.prune.v_bits_fetched(dim, &pc);
@@ -81,12 +85,12 @@ proptest! {
         let mut cfg = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr");
         cfg.scoreboard_entries = 1;
         let tiny = ToPickAccelerator::new(cfg)
-            .run_attention(&q, &keys, &values)
+            .run_attention(&q, &keys, Rows::new(&values, dim))
             .expect("tiny scoreboard run");
         let full = ToPickAccelerator::new(
             AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr"),
         )
-        .run_attention(&q, &keys, &values)
+        .run_attention(&q, &keys, Rows::new(&values, dim))
         .expect("full scoreboard run");
         prop_assert!(tiny.cycles >= full.cycles);
         let exact = exact_probabilities(&q, &keys);
@@ -103,11 +107,11 @@ proptest! {
         let dim = 64;
         let (q, keys, values) = random_instance(seed, n, dim);
         let r = ToPickAccelerator::new(AccelConfig::baseline())
-            .run_attention(&q, &keys, &values)
+            .run_attention(&q, &keys, Rows::new(&values, dim))
             .expect("run");
         let probs = exact_probabilities(&q, &keys);
         let pairs: Vec<(usize, f64)> = probs.into_iter().enumerate().collect();
-        let expect = topick_core::weighted_value_sum(&pairs, &values);
+        let expect = topick_core::weighted_value_sum(&pairs, Rows::new(&values, dim));
         for (a, b) in r.output.iter().zip(&expect) {
             prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
         }

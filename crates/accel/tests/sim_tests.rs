@@ -3,31 +3,36 @@
 //! order, and the architectural claims (speedup ordering of the modes).
 
 use topick_accel::{AccelConfig, AccelMode, ToPickAccelerator};
-use topick_core::{exact_probabilities, weighted_value_sum, PrecisionConfig, QMatrix, QVector};
+use topick_core::{
+    exact_probabilities, weighted_value_sum, PrecisionConfig, QMatrix, QVector, Rows,
+};
 use topick_model::{SynthInstance, SynthProfile};
 
-fn quantized_instance(n: usize, seed: u64) -> (QVector, QMatrix, Vec<Vec<f32>>) {
+fn quantized_instance(n: usize, seed: u64) -> (QVector, QMatrix, Vec<f32>) {
     let pc = PrecisionConfig::paper();
     let inst = SynthInstance::generate(&SynthProfile::realistic(n, 64), seed);
     let q = QVector::quantize(&inst.query, pc);
-    let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
-    (q, keys, inst.values)
+    let keys = QMatrix::quantize_flat(inst.keys().data(), 64, pc).expect("non-empty");
+    (q, keys, inst.into_values())
 }
 
 fn run(mode: AccelMode, thr: f64, n: usize, seed: u64) -> topick_accel::AttentionStepResult {
     let (q, keys, values) = quantized_instance(n, seed);
     let accel = ToPickAccelerator::new(AccelConfig::paper(mode, thr).expect("valid thr"));
-    accel.run_attention(&q, &keys, &values).expect("valid run")
+    accel
+        .run_attention(&q, &keys, Rows::new(&values, 64))
+        .expect("valid run")
 }
 
 #[test]
 fn baseline_output_matches_exact_attention() {
     let (q, keys, values) = quantized_instance(128, 1);
     let accel = ToPickAccelerator::new(AccelConfig::baseline());
-    let result = accel.run_attention(&q, &keys, &values).unwrap();
+    let values = Rows::new(&values, 64);
+    let result = accel.run_attention(&q, &keys, values).unwrap();
     let probs = exact_probabilities(&q, &keys);
     let pairs: Vec<(usize, f64)> = probs.into_iter().enumerate().collect();
-    let expect = weighted_value_sum(&pairs, &values);
+    let expect = weighted_value_sum(&pairs, values);
     for (a, b) in result.output.iter().zip(&expect) {
         assert!((a - b).abs() < 1e-4, "{a} vs {b}");
     }
@@ -39,10 +44,11 @@ fn out_of_order_output_close_to_exact() {
     let (q, keys, values) = quantized_instance(256, 2);
     let thr = 1e-4;
     let accel = ToPickAccelerator::new(AccelConfig::paper(AccelMode::OutOfOrder, thr).unwrap());
-    let result = accel.run_attention(&q, &keys, &values).unwrap();
+    let values = Rows::new(&values, 64);
+    let result = accel.run_attention(&q, &keys, values).unwrap();
     let probs = exact_probabilities(&q, &keys);
     let pairs: Vec<(usize, f64)> = probs.into_iter().enumerate().collect();
-    let expect = weighted_value_sum(&pairs, &values);
+    let expect = weighted_value_sum(&pairs, values);
     for (a, b) in result.output.iter().zip(&expect) {
         assert!((a - b).abs() < 0.1, "{a} vs {b}");
     }
@@ -56,7 +62,9 @@ fn soundness_in_arrival_order() {
         let (q, keys, values) = quantized_instance(192, 100 + seed);
         let thr = 1e-3;
         let accel = ToPickAccelerator::new(AccelConfig::paper(AccelMode::OutOfOrder, thr).unwrap());
-        let result = accel.run_attention(&q, &keys, &values).unwrap();
+        let result = accel
+            .run_attention(&q, &keys, Rows::new(&values, 64))
+            .unwrap();
         let exact = exact_probabilities(&q, &keys);
         for (t, &p) in exact.iter().enumerate() {
             if p > thr {
@@ -153,8 +161,8 @@ fn traffic_accounting_consistent_with_dram() {
 fn single_token_context_works() {
     let pc = PrecisionConfig::paper();
     let q = QVector::quantize(&vec![0.5; 64], pc);
-    let keys = QMatrix::quantize_rows(&[vec![0.5; 64]], pc).unwrap();
-    let values = vec![vec![2.0; 64]];
+    let keys = QMatrix::quantize_flat(&[0.5; 64], 64, pc).unwrap();
+    let values = vec![2.0f32; 64];
     for mode in [
         AccelMode::Baseline,
         AccelMode::EstimateOnly,
@@ -162,7 +170,9 @@ fn single_token_context_works() {
         AccelMode::Blocking,
     ] {
         let accel = ToPickAccelerator::new(AccelConfig::paper(mode, 1e-3).unwrap());
-        let r = accel.run_attention(&q, &keys, &values).unwrap();
+        let r = accel
+            .run_attention(&q, &keys, Rows::new(&values, 64))
+            .unwrap();
         assert_eq!(r.kept, vec![0], "{mode:?}");
         assert!((r.output[0] - 2.0).abs() < 1e-5, "{mode:?}");
     }
@@ -172,10 +182,12 @@ fn single_token_context_works() {
 fn dimension_mismatch_rejected() {
     let pc = PrecisionConfig::paper();
     let q = QVector::quantize(&[0.5; 32], pc);
-    let keys = QMatrix::quantize_rows(&[vec![0.5; 64]], pc).unwrap();
-    let values = vec![vec![1.0; 64]];
+    let keys = QMatrix::quantize_flat(&[0.5; 64], 64, pc).unwrap();
+    let values = vec![1.0f32; 64];
     let accel = ToPickAccelerator::new(AccelConfig::baseline());
-    assert!(accel.run_attention(&q, &keys, &values).is_err());
+    assert!(accel
+        .run_attention(&q, &keys, Rows::new(&values, 64))
+        .is_err());
 }
 
 #[test]
@@ -184,9 +196,9 @@ fn wider_head_dimension_is_supported() {
     let pc = PrecisionConfig::paper();
     let inst = SynthInstance::generate(&SynthProfile::realistic(64, 128), 13);
     let q = QVector::quantize(&inst.query, pc);
-    let keys = QMatrix::quantize_rows(&inst.keys, pc).unwrap();
+    let keys = QMatrix::quantize_flat(inst.keys().data(), 128, pc).unwrap();
     let accel = ToPickAccelerator::new(AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).unwrap());
-    let r = accel.run_attention(&q, &keys, &inst.values).unwrap();
+    let r = accel.run_attention(&q, &keys, inst.values()).unwrap();
     assert!(!r.kept.is_empty());
     assert!(r.cycles > 0);
 }

@@ -13,7 +13,7 @@ fn quantized(ctx: usize, seed: u64) -> (QVector, QMatrix) {
     let inst = InstanceSampler::realistic(ctx, 64).sample(seed);
     (
         QVector::quantize(&inst.query, pc),
-        QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty"),
+        QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty"),
     )
 }
 

@@ -12,7 +12,7 @@ fn main() {
     let sampler = InstanceSampler::realistic(320, 64);
     let inst = sampler.sample(5);
     let q = QVector::quantize(&inst.query, pc);
-    let keys = QMatrix::quantize_rows(&inst.keys, pc).unwrap();
+    let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).unwrap();
     for (name, mode, t) in [
         ("baseline", AccelMode::Baseline, 0.5),
         ("est-only", AccelMode::EstimateOnly, thr),
@@ -21,7 +21,7 @@ fn main() {
         ("blocking", AccelMode::Blocking, thr),
     ] {
         let accel = ToPickAccelerator::new(AccelConfig::paper(mode, t).unwrap());
-        let r = accel.run_attention(&q, &keys, &inst.values).unwrap();
+        let r = accel.run_attention(&q, &keys, inst.values()).unwrap();
         println!(
             "{name:>9}: cycles={:>6} kept={:>4} chunks={:?} dram_reads={} meanlat={:.0} hits={} misses={}",
             r.cycles, r.prune.kept, r.prune.chunk_fetches, r.dram_stats.reads,

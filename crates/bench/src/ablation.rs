@@ -17,7 +17,8 @@ fn aggregate_with(cfg: PrunerConfig, ctx: usize, dim: usize, instances: usize) -
     for i in 0..instances {
         let inst = sampler.sample(0xAB1 + i as u64);
         let q = QVector::quantize(&inst.query, cfg.precision());
-        let keys = QMatrix::quantize_rows(&inst.keys, cfg.precision()).expect("non-empty");
+        let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), cfg.precision())
+            .expect("non-empty");
         agg.merge(&pruner.run(&q, &keys).expect("valid").stats);
     }
     agg
@@ -94,10 +95,10 @@ pub fn run_ooo(fast: bool) {
         let sampler = InstanceSampler::realistic(ctx, 64);
         let inst = sampler.sample(0x000);
         let q = QVector::quantize(&inst.query, pc);
-        let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
+        let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty");
         let run = |mode: AccelMode| {
             ToPickAccelerator::new(AccelConfig::paper(mode, 1e-3).expect("thr"))
-                .run_attention(&q, &keys, &inst.values)
+                .run_attention(&q, &keys, inst.values())
                 .expect("run")
                 .cycles
         };
@@ -121,13 +122,13 @@ pub fn run_scoreboard(fast: bool) {
     let pc = PrecisionConfig::paper();
     let inst = InstanceSampler::realistic(ctx, 64).sample(0x5B);
     let q = QVector::quantize(&inst.query, pc);
-    let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
+    let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty");
     println!("{:<10} {:>10}", "entries", "cycles");
     for entries in [1usize, 2, 4, 8, 16, 32] {
         let mut cfg = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr");
         cfg.scoreboard_entries = entries;
         let cycles = ToPickAccelerator::new(cfg)
-            .run_attention(&q, &keys, &inst.values)
+            .run_attention(&q, &keys, inst.values())
             .expect("run")
             .cycles;
         println!("{entries:<10} {cycles:>10}");
@@ -143,8 +144,8 @@ pub fn run_vchunks(fast: bool) {
     let pruner = ProgressivePruner::new(PrunerConfig::new(1e-3).expect("thr"));
     let inst = InstanceSampler::realistic(ctx, 64).sample(0x7C);
     let q = QVector::quantize(&inst.query, pc);
-    let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
-    let values = QMatrix::quantize_rows(&inst.values, pc).expect("non-empty");
+    let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty");
+    let values = QMatrix::quantize_flat(inst.values().data(), inst.dim(), pc).expect("non-empty");
     let outcome = pruner.run(&q, &keys).expect("run");
     let pairs = outcome.probability_pairs();
     println!(
@@ -187,12 +188,12 @@ mod tests {
         let pc = PrecisionConfig::paper();
         let inst = InstanceSampler::realistic(192, 64).sample(1);
         let q = QVector::quantize(&inst.query, pc);
-        let keys = QMatrix::quantize_rows(&inst.keys, pc).unwrap();
+        let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).unwrap();
         let run = |entries| {
             let mut cfg = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).unwrap();
             cfg.scoreboard_entries = entries;
             ToPickAccelerator::new(cfg)
-                .run_attention(&q, &keys, &inst.values)
+                .run_attention(&q, &keys, inst.values())
                 .unwrap()
                 .cycles
         };

@@ -1,0 +1,126 @@
+//! `serving_throughput` — sweeps the continuous-batching serving engine
+//! over batch size × pruning threshold and emits one JSON document on
+//! stdout, so future changes can be regression-checked for tokens/s.
+//!
+//! ```sh
+//! cargo run --release -p topick-bench --bin serving_throughput
+//! cargo run --release -p topick-bench --bin serving_throughput -- --requests 32
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use topick_accel::{
+    AccelConfig, AccelMode, AdmissionConfig, ServingConfig, ServingEngine, ServingRequest,
+};
+
+struct SweepPoint {
+    mode: &'static str,
+    threshold: f64,
+    max_batch: usize,
+    tokens: usize,
+    steps: usize,
+    total_cycles: u64,
+    tokens_per_s: f64,
+    v_reduction: f64,
+}
+
+fn run_point(
+    mode: AccelMode,
+    mode_name: &'static str,
+    threshold: f64,
+    max_batch: usize,
+    requests: u64,
+) -> SweepPoint {
+    let accel = AccelConfig::paper(mode, threshold).expect("valid threshold");
+    let mut cfg = ServingConfig::new(accel);
+    cfg.heads = 4;
+    cfg.weight_bytes = 10_000_000;
+    cfg.admission = AdmissionConfig {
+        max_batch,
+        max_batch_tokens: max_batch * 600,
+    };
+    cfg.seed = 1;
+    let clock_hz = cfg.clock_hz;
+    let mut engine = ServingEngine::new(cfg);
+    for id in 0..requests {
+        engine
+            .enqueue(ServingRequest {
+                id,
+                prompt_len: 128 + (id as usize % 8) * 48,
+                max_new_tokens: 2 + (id as usize % 4),
+            })
+            .expect("valid request");
+    }
+    let report = engine.run_to_completion(100_000).expect("completes");
+    SweepPoint {
+        mode: mode_name,
+        threshold,
+        max_batch,
+        tokens: report.tokens_generated,
+        steps: report.steps.len(),
+        total_cycles: report.total_cycles,
+        tokens_per_s: report.tokens_per_second(clock_hz),
+        v_reduction: report.prune.v_reduction(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            flags.insert(name.to_string(), args[i + 1].clone());
+        }
+        i += 2;
+    }
+    let requests: u64 = flags
+        .get("requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+
+    let mut points = Vec::new();
+    for &max_batch in &[1usize, 2, 4, 8] {
+        points.push(run_point(
+            AccelMode::Baseline,
+            "baseline",
+            0.5,
+            max_batch,
+            requests,
+        ));
+        for &thr in &[1e-2f64, 1e-3, 1e-4] {
+            points.push(run_point(
+                AccelMode::OutOfOrder,
+                "topick",
+                thr,
+                max_batch,
+                requests,
+            ));
+        }
+    }
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let mut out = String::from("{\n  \"bench\": \"serving_throughput\",\n");
+    let _ = writeln!(out, "  \"requests\": {requests},");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"mode\": \"{}\", \"threshold\": {:e}, \"max_batch\": {}, \
+             \"tokens\": {}, \"steps\": {}, \"total_cycles\": {}, \
+             \"tokens_per_s\": {:.1}, \"v_reduction\": {:.3}}}",
+            p.mode,
+            p.threshold,
+            p.max_batch,
+            p.tokens,
+            p.steps,
+            p.total_cycles,
+            p.tokens_per_s,
+            p.v_reduction
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
+}

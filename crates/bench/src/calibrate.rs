@@ -104,7 +104,7 @@ pub fn worst_pruned_mass_topick(thr: f64, ctx: usize, dim: usize, instances: usi
     for i in 0..instances {
         let inst = sampler.sample(0xBA5E + i as u64);
         let q = QVector::quantize(&inst.query, pc);
-        let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
+        let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty");
         let outcome = pruner.run(&q, &keys).expect("valid");
         let exact = exact_probabilities(&q, &keys);
         let kept_mass: f64 = outcome.kept.iter().map(|k| exact[k.index]).sum();
@@ -261,7 +261,7 @@ pub fn worst_kept_fraction_topick(thr: f64, ctx: usize, dim: usize, instances: u
     for i in 0..instances {
         let inst = sampler.sample(0xBA5E + i as u64);
         let q = QVector::quantize(&inst.query, pc);
-        let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
+        let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty");
         let outcome = pruner.run(&q, &keys).expect("valid");
         worst = worst.max(outcome.stats.kept as f64 / ctx as f64);
     }
@@ -293,7 +293,7 @@ mod tests {
         for i in 0..instances {
             let inst = sampler.sample(0xBA5E + i as u64);
             let q = QVector::quantize(&inst.query, pc);
-            let keys = QMatrix::quantize_rows(&inst.keys, pc).unwrap();
+            let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).unwrap();
             mean += pruner.run(&q, &keys).unwrap().stats.kept as f64 / ctx as f64;
         }
         mean /= instances as f64;

@@ -66,8 +66,8 @@ fn aggregate(
     for i in 0..instances {
         let inst = sampler.sample(seed_base + i as u64);
         let q = QVector::quantize(&inst.query, pc);
-        let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
-        let r: AttentionStepResult = accel.run_attention(&q, &keys, &inst.values).expect("run");
+        let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty");
+        let r: AttentionStepResult = accel.run_attention(&q, &keys, inst.values()).expect("run");
         cycles += r.cycles;
         energy.dram_pj += r.energy.dram_pj;
         energy.buffer_pj += r.energy.buffer_pj;

@@ -4,7 +4,7 @@
 
 use topick_core::{PrecisionConfig, ProgressivePruner, PruneStats, PrunerConfig, QMatrix, QVector};
 use topick_model::{
-    evaluate_perplexity, AttentionKernel, ExactAttention, InstanceSampler, ModelSpec,
+    evaluate_perplexity, AttentionBackend, ExactAttention, InstanceSampler, ModelSpec,
     TokenPickerAttention, TransformerModel,
 };
 
@@ -59,7 +59,7 @@ fn aggregate_stats(
     for i in 0..instances {
         let inst = sampler.sample(seed_base + i as u64);
         let q = QVector::quantize(&inst.query, pc);
-        let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
+        let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty");
         let outcome = pruner.run(&q, &keys).expect("valid run");
         agg.merge(&outcome.stats);
     }
@@ -75,7 +75,7 @@ fn ppl_proxy(spec: &ModelSpec, thr: f64, thr_03: f64) -> (f64, f64, f64) {
     let mut exact = ExactAttention::new();
     let base = evaluate_perplexity(&model, &corpus, &mut exact).perplexity;
     let run = |t: f64| {
-        let mut k: Box<dyn AttentionKernel> = Box::new(TokenPickerAttention::new(
+        let mut k: Box<dyn AttentionBackend> = Box::new(TokenPickerAttention::new(
             PrunerConfig::new(t).expect("thr"),
         ));
         evaluate_perplexity(&model, &corpus, k.as_mut()).perplexity

@@ -32,7 +32,7 @@ fn topick_normalized(thr: f64, prompt: usize, end: usize, dim: usize, step_strid
         let sampler = InstanceSampler::realistic(ctx, dim);
         let inst = sampler.sample(0x919 + step as u64);
         let q = QVector::quantize(&inst.query, pc);
-        let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
+        let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty");
         agg.merge(&pruner.run(&q, &keys).expect("valid").stats);
         step += step_stride;
     }

@@ -31,23 +31,25 @@
 //! ```
 //! use topick_core::{
 //!     weighted_value_sum, PrecisionConfig, ProgressivePruner, PrunerConfig, QMatrix, QVector,
+//!     Rows,
 //! };
 //!
 //! let pc = PrecisionConfig::paper();
 //! let query = QVector::quantize(&[0.8, -0.4, 0.2, 0.6], pc);
-//! let keys = QMatrix::quantize_rows(
+//! let keys = QMatrix::quantize_flat(
 //!     &[
-//!         vec![0.8, -0.4, 0.2, 0.6],
-//!         vec![-0.8, 0.4, -0.2, -0.6],
-//!         vec![0.7, -0.3, 0.1, 0.5],
+//!         0.8, -0.4, 0.2, 0.6, //
+//!         -0.8, 0.4, -0.2, -0.6, //
+//!         0.7, -0.3, 0.1, 0.5,
 //!     ],
+//!     4,
 //!     pc,
 //! )?;
-//! let values = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]];
+//! let values = [1.0, 0.0, 0.0, 1.0, 0.5, 0.5];
 //!
 //! let pruner = ProgressivePruner::new(PrunerConfig::new(1e-3)?);
 //! let outcome = pruner.run(&query, &keys)?;
-//! let output = weighted_value_sum(&outcome.probability_pairs(), &values);
+//! let output = weighted_value_sum(&outcome.probability_pairs(), Rows::new(&values, 2));
 //! assert_eq!(output.len(), 2);
 //! println!(
 //!     "kept {}/{} tokens; V reduction {:.1}x",
@@ -69,6 +71,7 @@ pub mod margin;
 pub mod order;
 pub mod pruner;
 pub mod quant;
+pub mod rows;
 pub mod softmax;
 pub mod stats;
 pub mod trace;
@@ -79,9 +82,10 @@ pub use error::CoreError;
 pub use estimate::{estimated_probability, should_prune, LogDenominator};
 pub use fixexp::FixExp;
 pub use margin::{MarginPair, MarginTable};
-pub use order::ScanOrder;
-pub use pruner::{KeptToken, OraclePruner, ProgressivePruner, PruneOutcome};
-pub use quant::{QMatrix, QVector};
+pub use order::{ScanIndices, ScanOrder};
+pub use pruner::{KeptToken, OraclePruner, ProgressivePruner, PruneOutcome, PrunerScratch};
+pub use quant::{QMatrix, QVector, QuantBuffer};
+pub use rows::Rows;
 pub use softmax::{exact_probabilities, exact_scores, score_scale, softmax, weighted_value_sum};
 pub use stats::PruneStats;
 pub use trace::{summarize, trace_pruning, Decision, DecisionEvent, TraceSummary};

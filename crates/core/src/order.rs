@@ -38,24 +38,58 @@ impl ScanOrder {
     /// (indices `0..n`, where `n-1` is the most recent token).
     #[must_use]
     pub fn sequence(&self, n: usize) -> Vec<usize> {
-        match self {
-            ScanOrder::Sequential => (0..n).collect(),
-            ScanOrder::ReverseChronological => (0..n).rev().collect(),
-            ScanOrder::FirstAndReverse => {
-                let mut seq = Vec::with_capacity(n);
-                if n == 0 {
-                    return seq;
-                }
-                seq.push(n - 1);
-                if n >= 2 {
-                    seq.push(0);
-                    seq.extend((1..n - 1).rev());
-                }
-                seq
-            }
+        self.indices(n).collect()
+    }
+
+    /// Lazily yields the probe sequence — the allocation-free variant the
+    /// pruning hot path consumes.
+    #[must_use]
+    pub fn indices(&self, n: usize) -> ScanIndices {
+        ScanIndices {
+            order: *self,
+            n,
+            pos: 0,
         }
     }
 }
+
+/// Iterator over a [`ScanOrder`]'s probe sequence (see
+/// [`ScanOrder::indices`]).
+#[derive(Debug, Clone)]
+pub struct ScanIndices {
+    order: ScanOrder,
+    n: usize,
+    pos: usize,
+}
+
+impl Iterator for ScanIndices {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.pos >= self.n {
+            return None;
+        }
+        let pos = self.pos;
+        self.pos += 1;
+        Some(match self.order {
+            ScanOrder::Sequential => pos,
+            ScanOrder::ReverseChronological => self.n - 1 - pos,
+            // n-1, then 0, then n-2, n-3, ..., 1.
+            ScanOrder::FirstAndReverse => match pos {
+                0 => self.n - 1,
+                1 => 0,
+                _ => self.n - pos,
+            },
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.n - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ScanIndices {}
 
 #[cfg(test)]
 mod tests {

@@ -55,6 +55,27 @@ impl PruneOutcome {
     }
 }
 
+/// Reusable working memory for [`ProgressivePruner::run_with_scratch`].
+///
+/// One pruning run needs a probe queue, a per-token bound table and a
+/// score staging buffer — all sized by the context length. A generation
+/// loop calls the pruner once per step per head, so reusing these buffers
+/// removes three context-sized allocations from every attention step.
+#[derive(Debug, Clone, Default)]
+pub struct PrunerScratch {
+    queue: VecDeque<(usize, u32)>,
+    prev_smin: Vec<f64>,
+    scores: Vec<f64>,
+}
+
+impl PrunerScratch {
+    /// Fresh, empty working memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The progressive pruner (paper §3).
 ///
 /// # Examples
@@ -105,6 +126,24 @@ impl ProgressivePruner {
     /// from the key dimension, or [`CoreError::EmptyKeySet`] for an empty
     /// key set.
     pub fn run(&self, query: &QVector, keys: &QMatrix) -> Result<PruneOutcome, CoreError> {
+        self.run_with_scratch(query, keys, &mut PrunerScratch::new())
+    }
+
+    /// Runs step 0 reusing caller-owned working memory: the probe queue,
+    /// per-token bound table and score staging buffer are recycled across
+    /// calls and the scan order is generated lazily, so a warm generation
+    /// loop pays no context-sized scratch allocations per step (only the
+    /// returned outcome's survivor vectors are fresh).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProgressivePruner::run`].
+    pub fn run_with_scratch(
+        &self,
+        query: &QVector,
+        keys: &QMatrix,
+        scratch: &mut PrunerScratch,
+    ) -> Result<PruneOutcome, CoreError> {
         if query.len() != keys.dim() {
             return Err(CoreError::DimensionMismatch {
                 expected: keys.dim(),
@@ -124,15 +163,13 @@ impl ProgressivePruner {
         let mut stats = PruneStats::new(n, num_chunks);
         let mut denom = LogDenominator::new();
         // Last emitted lower bound per token, for PEC-style replacement.
-        let mut prev_smin: Vec<f64> = vec![f64::NAN; n];
+        let prev_smin = &mut scratch.prev_smin;
+        prev_smin.clear();
+        prev_smin.resize(n, f64::NAN);
 
-        let mut queue: VecDeque<(usize, u32)> = self
-            .cfg
-            .order()
-            .sequence(n)
-            .into_iter()
-            .map(|t| (t, 1u32))
-            .collect();
+        let queue = &mut scratch.queue;
+        queue.clear();
+        queue.extend(self.cfg.order().indices(n).map(|t| (t, 1u32)));
 
         let mut kept: Vec<KeptToken> = Vec::new();
         while let Some((token, chunks_known)) = queue.pop_front() {
@@ -164,8 +201,10 @@ impl ProgressivePruner {
 
         kept.sort_by_key(|k| k.index);
         stats.kept = kept.len();
-        let scores: Vec<f64> = kept.iter().map(|k| k.score_real).collect();
-        let probabilities = softmax(&scores);
+        let scores = &mut scratch.scores;
+        scores.clear();
+        scores.extend(kept.iter().map(|k| k.score_real));
+        let probabilities = softmax(scores);
         Ok(PruneOutcome {
             kept,
             probabilities,
@@ -376,6 +415,19 @@ mod tests {
         // A lone token has true probability 1.0 > any thr < 1.
         assert_eq!(outcome.kept.len(), 1);
         assert!((outcome.probabilities[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let pruner = ProgressivePruner::new(PrunerConfig::new(1e-3).unwrap());
+        let mut scratch = PrunerScratch::new();
+        // Different context sizes back-to-back exercise the resize path.
+        for (n, dim, seed_mix) in [(64, 16, 0), (128, 32, 1), (32, 8, 2)] {
+            let (q, keys) = peaky_workload(n + seed_mix, dim);
+            let fresh = pruner.run(&q, &keys).unwrap();
+            let reused = pruner.run_with_scratch(&q, &keys, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

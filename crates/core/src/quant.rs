@@ -174,6 +174,10 @@ pub struct QMatrix {
 impl QMatrix {
     /// Quantizes a set of token rows with a single shared symmetric scale.
     ///
+    /// Convenience wrapper over [`QMatrix::quantize_flat`] for nested
+    /// inputs (workload generators, tests); the hot path quantizes
+    /// contiguous buffers directly.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::DimensionMismatch`] if rows have differing
@@ -181,7 +185,7 @@ impl QMatrix {
     pub fn quantize_rows(rows: &[Vec<f32>], precision: PrecisionConfig) -> Result<Self, CoreError> {
         let first = rows.first().ok_or(CoreError::EmptyKeySet)?;
         let dim = first.len();
-        let mut max_abs = 0f64;
+        let mut flat = Vec::with_capacity(rows.len() * dim);
         for row in rows {
             if row.len() != dim {
                 return Err(CoreError::DimensionMismatch {
@@ -189,28 +193,137 @@ impl QMatrix {
                     actual: row.len(),
                 });
             }
-            for &v in row {
-                max_abs = max_abs.max(f64::from(v).abs());
-            }
+            flat.extend_from_slice(row);
+        }
+        Self::quantize_flat(&flat, dim, precision)
+    }
+
+    /// Quantizes a contiguous row-major buffer of `data.len() / dim` token
+    /// rows with a single shared symmetric scale — the zero-copy entry
+    /// point used by the attention kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyKeySet`] if `data` is empty, or
+    /// [`CoreError::DimensionMismatch`] if `dim` is zero or does not divide
+    /// `data.len()`.
+    pub fn quantize_flat(
+        data: &[f32],
+        dim: usize,
+        precision: PrecisionConfig,
+    ) -> Result<Self, CoreError> {
+        Self::quantize_flat_reusing(data, dim, precision, Vec::new())
+    }
+
+    /// Like [`QMatrix::quantize_flat`], but reuses `codes_buf`'s allocation
+    /// for the quantized codes. Pair with [`QMatrix::into_codes`] to
+    /// recycle the buffer across generation steps.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QMatrix::quantize_flat`].
+    pub fn quantize_flat_reusing(
+        data: &[f32],
+        dim: usize,
+        precision: PrecisionConfig,
+        mut codes_buf: Vec<i16>,
+    ) -> Result<Self, CoreError> {
+        if data.is_empty() {
+            return Err(CoreError::EmptyKeySet);
+        }
+        if dim == 0 || !data.len().is_multiple_of(dim) {
+            return Err(CoreError::DimensionMismatch {
+                expected: dim,
+                actual: data.len(),
+            });
+        }
+        let mut max_abs = 0f64;
+        for &v in data {
+            max_abs = max_abs.max(f64::from(v).abs());
         }
         let qmax = f64::from(precision.max_value());
+        let qmin = f64::from(precision.min_value());
         let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
-        let mut codes = Vec::with_capacity(rows.len() * dim);
-        for row in rows {
-            for &v in row {
-                let c = (f64::from(v) / scale).round();
-                codes.push(c.clamp(f64::from(precision.min_value()), qmax) as i16);
-            }
+        codes_buf.clear();
+        codes_buf.reserve(data.len());
+        for &v in data {
+            let c = (f64::from(v) / scale).round();
+            codes_buf.push(c.clamp(qmin, qmax) as i16);
         }
         Ok(Self {
-            codes,
+            codes: codes_buf,
             dim,
-            num_tokens: rows.len(),
+            num_tokens: data.len() / dim,
             scale,
             precision,
         })
     }
 
+    /// Consumes the matrix, returning its code buffer for reuse with
+    /// [`QMatrix::quantize_flat_reusing`].
+    #[must_use]
+    pub fn into_codes(self) -> Vec<i16> {
+        self.codes
+    }
+}
+
+/// A recyclable quantization buffer: owns the `i16` code allocation
+/// between [`QMatrix`] lifetimes so per-step quantization allocates
+/// nothing once warm.
+///
+/// The take/restore protocol lives here so every call site follows it
+/// identically: [`QuantBuffer::quantize`] moves the buffer into the
+/// matrix, [`QuantBuffer::reclaim`] moves it back.
+///
+/// # Examples
+///
+/// ```
+/// use topick_core::{PrecisionConfig, QuantBuffer};
+///
+/// let mut buf = QuantBuffer::new();
+/// for step in 0..3 {
+///     let data = vec![0.5f32; 8 * (step + 1)];
+///     let m = buf.quantize(&data, 8, PrecisionConfig::paper())?;
+///     assert_eq!(m.num_tokens(), step + 1);
+///     buf.reclaim(m);
+/// }
+/// # Ok::<(), topick_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QuantBuffer {
+    codes: Vec<i16>,
+}
+
+impl QuantBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quantizes a contiguous row-major buffer into a [`QMatrix`], reusing
+    /// this buffer's allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QMatrix::quantize_flat`].
+    pub fn quantize(
+        &mut self,
+        data: &[f32],
+        dim: usize,
+        precision: PrecisionConfig,
+    ) -> Result<QMatrix, CoreError> {
+        QMatrix::quantize_flat_reusing(data, dim, precision, std::mem::take(&mut self.codes))
+    }
+
+    /// Takes a matrix's code allocation back for the next
+    /// [`QuantBuffer::quantize`] call.
+    pub fn reclaim(&mut self, matrix: QMatrix) {
+        self.codes = matrix.into_codes();
+    }
+}
+
+impl QMatrix {
     /// Builds a matrix from raw codes.
     ///
     /// # Errors

@@ -1,6 +1,7 @@
 //! Exact softmax / attention references used to validate the pruner.
 
 use crate::quant::{QMatrix, QVector};
+use crate::rows::Rows;
 
 /// Numerically stable softmax over arbitrary real scores.
 ///
@@ -64,19 +65,17 @@ pub fn exact_scores(query: &QVector, keys: &QMatrix) -> Vec<f64> {
 }
 
 /// Weighted sum of value rows: `o = Σ p_i · v_i` over the provided
-/// `(token, probability)` pairs. `values` holds one row per token, all of
-/// equal dimension.
+/// `(token, probability)` pairs, reading the rows zero-copy through a
+/// [`Rows`] view.
 ///
 /// # Panics
 ///
-/// Panics if a token index is out of range or rows are ragged.
+/// Panics if a token index is out of range.
 #[must_use]
-pub fn weighted_value_sum(pairs: &[(usize, f64)], values: &[Vec<f32>]) -> Vec<f32> {
-    let dim = values.first().map_or(0, Vec::len);
-    let mut out = vec![0f32; dim];
+pub fn weighted_value_sum(pairs: &[(usize, f64)], values: Rows<'_>) -> Vec<f32> {
+    let mut out = vec![0f32; values.dim()];
     for &(token, p) in pairs {
-        let row = &values[token];
-        assert_eq!(row.len(), dim, "ragged value rows");
+        let row = values.row(token);
         for (o, &v) in out.iter_mut().zip(row) {
             *o += (p as f32) * v;
         }
@@ -120,16 +119,16 @@ mod tests {
 
     #[test]
     fn weighted_sum_basic() {
-        let values = vec![vec![1.0f32, 0.0], vec![0.0, 2.0]];
-        let out = weighted_value_sum(&[(0, 0.25), (1, 0.75)], &values);
+        let values = [1.0f32, 0.0, 0.0, 2.0];
+        let out = weighted_value_sum(&[(0, 0.25), (1, 0.75)], Rows::new(&values, 2));
         assert!((out[0] - 0.25).abs() < 1e-6);
         assert!((out[1] - 1.5).abs() < 1e-6);
     }
 
     #[test]
     fn weighted_sum_empty_pairs_is_zero() {
-        let values = vec![vec![1.0f32, 1.0]];
-        let out = weighted_value_sum(&[], &values);
+        let values = [1.0f32, 1.0];
+        let out = weighted_value_sum(&[], Rows::new(&values, 2));
         assert_eq!(out, vec![0.0, 0.0]);
     }
 }

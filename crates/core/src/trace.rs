@@ -87,12 +87,7 @@ pub fn trace_pruning(
 
     let mut denom = LogDenominator::new();
     let mut prev_smin = vec![f64::NAN; n];
-    let mut queue: VecDeque<(usize, u32)> = cfg
-        .order()
-        .sequence(n)
-        .into_iter()
-        .map(|t| (t, 1u32))
-        .collect();
+    let mut queue: VecDeque<(usize, u32)> = cfg.order().indices(n).map(|t| (t, 1u32)).collect();
 
     let mut events = Vec::new();
     let mut step = 0usize;

@@ -141,16 +141,12 @@ mod tests {
     use crate::quant::QMatrix;
     use crate::softmax::weighted_value_sum;
 
-    fn setup(n: usize, dim: usize) -> (Vec<(usize, f64)>, QMatrix, Vec<Vec<f32>>) {
+    fn setup(n: usize, dim: usize) -> (Vec<(usize, f64)>, QMatrix, Vec<f32>) {
         let pc = PrecisionConfig::paper();
-        let rows: Vec<Vec<f32>> = (0..n)
-            .map(|t| {
-                (0..dim)
-                    .map(|d| ((t * 13 + d * 7) % 19) as f32 / 9.5 - 1.0)
-                    .collect()
-            })
+        let rows: Vec<f32> = (0..n * dim)
+            .map(|i| ((i / dim * 13 + i % dim * 7) % 19) as f32 / 9.5 - 1.0)
             .collect();
-        let values = QMatrix::quantize_rows(&rows, pc).unwrap();
+        let values = QMatrix::quantize_flat(&rows, dim, pc).unwrap();
         // Geometric-ish probability profile summing to 1.
         let mut probs: Vec<f64> = (0..n).map(|i| 0.5f64.powi(i as i32 + 1)).collect();
         let sum: f64 = probs.iter().sum();
@@ -183,7 +179,7 @@ mod tests {
             bound <= budget + 1e-12,
             "bound {bound} exceeds budget {budget}"
         );
-        let exact = weighted_value_sum(&pairs, &rows);
+        let exact = weighted_value_sum(&pairs, crate::rows::Rows::new(&rows, 8));
         for (a, b) in approx.iter().zip(&exact) {
             // Quantization itself adds up to half an LSB per token; allow it.
             let slack = budget + values.scale();

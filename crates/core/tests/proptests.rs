@@ -122,13 +122,14 @@ proptest! {
         let outcome = ProgressivePruner::new(cfg).run(&qv, &keys).unwrap();
 
         // Values in [-1, 1]; compare exact vs pruned attention outputs.
-        let values: Vec<Vec<f32>> = (0..n)
-            .map(|t| (0..dim).map(|d| ((t * 7 + d * 13) % 17) as f32 / 8.5 - 1.0).collect())
+        let values: Vec<f32> = (0..n * dim)
+            .map(|i| ((i / dim * 7 + i % dim * 13) % 17) as f32 / 8.5 - 1.0)
             .collect();
+        let values = topick_core::Rows::new(&values, dim);
         let exact_p = exact_probabilities(&qv, &keys);
         let exact_pairs: Vec<(usize, f64)> = exact_p.iter().cloned().enumerate().collect();
-        let exact_out = topick_core::weighted_value_sum(&exact_pairs, &values);
-        let pruned_out = topick_core::weighted_value_sum(&outcome.probability_pairs(), &values);
+        let exact_out = topick_core::weighted_value_sum(&exact_pairs, values);
+        let pruned_out = topick_core::weighted_value_sum(&outcome.probability_pairs(), values);
         // Pruned mass <= n * thr; renormalization adds the same order.
         // |v| <= 1, so output error is bounded by ~2 * n * thr.
         let bound = 2.0 * n as f64 * thr + 1e-6;

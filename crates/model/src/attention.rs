@@ -1,28 +1,41 @@
-//! Attention kernels: exact reference, Token-Picker pruned, and oracle
-//! pruned — all pluggable into the transformer forward pass.
+//! Attention backends: exact reference, Token-Picker pruned, and oracle
+//! pruned — all pluggable into the transformer forward pass through the
+//! unified [`AttentionBackend`] trait.
+//!
+//! A backend consumes the KV cache through a borrowed [`KvView`] — two
+//! contiguous row-major buffers — so no backend ever clones cache rows.
+//! Backends that quantize per call keep their scratch (the recycled key
+//! code buffer and the pruner's working memory) alive across calls, making
+//! a generation step allocation-light.
 
 use std::fmt;
 
 use topick_core::{
     exact_probabilities, softmax, weighted_value_sum, OraclePruner, PrecisionConfig,
-    ProgressivePruner, PruneStats, PrunerConfig, QMatrix, QVector,
+    ProgressivePruner, PruneOutcome, PruneStats, PrunerConfig, PrunerScratch, QMatrix, QVector,
+    QuantBuffer,
 };
 
-use crate::kvcache::HeadCache;
+use crate::kvcache::KvView;
 use crate::tensor::dot;
 
-/// A per-head attention computation over a query and a head's KV cache.
+/// A per-head attention computation over a query and a borrowed KV view.
 ///
-/// Kernels accumulate access statistics internally so a whole generation run
-/// can be audited afterwards via [`AttentionKernel::accumulated_stats`].
-pub trait AttentionKernel: fmt::Debug {
+/// This is the single entry point every attention implementation in the
+/// workspace plugs into: the functional kernels here, SpAtten's top-k
+/// baseline, and the cycle-level accelerator simulator.
+///
+/// Backends accumulate access statistics internally so a whole generation
+/// run can be audited afterwards via [`AttentionBackend::accumulated_stats`].
+pub trait AttentionBackend: fmt::Debug {
     /// Computes the attention output `o = Σ p_i v_i` for one head.
     ///
-    /// `q` has the head dimension; the cache supplies keys and values.
-    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32>;
+    /// `q` has the head dimension; `kv` supplies the cached keys and
+    /// values zero-copy.
+    fn attend(&mut self, q: &[f32], kv: KvView<'_>) -> Vec<f32>;
 
     /// Access statistics accumulated across all `attend` calls, if the
-    /// kernel tracks them.
+    /// backend tracks them.
     fn accumulated_stats(&self) -> Option<&PruneStats> {
         None
     }
@@ -36,25 +49,25 @@ pub trait AttentionKernel: fmt::Debug {
 pub struct ExactAttention;
 
 impl ExactAttention {
-    /// Creates the exact kernel.
+    /// Creates the exact backend.
     #[must_use]
     pub fn new() -> Self {
         Self
     }
 }
 
-impl AttentionKernel for ExactAttention {
-    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32> {
-        let n = cache.len();
-        assert!(n > 0, "attention over empty cache");
-        let scale = 1.0 / (cache.dim() as f32).sqrt();
-        let scores: Vec<f64> = (0..n)
-            .map(|i| f64::from(dot(q, cache.key_row(i)) * scale))
+impl AttentionBackend for ExactAttention {
+    fn attend(&mut self, q: &[f32], kv: KvView<'_>) -> Vec<f32> {
+        assert!(!kv.is_empty(), "attention over empty cache");
+        let scale = 1.0 / (kv.dim() as f32).sqrt();
+        let scores: Vec<f64> = kv
+            .keys()
+            .iter()
+            .map(|k| f64::from(dot(q, k) * scale))
             .collect();
         let probs = softmax(&scores);
-        let mut out = vec![0.0f32; cache.dim()];
-        for (i, &p) in probs.iter().enumerate() {
-            let v = cache.value_row(i);
+        let mut out = vec![0.0f32; kv.dim()];
+        for (&p, v) in probs.iter().zip(kv.values().iter()) {
             for (o, &vv) in out.iter_mut().zip(v) {
                 *o += p as f32 * vv;
             }
@@ -63,29 +76,57 @@ impl AttentionKernel for ExactAttention {
     }
 }
 
+/// Scratch buffers shared by the quantizing backends: the recycled key-code
+/// allocation and the pruner's working memory.
+#[derive(Debug, Clone, Default)]
+struct QuantScratch {
+    keys: QuantBuffer,
+    pruner: PrunerScratch,
+}
+
+impl QuantScratch {
+    /// Quantizes the view's keys, reusing the recycled code buffer.
+    fn quantize_keys(&mut self, kv: KvView<'_>, pc: PrecisionConfig) -> QMatrix {
+        self.keys
+            .quantize(kv.keys().data(), kv.dim(), pc)
+            .expect("non-empty cache")
+    }
+
+    /// Returns a matrix's code buffer to the scratch pool and produces the
+    /// weighted-value output for `outcome` over the view's values.
+    fn finish(&mut self, keys: QMatrix, outcome: &PruneOutcome, kv: KvView<'_>) -> Vec<f32> {
+        self.keys.reclaim(keys);
+        weighted_value_sum(&outcome.probability_pairs(), kv.values())
+    }
+}
+
 /// Exact attention over *quantized* Q/K/V — isolates quantization error
 /// from pruning error when validating Token-Picker.
 #[derive(Debug, Clone)]
 pub struct QuantizedExactAttention {
     precision: PrecisionConfig,
+    scratch: QuantScratch,
 }
 
 impl QuantizedExactAttention {
-    /// Creates the quantized-exact kernel.
+    /// Creates the quantized-exact backend.
     #[must_use]
     pub fn new(precision: PrecisionConfig) -> Self {
-        Self { precision }
+        Self {
+            precision,
+            scratch: QuantScratch::default(),
+        }
     }
 }
 
-impl AttentionKernel for QuantizedExactAttention {
-    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32> {
+impl AttentionBackend for QuantizedExactAttention {
+    fn attend(&mut self, q: &[f32], kv: KvView<'_>) -> Vec<f32> {
         let qv = QVector::quantize(q, self.precision);
-        let keys =
-            QMatrix::quantize_rows(&cache.key_rows(), self.precision).expect("non-empty cache");
+        let keys = self.scratch.quantize_keys(kv, self.precision);
         let probs = exact_probabilities(&qv, &keys);
+        self.scratch.keys.reclaim(keys);
         let pairs: Vec<(usize, f64)> = probs.into_iter().enumerate().collect();
-        weighted_value_sum(&pairs, &cache.value_rows())
+        weighted_value_sum(&pairs, kv.values())
     }
 }
 
@@ -95,16 +136,18 @@ impl AttentionKernel for QuantizedExactAttention {
 pub struct TokenPickerAttention {
     pruner: ProgressivePruner,
     stats: PruneStats,
+    scratch: QuantScratch,
 }
 
 impl TokenPickerAttention {
-    /// Creates a Token-Picker kernel from a pruner configuration.
+    /// Creates a Token-Picker backend from a pruner configuration.
     #[must_use]
     pub fn new(cfg: PrunerConfig) -> Self {
         let num_chunks = cfg.precision().num_chunks();
         Self {
             pruner: ProgressivePruner::new(cfg),
             stats: PruneStats::new(0, num_chunks),
+            scratch: QuantScratch::default(),
         }
     }
 
@@ -115,14 +158,17 @@ impl TokenPickerAttention {
     }
 }
 
-impl AttentionKernel for TokenPickerAttention {
-    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32> {
+impl AttentionBackend for TokenPickerAttention {
+    fn attend(&mut self, q: &[f32], kv: KvView<'_>) -> Vec<f32> {
         let pc = self.pruner.config().precision();
         let qv = QVector::quantize(q, pc);
-        let keys = QMatrix::quantize_rows(&cache.key_rows(), pc).expect("non-empty cache");
-        let outcome = self.pruner.run(&qv, &keys).expect("validated dims");
+        let keys = self.scratch.quantize_keys(kv, pc);
+        let outcome = self
+            .pruner
+            .run_with_scratch(&qv, &keys, &mut self.scratch.pruner)
+            .expect("validated dims");
         self.stats.merge(&outcome.stats);
-        weighted_value_sum(&outcome.probability_pairs(), &cache.value_rows())
+        self.scratch.finish(keys, &outcome, kv)
     }
 
     fn accumulated_stats(&self) -> Option<&PruneStats> {
@@ -142,10 +188,11 @@ pub struct OracleAttention {
     pruner: OraclePruner,
     precision: PrecisionConfig,
     stats: PruneStats,
+    scratch: QuantScratch,
 }
 
 impl OracleAttention {
-    /// Creates an oracle kernel with probability threshold `thr`.
+    /// Creates an oracle backend with probability threshold `thr`.
     ///
     /// # Errors
     ///
@@ -156,18 +203,18 @@ impl OracleAttention {
             pruner: OraclePruner::new(threshold)?,
             precision,
             stats: PruneStats::new(0, precision.num_chunks()),
+            scratch: QuantScratch::default(),
         })
     }
 }
 
-impl AttentionKernel for OracleAttention {
-    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32> {
+impl AttentionBackend for OracleAttention {
+    fn attend(&mut self, q: &[f32], kv: KvView<'_>) -> Vec<f32> {
         let qv = QVector::quantize(q, self.precision);
-        let keys =
-            QMatrix::quantize_rows(&cache.key_rows(), self.precision).expect("non-empty cache");
+        let keys = self.scratch.quantize_keys(kv, self.precision);
         let outcome = self.pruner.run(&qv, &keys).expect("validated dims");
         self.stats.merge(&outcome.stats);
-        weighted_value_sum(&outcome.probability_pairs(), &cache.value_rows())
+        self.scratch.finish(keys, &outcome, kv)
     }
 
     fn accumulated_stats(&self) -> Option<&PruneStats> {
@@ -185,6 +232,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    use crate::kvcache::HeadCache;
     use crate::rng::normal_vec;
 
     fn random_cache(n: usize, dim: usize, seed: u64) -> (Vec<f32>, HeadCache) {
@@ -202,8 +250,8 @@ mod tests {
     #[test]
     fn exact_and_quantized_agree_closely() {
         let (q, cache) = random_cache(32, 16, 1);
-        let a = ExactAttention::new().attend(&q, &cache);
-        let b = QuantizedExactAttention::new(PrecisionConfig::paper()).attend(&q, &cache);
+        let a = ExactAttention::new().attend(&q, cache.view());
+        let b = QuantizedExactAttention::new(PrecisionConfig::paper()).attend(&q, cache.view());
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 0.05, "{x} vs {y}");
         }
@@ -215,8 +263,8 @@ mod tests {
         let mut exact = ExactAttention::new();
         let cfg = PrunerConfig::new(1e-4).unwrap();
         let mut tp = TokenPickerAttention::new(cfg);
-        let a = exact.attend(&q, &cache);
-        let b = tp.attend(&q, &cache);
+        let a = exact.attend(&q, cache.view());
+        let b = tp.attend(&q, cache.view());
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 0.1, "{x} vs {y}");
         }
@@ -228,11 +276,29 @@ mod tests {
     fn stats_accumulate_across_calls() {
         let (q, cache) = random_cache(16, 8, 3);
         let mut tp = TokenPickerAttention::new(PrunerConfig::new(1e-3).unwrap());
-        tp.attend(&q, &cache);
-        tp.attend(&q, &cache);
+        tp.attend(&q, cache.view());
+        tp.attend(&q, cache.view());
         assert_eq!(tp.accumulated_stats().unwrap().tokens, 32);
         tp.reset_stats();
         assert_eq!(tp.accumulated_stats().unwrap().tokens, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_transparent_across_growing_caches() {
+        // One backend instance driven over caches of different lengths must
+        // agree with a fresh backend at every step (buffer reuse must never
+        // leak state between calls).
+        let cfg = PrunerConfig::new(1e-3).unwrap();
+        let mut reused = TokenPickerAttention::new(cfg);
+        for n in [8usize, 64, 16] {
+            let (q, cache) = random_cache(n, 16, n as u64);
+            let mut fresh = TokenPickerAttention::new(cfg);
+            assert_eq!(
+                reused.attend(&q, cache.view()),
+                fresh.attend(&q, cache.view()),
+                "divergence at n={n}"
+            );
+        }
     }
 
     #[test]
@@ -240,8 +306,8 @@ mod tests {
         let (q, cache) = random_cache(64, 16, 4);
         let mut tp = TokenPickerAttention::new(PrunerConfig::new(1e-3).unwrap());
         let mut or = OracleAttention::new(1e-3, PrecisionConfig::paper()).unwrap();
-        tp.attend(&q, &cache);
-        or.attend(&q, &cache);
+        tp.attend(&q, cache.view());
+        or.attend(&q, cache.view());
         assert!(or.accumulated_stats().unwrap().kept <= tp.accumulated_stats().unwrap().kept);
     }
 }

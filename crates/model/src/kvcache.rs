@@ -1,5 +1,70 @@
 //! Per-layer, per-head key/value caches for autoregressive generation
 //! (paper §2.1.2: "KV caching").
+//!
+//! Storage is contiguous row-major; attention backends read it zero-copy
+//! through [`KvView`] / [`Rows`] instead of materializing per-row clones.
+
+use topick_core::Rows;
+
+/// A borrowed, zero-copy view of one head's cache: the key and value
+/// buffers an [`AttentionBackend`](crate::AttentionBackend) consumes.
+///
+/// Fields are private so every `KvView` goes through [`KvView::new`] (or
+/// [`HeadCache::view`]) and the keys/values shape agreement can never be
+/// violated by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvView<'a> {
+    keys: Rows<'a>,
+    values: Rows<'a>,
+}
+
+impl<'a> KvView<'a> {
+    /// Builds a view over two parallel row-major buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers disagree in shape.
+    #[must_use]
+    pub fn new(keys: Rows<'a>, values: Rows<'a>) -> Self {
+        assert_eq!(keys.dim(), values.dim(), "key/value dimension mismatch");
+        assert_eq!(
+            keys.num_rows(),
+            values.num_rows(),
+            "key/value length mismatch"
+        );
+        Self { keys, values }
+    }
+
+    /// Number of cached tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.num_rows()
+    }
+
+    /// Whether the view holds no tokens.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Head dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.keys.dim()
+    }
+
+    /// Key rows, `len × dim` row-major.
+    #[must_use]
+    pub fn keys(&self) -> Rows<'a> {
+        self.keys
+    }
+
+    /// Value rows, `len × dim` row-major.
+    #[must_use]
+    pub fn values(&self) -> Rows<'a> {
+        self.values
+    }
+}
 
 /// The KV cache of one attention head: `len` rows of dimension `dim`,
 /// stored row-major and append-only.
@@ -76,16 +141,25 @@ impl HeadCache {
         &self.values[i * self.dim..(i + 1) * self.dim]
     }
 
-    /// All key rows as a `len x dim` nested vector (for quantization).
+    /// All key rows as a zero-copy row-major view.
     #[must_use]
-    pub fn key_rows(&self) -> Vec<Vec<f32>> {
-        (0..self.len).map(|i| self.key_row(i).to_vec()).collect()
+    pub fn keys(&self) -> Rows<'_> {
+        Rows::new(&self.keys, self.dim)
     }
 
-    /// All value rows as a `len x dim` nested vector.
+    /// All value rows as a zero-copy row-major view.
     #[must_use]
-    pub fn value_rows(&self) -> Vec<Vec<f32>> {
-        (0..self.len).map(|i| self.value_row(i).to_vec()).collect()
+    pub fn values(&self) -> Rows<'_> {
+        Rows::new(&self.values, self.dim)
+    }
+
+    /// The whole cache as a borrowed [`KvView`].
+    #[must_use]
+    pub fn view(&self) -> KvView<'_> {
+        KvView {
+            keys: self.keys(),
+            values: self.values(),
+        }
     }
 }
 
@@ -155,7 +229,12 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.key_row(1), &[5.0, 6.0]);
         assert_eq!(c.value_row(0), &[3.0, 4.0]);
-        assert_eq!(c.key_rows().len(), 2);
+        assert_eq!(c.keys().num_rows(), 2);
+        assert_eq!(c.keys().data(), &[1.0, 2.0, 5.0, 6.0]);
+        let view = c.view();
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.dim(), 2);
+        assert_eq!(view.values().row(1), &[7.0, 8.0]);
     }
 
     #[test]

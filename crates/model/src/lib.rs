@@ -2,16 +2,30 @@
 //!
 //! The transformer substrate for the Token-Picker reproduction: a
 //! from-scratch decoder-only language model with KV caching and pluggable
-//! attention kernels, the paper's model zoo shapes, synthetic attention
+//! attention backends, the paper's model zoo shapes, synthetic attention
 //! workloads with controlled score distributions, perplexity evaluation,
 //! and the analytic memory-traffic model behind Fig. 2.
+//!
+//! ## The `AttentionBackend` trait
+//!
+//! [`AttentionBackend`] is the single interface every attention
+//! implementation in the workspace plugs into. A backend receives the
+//! query and a borrowed, zero-copy [`KvView`] of one head's contiguous
+//! KV cache ([`HeadCache::view`]) — no backend ever clones cache rows.
+//! Implementations span three crates:
+//!
+//! * here: [`ExactAttention`], [`QuantizedExactAttention`],
+//!   [`TokenPickerAttention`], [`OracleAttention`];
+//! * `topick-spatten`: the fixed-ratio `TopKAttention` baseline;
+//! * `topick-accel`: `SimulatedAttention`, which runs every call through
+//!   the cycle-level accelerator and accumulates cycles and energy.
 //!
 //! ## Example: pruned vs exact generation
 //!
 //! ```
 //! use topick_core::PrunerConfig;
 //! use topick_model::{
-//!     AttentionKernel, ExactAttention, ModelSpec, TokenPickerAttention, TransformerModel,
+//!     AttentionBackend, ExactAttention, ModelSpec, TokenPickerAttention, TransformerModel,
 //! };
 //!
 //! let model = TransformerModel::new_random(ModelSpec::toy(), 42);
@@ -41,9 +55,10 @@ pub mod synth;
 pub mod tensor;
 
 pub use attention::{
-    AttentionKernel, ExactAttention, OracleAttention, QuantizedExactAttention, TokenPickerAttention,
+    AttentionBackend, ExactAttention, OracleAttention, QuantizedExactAttention,
+    TokenPickerAttention,
 };
-pub use kvcache::{HeadCache, KvCache};
+pub use kvcache::{HeadCache, KvCache, KvView};
 pub use memory::TrafficBreakdown;
 pub use model::{sample_token, TransformerModel};
 pub use perplexity::{

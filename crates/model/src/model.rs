@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use crate::attention::AttentionKernel;
+use crate::attention::AttentionBackend;
 use crate::kvcache::KvCache;
 use crate::layers::{Embedding, FeedForward, LayerNorm, Linear};
 use crate::specs::ModelSpec;
@@ -105,7 +105,7 @@ impl TransformerModel {
         token: usize,
         pos: usize,
         cache: &mut KvCache,
-        kernel: &mut dyn AttentionKernel,
+        kernel: &mut dyn AttentionBackend,
     ) -> Vec<f32> {
         assert!(token < self.spec.vocab, "token id out of vocabulary");
         assert!(pos < self.spec.max_context, "position beyond max context");
@@ -127,7 +127,7 @@ impl TransformerModel {
                 let range = head * hd..(head + 1) * hd;
                 let hc = cache.head_mut(li, head);
                 hc.push(&k[range.clone()], &v[range.clone()]);
-                let out = kernel.attend(&q[range.clone()], hc);
+                let out = kernel.attend(&q[range.clone()], hc.view());
                 attn_cat[range].copy_from_slice(&out);
             }
             let attn_out = layer.w_o.forward(&attn_cat);
@@ -149,7 +149,7 @@ impl TransformerModel {
         &self,
         tokens: &[usize],
         cache: &mut KvCache,
-        kernel: &mut dyn AttentionKernel,
+        kernel: &mut dyn AttentionBackend,
     ) -> Vec<Vec<f32>> {
         tokens
             .iter()
@@ -173,7 +173,7 @@ impl TransformerModel {
         steps: usize,
         temperature: f64,
         seed: u64,
-        kernel: &mut dyn AttentionKernel,
+        kernel: &mut dyn AttentionBackend,
     ) -> Vec<usize> {
         assert!(!prompt.is_empty(), "prompt must be non-empty");
         assert!(

@@ -8,7 +8,7 @@
 //! then evaluated under the exact kernel and under pruned kernels, and the
 //! difference is the ΔPPL proxy used to calibrate thresholds.
 
-use crate::attention::AttentionKernel;
+use crate::attention::AttentionBackend;
 use crate::kvcache::KvCache;
 use crate::model::TransformerModel;
 
@@ -69,7 +69,7 @@ pub fn teacher_corpus_with_temperature(
 pub fn evaluate_perplexity(
     model: &TransformerModel,
     corpus: &[usize],
-    kernel: &mut dyn AttentionKernel,
+    kernel: &mut dyn AttentionBackend,
 ) -> PerplexityReport {
     assert!(corpus.len() >= 2, "corpus must have at least two tokens");
     let spec = model.spec();
@@ -118,7 +118,7 @@ pub fn nll_from_logits(logits: &[f32], target: usize) -> f64 {
 pub fn delta_ppl(
     model: &TransformerModel,
     corpus: &[usize],
-    pruned: &mut dyn AttentionKernel,
+    pruned: &mut dyn AttentionBackend,
 ) -> f64 {
     let mut exact = crate::attention::ExactAttention::new();
     let base = evaluate_perplexity(model, corpus, &mut exact);

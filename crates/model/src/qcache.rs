@@ -14,17 +14,24 @@
 
 use topick_core::{
     weighted_value_sum, PrecisionConfig, ProgressivePruner, PruneStats, PrunerConfig, QMatrix,
-    QVector,
+    QVector, Rows,
 };
 
-use crate::attention::AttentionKernel;
+use crate::attention::AttentionBackend;
 use crate::kvcache::HeadCache;
 
 /// A per-head KV cache storing quantized codes, with quantize-on-append.
+///
+/// V rows are stored as their *dequantized* reals (`v_real`, contiguous
+/// row-major): they round-trip through the fixed quantization grid on
+/// append — so saturation and precision loss are faithfully modeled —
+/// but the weighted-value sum then reads a zero-copy [`Rows`] view
+/// instead of re-dequantizing the whole cache per step, mirroring the
+/// hardware's dequantizing step-1 datapath.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedHeadCache {
     k_codes: Vec<i16>,
-    v_codes: Vec<i16>,
+    v_real: Vec<f32>,
     dim: usize,
     len: usize,
     scale: f64,
@@ -45,7 +52,7 @@ impl QuantizedHeadCache {
         assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
         Self {
             k_codes: Vec::new(),
-            v_codes: Vec::new(),
+            v_real: Vec::new(),
             dim,
             len: 0,
             scale,
@@ -62,10 +69,10 @@ impl QuantizedHeadCache {
     ///
     /// Panics if `dim` is zero.
     #[must_use]
-    pub fn calibrated(dim: usize, rows: &[Vec<f32>], precision: PrecisionConfig) -> Self {
+    pub fn calibrated(dim: usize, rows: Rows<'_>, precision: PrecisionConfig) -> Self {
         let max_abs = rows
+            .data()
             .iter()
-            .flatten()
             .fold(0f64, |m, &v| m.max(f64::from(v).abs()));
         let qmax = f64::from(precision.max_value());
         let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
@@ -100,7 +107,8 @@ impl QuantizedHeadCache {
             quantize(v, &mut v_new);
         }
         self.k_codes.extend_from_slice(&k_new);
-        self.v_codes.extend_from_slice(&v_new);
+        self.v_real
+            .extend(v_new.iter().map(|&c| (f64::from(c) * self.scale) as f32));
         self.len += 1;
     }
 
@@ -140,17 +148,11 @@ impl QuantizedHeadCache {
             .expect("non-empty cache")
     }
 
-    /// Dequantized value rows (for the weighted sum).
+    /// Dequantized value rows as a zero-copy row-major view (for the
+    /// weighted sum).
     #[must_use]
-    pub fn value_rows(&self) -> Vec<Vec<f32>> {
-        (0..self.len)
-            .map(|t| {
-                self.v_codes[t * self.dim..(t + 1) * self.dim]
-                    .iter()
-                    .map(|&c| (f64::from(c) * self.scale) as f32)
-                    .collect()
-            })
-            .collect()
+    pub fn values(&self) -> Rows<'_> {
+        Rows::new(&self.v_real, self.dim)
     }
 }
 
@@ -164,6 +166,7 @@ pub struct QuantizedTokenPicker {
     cache: QuantizedHeadCache,
     pruner: ProgressivePruner,
     stats: PruneStats,
+    scratch: topick_core::PrunerScratch,
 }
 
 impl QuantizedTokenPicker {
@@ -175,6 +178,7 @@ impl QuantizedTokenPicker {
             cache,
             pruner: ProgressivePruner::new(cfg),
             stats: PruneStats::new(0, chunks),
+            scratch: topick_core::PrunerScratch::new(),
         }
     }
 
@@ -189,9 +193,12 @@ impl QuantizedTokenPicker {
         let pc = self.pruner.config().precision();
         let qv = QVector::quantize(q, pc);
         let keys = self.cache.keys();
-        let outcome = self.pruner.run(&qv, &keys).expect("validated dims");
+        let outcome = self
+            .pruner
+            .run_with_scratch(&qv, &keys, &mut self.scratch)
+            .expect("validated dims");
         self.stats.merge(&outcome.stats);
-        weighted_value_sum(&outcome.probability_pairs(), &self.cache.value_rows())
+        weighted_value_sum(&outcome.probability_pairs(), self.cache.values())
     }
 
     /// Accumulated pruning statistics.
@@ -219,7 +226,7 @@ pub fn requantization_gap(
     cfg: PrunerConfig,
 ) -> f32 {
     let mut requant = crate::attention::TokenPickerAttention::new(cfg);
-    let a = requant.attend(q, float_cache);
+    let a = requant.attend(q, float_cache.view());
 
     let pc = cfg.precision();
     let qv = QVector::quantize(q, pc);
@@ -227,7 +234,7 @@ pub fn requantization_gap(
     let outcome = ProgressivePruner::new(cfg)
         .run(&qv, &keys)
         .expect("validated dims");
-    let b = weighted_value_sum(&outcome.probability_pairs(), &qcache.value_rows());
+    let b = weighted_value_sum(&outcome.probability_pairs(), qcache.values());
     a.iter()
         .zip(&b)
         .map(|(x, y)| (x - y).abs())
@@ -246,8 +253,8 @@ mod tests {
     ) -> (HeadCache, QuantizedHeadCache, SynthInstance) {
         let inst = SynthInstance::generate(&SynthProfile::realistic(n, dim), seed);
         let mut float_cache = HeadCache::new(dim);
-        let mut qcache = QuantizedHeadCache::calibrated(dim, &inst.keys, PrecisionConfig::paper());
-        for (k, v) in inst.keys.iter().zip(&inst.values) {
+        let mut qcache = QuantizedHeadCache::calibrated(dim, inst.keys(), PrecisionConfig::paper());
+        for (k, v) in inst.keys().iter().zip(inst.values().iter()) {
             float_cache.push(k, v);
             qcache.push(k, v);
         }
@@ -277,9 +284,9 @@ mod tests {
     fn kernel_steps_accumulate_stats() {
         let dim = 16;
         let inst = SynthInstance::generate(&SynthProfile::realistic(8, dim), 5);
-        let cache = QuantizedHeadCache::calibrated(dim, &inst.keys, PrecisionConfig::paper());
+        let cache = QuantizedHeadCache::calibrated(dim, inst.keys(), PrecisionConfig::paper());
         let mut kernel = QuantizedTokenPicker::new(cache, PrunerConfig::new(1e-3).unwrap());
-        for (i, (k, v)) in inst.keys.iter().zip(&inst.values).enumerate() {
+        for (i, (k, v)) in inst.keys().iter().zip(inst.values().iter()).enumerate() {
             let out = kernel.step(&inst.query, k, v);
             assert_eq!(out.len(), dim);
             assert_eq!(kernel.cache().len(), i + 1);
@@ -290,10 +297,11 @@ mod tests {
 
     #[test]
     fn calibrated_scale_covers_rows() {
-        let rows = vec![vec![2.0f32, -3.0], vec![0.5, 1.0]];
-        let cache = QuantizedHeadCache::calibrated(2, &rows, PrecisionConfig::paper());
+        let rows = [2.0f32, -3.0, 0.5, 1.0];
+        let view = Rows::new(&rows, 2);
+        let cache = QuantizedHeadCache::calibrated(2, view, PrecisionConfig::paper());
         let mut c = cache.clone();
-        for r in &rows {
+        for r in view.iter() {
             c.push(r, r);
         }
         assert_eq!(c.saturated_count(), 0, "calibrated scale must not clip");

@@ -19,6 +19,8 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
+use topick_core::Rows;
+
 use crate::rng::{normal_vec, standard_normal};
 use crate::tensor::dot;
 
@@ -108,14 +110,19 @@ impl SynthProfile {
 
 /// One synthetic attention instance: a query, keys and values realizing a
 /// target score vector.
+///
+/// Keys and values are stored contiguous row-major and exposed through
+/// zero-copy [`Rows`] views, matching the layout the attention data path
+/// consumes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SynthInstance {
     /// The query vector (head dimension).
     pub query: Vec<f32>,
-    /// Key rows, one per cached token.
-    pub keys: Vec<Vec<f32>>,
-    /// Value rows, one per cached token.
-    pub values: Vec<Vec<f32>>,
+    /// Key rows, `n × dim` row-major.
+    keys: Vec<f32>,
+    /// Value rows, `n × dim` row-major.
+    values: Vec<f32>,
+    dim: usize,
     /// The scores the construction targeted (after `1/sqrt(d)` scaling).
     pub target_scores: Vec<f64>,
 }
@@ -144,33 +151,90 @@ impl SynthInstance {
             target_scores.push(profile.deterministic_boost(i) + profile.score_std * z);
         }
 
-        let mut keys = Vec::with_capacity(n);
+        let mut keys = Vec::with_capacity(n * d);
         for &s in &target_scores {
             // Residual with small norm so the projection dominates.
             let r = normal_vec(&mut rng, d, 0.3);
             let qr = f64::from(dot(&query, &r));
             let alpha = (s * sqrt_d - qr) / q_norm2;
-            let k: Vec<f32> = r
-                .iter()
-                .zip(&query)
-                .map(|(&ri, &qi)| ri + (alpha as f32) * qi)
-                .collect();
-            keys.push(k);
+            keys.extend(
+                r.iter()
+                    .zip(&query)
+                    .map(|(&ri, &qi)| ri + (alpha as f32) * qi),
+            );
         }
-        let values = (0..n).map(|_| normal_vec(&mut rng, d, 1.0)).collect();
+        let values = normal_vec(&mut rng, n * d, 1.0);
         Self {
             query,
             keys,
             values,
+            dim: d,
             target_scores,
         }
+    }
+
+    /// Number of cached tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.target_scores.len()
+    }
+
+    /// Whether the instance holds no tokens (never true: generation
+    /// requires a positive context length).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.target_scores.is_empty()
+    }
+
+    /// Head dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Key rows as a zero-copy row-major view.
+    #[must_use]
+    pub fn keys(&self) -> Rows<'_> {
+        Rows::new(&self.keys, self.dim)
+    }
+
+    /// Value rows as a zero-copy row-major view.
+    #[must_use]
+    pub fn values(&self) -> Rows<'_> {
+        Rows::new(&self.values, self.dim)
+    }
+
+    /// One key row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn key_row(&self, i: usize) -> &[f32] {
+        self.keys().row(i)
+    }
+
+    /// One value row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn value_row(&self, i: usize) -> &[f32] {
+        self.values().row(i)
+    }
+
+    /// Consumes the instance, returning the flat value buffer.
+    #[must_use]
+    pub fn into_values(self) -> Vec<f32> {
+        self.values
     }
 
     /// The realized (float, pre-quantization) scores `q·k_i / sqrt(d)`.
     #[must_use]
     pub fn realized_scores(&self) -> Vec<f64> {
         let sqrt_d = (self.query.len() as f64).sqrt();
-        self.keys
+        self.keys()
             .iter()
             .map(|k| f64::from(dot(&self.query, k)) / sqrt_d)
             .collect()

@@ -72,6 +72,44 @@ proptest! {
             prop_assert_eq!(cache.value_row(i), r.as_slice());
         }
     }
+
+    /// The contiguous cache views are semantically identical to the old
+    /// row-of-rows representation: `keys()`/`values()`/`view()` expose
+    /// exactly the nested structure a `Vec<Vec<f32>>` cache would, for any
+    /// push sequence.
+    #[test]
+    fn head_cache_views_match_row_of_rows_semantics(
+        keys in prop::collection::vec(prop::collection::vec(-8.0f32..8.0, 3), 1..40),
+        value_bias in -2.0f32..2.0,
+    ) {
+        // Reference: the nested representation built alongside the cache.
+        let mut cache = HeadCache::new(3);
+        let mut nested_keys: Vec<Vec<f32>> = Vec::new();
+        let mut nested_values: Vec<Vec<f32>> = Vec::new();
+        for k in &keys {
+            let v: Vec<f32> = k.iter().map(|&x| x * 0.5 + value_bias).collect();
+            cache.push(k, &v);
+            nested_keys.push(k.clone());
+            nested_values.push(v);
+        }
+
+        // Row views equal the nested rows, element for element.
+        prop_assert_eq!(cache.keys().to_nested(), nested_keys.clone());
+        prop_assert_eq!(cache.values().to_nested(), nested_values.clone());
+
+        // The combined view agrees in shape and contents.
+        let view = cache.view();
+        prop_assert_eq!(view.len(), nested_keys.len());
+        prop_assert_eq!(view.dim(), 3);
+        for (i, (nk, nv)) in nested_keys.iter().zip(&nested_values).enumerate() {
+            prop_assert_eq!(view.keys().row(i), nk.as_slice());
+            prop_assert_eq!(view.values().row(i), nv.as_slice());
+        }
+
+        // And the flat buffers are the exact concatenation of the rows.
+        let flat_keys: Vec<f32> = nested_keys.concat();
+        prop_assert_eq!(cache.keys().data(), flat_keys.as_slice());
+    }
 }
 
 #[test]

@@ -1,9 +1,9 @@
 //! A fixed-ratio top-k attention kernel — SpAtten's per-instance behaviour
-//! packaged as a [`topick_model::AttentionKernel`] so the same ΔPPL
+//! packaged as a [`topick_model::AttentionBackend`] so the same ΔPPL
 //! calibration harness can drive both designs.
 
 use topick_core::{softmax, PrecisionConfig, PruneStats};
-use topick_model::{AttentionKernel, HeadCache};
+use topick_model::{AttentionBackend, KvView};
 
 /// Attention that keeps only the top `keep_ratio` fraction of tokens by
 /// probability, renormalizing over the survivors.
@@ -15,7 +15,7 @@ use topick_model::{AttentionKernel, HeadCache};
 /// # Examples
 ///
 /// ```
-/// use topick_model::{AttentionKernel, HeadCache};
+/// use topick_model::{AttentionBackend, HeadCache};
 /// use topick_spatten::TopKAttention;
 ///
 /// let mut cache = HeadCache::new(2);
@@ -23,7 +23,7 @@ use topick_model::{AttentionKernel, HeadCache};
 ///     cache.push(&[i as f32, 1.0], &[1.0, 0.0]);
 /// }
 /// let mut kernel = TopKAttention::new(0.3);
-/// let out = kernel.attend(&[1.0, 0.0], &cache);
+/// let out = kernel.attend(&[1.0, 0.0], cache.view());
 /// assert_eq!(out.len(), 2);
 /// let stats = kernel.accumulated_stats().expect("tracked");
 /// assert_eq!(stats.kept, 3); // ceil(0.3 * 10)
@@ -59,16 +59,15 @@ impl TopKAttention {
     }
 }
 
-impl AttentionKernel for TopKAttention {
-    fn attend(&mut self, q: &[f32], cache: &HeadCache) -> Vec<f32> {
-        let n = cache.len();
+impl AttentionBackend for TopKAttention {
+    fn attend(&mut self, q: &[f32], kv: KvView<'_>) -> Vec<f32> {
+        let n = kv.len();
         assert!(n > 0, "attention over empty cache");
-        let scale = 1.0 / (cache.dim() as f32).sqrt();
-        let scores: Vec<f64> = (0..n)
-            .map(|i| {
-                let k = cache.key_row(i);
-                f64::from(q.iter().zip(k).map(|(&a, &b)| a * b).sum::<f32>() * scale)
-            })
+        let scale = 1.0 / (kv.dim() as f32).sqrt();
+        let scores: Vec<f64> = kv
+            .keys()
+            .iter()
+            .map(|k| f64::from(q.iter().zip(k).map(|(&a, &b)| a * b).sum::<f32>() * scale))
             .collect();
         let probs = softmax(&scores);
         let keep = ((n as f64) * self.keep_ratio).ceil() as usize;
@@ -93,10 +92,10 @@ impl AttentionKernel for TopKAttention {
         *stats.pruned_at.last_mut().expect("chunks") = (n - kept.len()) as u64;
         self.stats.merge(&stats);
 
-        let dim = cache.dim();
+        let dim = kv.dim();
         let mut out = vec![0.0f32; dim];
         for (&tok, &p) in kept.iter().zip(&renorm) {
-            let v = cache.value_row(tok);
+            let v = kv.values().row(tok);
             for (o, &vv) in out.iter_mut().zip(v) {
                 *o += p as f32 * vv;
             }
@@ -116,6 +115,7 @@ impl AttentionKernel for TopKAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use topick_model::HeadCache;
 
     fn cache_with_scores(n: usize) -> HeadCache {
         let mut cache = HeadCache::new(2);
@@ -130,7 +130,7 @@ mod tests {
     fn keeps_exactly_the_ratio() {
         let cache = cache_with_scores(20);
         let mut kernel = TopKAttention::new(0.25);
-        let _ = kernel.attend(&[1.0, 0.0], &cache);
+        let _ = kernel.attend(&[1.0, 0.0], cache.view());
         assert_eq!(kernel.accumulated_stats().unwrap().kept, 5);
     }
 
@@ -138,7 +138,7 @@ mod tests {
     fn keeps_the_dominant_tokens() {
         let cache = cache_with_scores(10);
         let mut kernel = TopKAttention::new(0.2);
-        let out = kernel.attend(&[1.0, 0.0], &cache);
+        let out = kernel.attend(&[1.0, 0.0], cache.view());
         // Tokens 8 and 9 dominate; output ~ weighted toward v = [9, 1].
         assert!(out[0] > 8.0, "output {out:?}");
     }
@@ -149,8 +149,8 @@ mod tests {
         let q = [1.0f32, 0.0];
         let mut topk = TopKAttention::new(1.0);
         let mut exact = topick_model::ExactAttention::new();
-        let a = topk.attend(&q, &cache);
-        let b = exact.attend(&q, &cache);
+        let a = topk.attend(&q, cache.view());
+        let b = exact.attend(&q, cache.view());
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-5);
         }
@@ -160,7 +160,7 @@ mod tests {
     fn full_k_traffic_is_counted() {
         let cache = cache_with_scores(16);
         let mut kernel = TopKAttention::new(0.5);
-        let _ = kernel.attend(&[1.0, 0.0], &cache);
+        let _ = kernel.attend(&[1.0, 0.0], cache.view());
         let stats = kernel.accumulated_stats().unwrap();
         let pc = PrecisionConfig::paper();
         assert_eq!(stats.k_reduction(2, &pc), 1.0, "SpAtten reads all K");

@@ -10,7 +10,7 @@
 //!   cumulative-importance ranking and a cascaded per-layer keep-ratio
 //!   schedule, used for bit-level K/V traffic comparison.
 //! * [`TopKAttention`] — a fixed-ratio top-k attention kernel implementing
-//!   [`topick_model::AttentionKernel`], used for ΔPPL calibration on the
+//!   [`topick_model::AttentionBackend`], used for ΔPPL calibration on the
 //!   same footing as Token-Picker's kernel.
 //!
 //! ## Example

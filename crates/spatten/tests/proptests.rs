@@ -69,13 +69,13 @@ proptest! {
     /// The top-k kernel always keeps ceil(ratio * n) tokens.
     #[test]
     fn topk_kernel_count_exact(n in 1usize..64, ratio in 0.05f64..1.0) {
-        use topick_model::{AttentionKernel, HeadCache};
+        use topick_model::{AttentionBackend, HeadCache};
         let mut cache = HeadCache::new(2);
         for i in 0..n {
             cache.push(&[i as f32, 1.0], &[1.0, 0.0]);
         }
         let mut kernel = TopKAttention::new(ratio);
-        let _ = kernel.attend(&[1.0, 0.5], &cache);
+        let _ = kernel.attend(&[1.0, 0.5], cache.view());
         let kept = kernel.accumulated_stats().expect("stats").kept;
         prop_assert_eq!(kept, ((n as f64) * ratio).ceil() as usize);
     }

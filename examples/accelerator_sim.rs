@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pc = PrecisionConfig::paper();
     let instance: SynthInstance = InstanceSampler::realistic(context, dim).sample(3);
     let query = QVector::quantize(&instance.query, pc);
-    let keys = QMatrix::quantize_rows(&instance.keys, pc)?;
+    let keys = QMatrix::quantize_flat(instance.keys().data(), dim, pc)?;
 
     println!(
         "{:<14} {:>8} {:>8} {:>10} {:>12} {:>12}",
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Blocking", AccelMode::Blocking, 1e-3),
     ] {
         let accel = ToPickAccelerator::new(AccelConfig::paper(mode, thr)?);
-        let r = accel.run_attention(&query, &keys, &instance.values)?;
+        let r = accel.run_attention(&query, &keys, instance.values())?;
         if name == "Baseline" {
             baseline_cycles = r.cycles;
         }

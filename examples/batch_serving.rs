@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..8 {
         let inst = sampler.sample(i);
         let q = QVector::quantize(&inst.query, pc);
-        let keys = QMatrix::quantize_rows(&inst.keys, pc)?;
+        let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc)?;
         agg.merge(&pruner.run(&q, &keys)?.stats);
     }
     let kv_reduction = agg.total_reduction(dim, &pc);

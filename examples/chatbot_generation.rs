@@ -10,7 +10,7 @@
 
 use token_picker::core::{PrecisionConfig, PrunerConfig};
 use token_picker::model::{
-    AttentionKernel, ExactAttention, ModelSpec, TokenPickerAttention, TransformerModel,
+    AttentionBackend, ExactAttention, ModelSpec, TokenPickerAttention, TransformerModel,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -10,15 +10,15 @@ use token_picker::accel::{AccelConfig, AccelMode, GenerationConfig, GenerationSi
 use token_picker::core::{PrecisionConfig, QMatrix, QVector};
 use token_picker::model::{InstanceSampler, SynthInstance};
 
-fn factory(seed: u64) -> impl FnMut(usize, usize, usize) -> (QVector, QMatrix, Vec<Vec<f32>>) {
+fn factory(seed: u64) -> impl FnMut(usize, usize, usize) -> (QVector, QMatrix, Vec<f32>) {
     move |step, head, ctx| {
         let pc = PrecisionConfig::paper();
         let inst: SynthInstance =
             InstanceSampler::realistic(ctx, 64).sample(seed + step as u64 * 101 + head as u64);
         (
             QVector::quantize(&inst.query, pc),
-            QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty"),
-            inst.values,
+            QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty"),
+            inst.into_values(),
         )
     }
 }

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Quantize to the paper's 12-bit / three 4-bit-chunk format.
     let pc = PrecisionConfig::paper();
     let query = QVector::quantize(&instance.query, pc);
-    let keys = QMatrix::quantize_rows(&instance.keys, pc)?;
+    let keys = QMatrix::quantize_flat(instance.keys().data(), instance.dim(), pc)?;
 
     // Prune tokens whose probability upper bound falls below 1e-3.
     let pruner = ProgressivePruner::new(PrunerConfig::new(1e-3)?);
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("dominant tokens retained: {retained}/{dominant}");
 
     // The attention output over survivors.
-    let output = weighted_value_sum(&outcome.probability_pairs(), &instance.values);
+    let output = weighted_value_sum(&outcome.probability_pairs(), instance.values());
     println!("output[0..4]   : {:?}", &output[..4]);
     Ok(())
 }

@@ -42,13 +42,13 @@ fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, defau
         .unwrap_or(default)
 }
 
-fn workload(ctx: usize, dim: usize, seed: u64) -> (QVector, QMatrix, Vec<Vec<f32>>) {
+fn workload(ctx: usize, dim: usize, seed: u64) -> (QVector, QMatrix, Vec<f32>) {
     let pc = PrecisionConfig::paper();
     let inst = InstanceSampler::realistic(ctx, dim).sample(seed);
     (
         QVector::quantize(&inst.query, pc),
-        QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty"),
-        inst.values,
+        QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty"),
+        inst.into_values(),
     )
 }
 
@@ -117,7 +117,7 @@ fn cmd_accel(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         ("Blocking", AccelMode::Blocking, thr),
     ] {
         let accel = ToPickAccelerator::new(AccelConfig::paper(mode, t)?);
-        let r = accel.run_attention(&q, &keys, &values)?;
+        let r = accel.run_attention(&q, &keys, token_picker::core::Rows::new(&values, 64))?;
         println!(
             "{:<14} {:>9} {:>9} {:>11.1} {:>12.2}",
             name,
@@ -166,6 +166,51 @@ fn cmd_traffic(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error
     Ok(())
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    use token_picker::accel::{ServingConfig, ServingEngine, ServingRequest};
+
+    let requests = flag(flags, "requests", 16u64);
+    let thr = flag(flags, "threshold", 1e-3f64);
+    let batch = flag(flags, "batch", 8usize);
+    let seed = flag(flags, "seed", 0u64);
+    let baseline_mode = flags.contains_key("baseline");
+
+    let mode = if baseline_mode {
+        AccelMode::Baseline
+    } else {
+        AccelMode::OutOfOrder
+    };
+    let t = if baseline_mode { 0.5 } else { thr };
+    let mut cfg = ServingConfig::new(AccelConfig::paper(mode, t)?);
+    cfg.admission.max_batch = batch;
+    cfg.seed = seed;
+    let clock_hz = cfg.clock_hz;
+    let mut engine = ServingEngine::new(cfg);
+    for id in 0..requests {
+        engine.enqueue(ServingRequest {
+            id,
+            prompt_len: 64 + (id as usize % 7) * 32,
+            max_new_tokens: 4 + (id as usize % 5) * 2,
+        })?;
+    }
+    let report = engine.run_to_completion(10_000)?;
+    println!(
+        "mode {:?}: {} requests, {} tokens in {} steps",
+        mode,
+        report.requests.len(),
+        report.tokens_generated,
+        report.steps.len()
+    );
+    println!("total cycles   : {}", report.total_cycles);
+    println!("mean step      : {:.0} cycles", report.mean_step_cycles());
+    println!(
+        "throughput     : {:.1} tokens/s",
+        report.tokens_per_second(clock_hz)
+    );
+    println!("V reduction    : {:.2}x", report.prune.v_reduction());
+    Ok(())
+}
+
 fn usage() {
     println!("topick — Token-Picker (DAC 2024) reproduction driver");
     println!();
@@ -178,6 +223,8 @@ fn usage() {
     println!("           [--context N] [--threshold T] [--seed S]");
     println!("  traffic  Fig. 2-style memory traffic breakdown");
     println!("           [--model NAME] [--context N]");
+    println!("  serve    continuous-batching serving engine");
+    println!("           [--requests N] [--batch B] [--threshold T] [--seed S] [--baseline]");
 }
 
 fn main() {
@@ -189,6 +236,7 @@ fn main() {
         "sweep" => cmd_sweep(&flags),
         "accel" => cmd_accel(&flags),
         "traffic" => cmd_traffic(&flags),
+        "serve" => cmd_serve(&flags),
         _ => {
             usage();
             Ok(())

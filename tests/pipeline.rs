@@ -10,7 +10,7 @@ use token_picker::core::{
 };
 use token_picker::energy::AreaPowerModel;
 use token_picker::model::{
-    AttentionKernel, ExactAttention, InstanceSampler, ModelSpec, SynthInstance, SynthProfile,
+    AttentionBackend, ExactAttention, InstanceSampler, ModelSpec, SynthInstance, SynthProfile,
     TokenPickerAttention, TransformerModel,
 };
 use token_picker::spatten::TopKAttention;
@@ -19,7 +19,7 @@ fn quantized(n: usize, dim: usize, seed: u64) -> (QVector, QMatrix, SynthInstanc
     let pc = PrecisionConfig::paper();
     let inst = SynthInstance::generate(&SynthProfile::realistic(n, dim), seed);
     let q = QVector::quantize(&inst.query, pc);
-    let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
+    let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty");
     (q, keys, inst)
 }
 
@@ -36,7 +36,7 @@ fn reference_pruner_and_accelerator_agree_functionally() {
     let accel =
         ToPickAccelerator::new(AccelConfig::paper(AccelMode::OutOfOrder, thr).expect("cfg"));
     let hw = accel
-        .run_attention(&q, &keys, &inst.values)
+        .run_attention(&q, &keys, inst.values())
         .expect("accel run");
 
     let exact = exact_probabilities(&q, &keys);
@@ -53,7 +53,7 @@ fn reference_pruner_and_accelerator_agree_functionally() {
         }
     }
 
-    let ref_out = weighted_value_sum(&reference.probability_pairs(), &inst.values);
+    let ref_out = weighted_value_sum(&reference.probability_pairs(), inst.values());
     for (a, b) in ref_out.iter().zip(&hw.output) {
         assert!((a - b).abs() < 0.05, "reference {a} vs accelerator {b}");
     }
@@ -93,7 +93,7 @@ fn adaptive_beats_fixed_ratio_on_varied_instances() {
     for i in 0..instances as u64 {
         let inst = sampler.sample(i);
         let q = QVector::quantize(&inst.query, pc);
-        let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
+        let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty");
         adaptive_kept += pruner.run(&q, &keys).expect("run").stats.kept;
         worst_dominant_frac =
             worst_dominant_frac.max(inst.dominant_tokens(thr) as f64 / ctx as f64);
@@ -117,7 +117,7 @@ fn accelerator_energy_consistent_with_area_power_model() {
 
     let (q, keys, inst) = quantized(128, 64, 13);
     let accel = ToPickAccelerator::new(AccelConfig::baseline());
-    let r = accel.run_attention(&q, &keys, &inst.values).expect("run");
+    let r = accel.run_attention(&q, &keys, inst.values()).expect("run");
     assert!(r.energy.dram_pj > 0.0);
     assert!(r.energy.buffer_pj > 0.0);
     assert!(r.energy.compute_pj > 0.0);
@@ -155,7 +155,7 @@ fn every_mode_is_sound_on_the_same_instance() {
         AccelMode::Blocking,
     ] {
         let accel = ToPickAccelerator::new(AccelConfig::paper(mode, thr).expect("cfg"));
-        let r = accel.run_attention(&q, &keys, &inst.values).expect("run");
+        let r = accel.run_attention(&q, &keys, inst.values()).expect("run");
         for (t, &p) in exact.iter().enumerate() {
             if p > thr {
                 assert!(r.kept.contains(&t), "{mode:?} pruned dominant token {t}");
@@ -174,13 +174,13 @@ fn value_chunk_extension_composes_with_pruning() {
         .run(&q, &keys)
         .expect("run");
     let pairs = outcome.probability_pairs();
-    let qvalues = QMatrix::quantize_rows(&inst.values, pc).expect("non-empty");
+    let qvalues = QMatrix::quantize_flat(inst.values().data(), inst.dim(), pc).expect("non-empty");
     let budget = 1e-2;
     let plan =
         token_picker::core::ValuePlan::compute(&pairs, pc, qvalues.scale(), budget).expect("plan");
     let (approx, bound) = token_picker::core::truncated_weighted_sum(&plan, &pairs, &qvalues);
     assert!(bound <= budget + 1e-12);
-    let exact = weighted_value_sum(&pairs, &inst.values);
+    let exact = weighted_value_sum(&pairs, inst.values());
     for (a, b) in approx.iter().zip(&exact) {
         // Budget + quantization slack.
         assert!((a - b).abs() < (budget + 0.05) as f32, "{a} vs {b}");
@@ -213,14 +213,14 @@ fn prompt_then_generation_pipeline() {
     let queries: Vec<token_picker::core::QVector> = (0..n)
         .map(|i| {
             token_picker::core::QVector::quantize(
-                &inst.keys[i], // reuse keys as stand-in queries
+                inst.key_row(i), // reuse keys as stand-in queries
                 pc,
             )
         })
         .collect();
-    let keys = QMatrix::quantize_rows(&inst.keys, pc).expect("non-empty");
+    let keys = QMatrix::quantize_flat(inst.keys().data(), inst.dim(), pc).expect("non-empty");
     let cfg = AccelConfig::baseline();
-    let prompt = token_picker::accel::run_prompt_phase(&cfg, &queries, &keys, &inst.values)
+    let prompt = token_picker::accel::run_prompt_phase(&cfg, &queries, &keys, inst.values())
         .expect("prompt phase");
     assert_eq!(prompt.outputs.len(), n);
 
@@ -228,7 +228,7 @@ fn prompt_then_generation_pipeline() {
     let q = QVector::quantize(&inst.query, pc);
     let gen_cfg = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("cfg");
     let gen = ToPickAccelerator::new(gen_cfg)
-        .run_attention(&q, &keys, &inst.values)
+        .run_attention(&q, &keys, inst.values())
         .expect("generation step");
     assert!(gen.cycles > 0);
 }
@@ -250,7 +250,7 @@ fn batched_step_simulation_uses_model_specs() {
         &params,
         &q,
         &keys,
-        &inst.values,
+        inst.values(),
     )
     .expect("batch step");
     // At context 256 (1/8th of the paper's S=2048) the KV share is small

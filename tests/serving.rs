@@ -1,0 +1,133 @@
+//! Workspace integration tests of the continuous-batching serving engine:
+//! a 16-request mixed-context workload must complete under both
+//! accelerator modes, conserve its token accounting, price bigger batches
+//! higher, and run measurably faster under Token-Picker pruning.
+
+use token_picker::accel::{
+    AccelConfig, AccelMode, AdmissionConfig, ServingConfig, ServingEngine, ServingRequest,
+};
+
+fn mixed_workload() -> Vec<ServingRequest> {
+    // 16 requests with heterogeneous prompts (128..=464 tokens) and
+    // targets (2..=6 new tokens) — contexts in one batch intentionally
+    // disagree, and they are long enough for attention (not weight
+    // streaming) to be a visible share of each step, the regime the paper
+    // evaluates.
+    (0..16u64)
+        .map(|id| ServingRequest {
+            id,
+            prompt_len: 128 + (id as usize % 8) * 48,
+            max_new_tokens: 2 + (id as usize % 5),
+        })
+        .collect()
+}
+
+fn serve(mode: AccelMode, threshold: f64) -> token_picker::accel::ServingReport {
+    let accel = AccelConfig::paper(mode, threshold).expect("valid threshold");
+    let mut cfg = ServingConfig::new(accel);
+    cfg.heads = 4;
+    cfg.weight_bytes = 10_000_000;
+    cfg.admission = AdmissionConfig {
+        max_batch: 6,
+        max_batch_tokens: 4096,
+    };
+    cfg.seed = 7;
+    let mut engine = ServingEngine::new(cfg);
+    for r in mixed_workload() {
+        engine.enqueue(r).expect("valid request");
+    }
+    engine.run_to_completion(256).expect("workload completes")
+}
+
+#[test]
+fn sixteen_request_workload_completes_with_conservation() {
+    let report = serve(AccelMode::OutOfOrder, 1e-3);
+    let workload = mixed_workload();
+
+    // Conservation: every request finished, generating exactly its target.
+    assert_eq!(report.requests.len(), workload.len());
+    let expected: usize = workload.iter().map(|r| r.max_new_tokens).sum();
+    assert_eq!(report.tokens_generated, expected);
+    for req in &workload {
+        let stats = report
+            .requests
+            .iter()
+            .find(|s| s.id == req.id)
+            .expect("request finished");
+        assert_eq!(stats.generated, req.max_new_tokens, "request {}", req.id);
+        assert!(stats.admitted_at.is_some());
+        assert!(stats.finished_at.unwrap() >= stats.admitted_at.unwrap());
+        assert!(stats.attention_cycles > 0);
+    }
+
+    // Admission control held at every step.
+    for step in &report.steps {
+        assert!(step.batch <= 6, "batch {} exceeds limit", step.batch);
+        assert!(step.context_tokens <= 4096);
+    }
+
+    // Continuous batching actually batched: some step decoded multiple
+    // requests concurrently.
+    assert!(report.steps.iter().any(|s| s.batch > 1));
+
+    // Cycle accounting is closed: steps sum to the total.
+    let sum: u64 = report.steps.iter().map(|s| s.total_cycles()).sum();
+    assert_eq!(sum, report.total_cycles);
+}
+
+#[test]
+fn step_cycles_are_monotone_in_batch_attention_work() {
+    // Under the baseline (no pruning), a step's attention cycles grow with
+    // the attention work it performs (total context tokens in the batch).
+    // Compare the extremes, which are far apart in work.
+    let report = serve(AccelMode::Baseline, 0.5);
+    let min_work = report
+        .steps
+        .iter()
+        .min_by_key(|s| s.context_tokens)
+        .expect("steps exist");
+    let max_work = report
+        .steps
+        .iter()
+        .max_by_key(|s| s.context_tokens)
+        .expect("steps exist");
+    assert!(
+        max_work.context_tokens > min_work.context_tokens,
+        "workload produced uniform steps; test needs heterogeneous work"
+    );
+    assert!(
+        max_work.attention_cycles > min_work.attention_cycles,
+        "attention cycles not monotone: work {} -> {} cycles vs work {} -> {} cycles",
+        min_work.context_tokens,
+        min_work.attention_cycles,
+        max_work.context_tokens,
+        max_work.attention_cycles
+    );
+
+    // Weight streaming is shared per step and constant across steps.
+    for w in report.steps.windows(2) {
+        assert_eq!(w[0].weight_cycles, w[1].weight_cycles);
+    }
+}
+
+#[test]
+fn topick_serves_more_tokens_per_second_than_baseline() {
+    let baseline = serve(AccelMode::Baseline, 0.5);
+    let topick = serve(AccelMode::OutOfOrder, 1e-3);
+
+    // Identical workloads (same seeds, same admission) ...
+    assert_eq!(baseline.tokens_generated, topick.tokens_generated);
+
+    // ... but pruned attention shrinks every step, so throughput rises.
+    let clock_hz = 500e6;
+    let base_tps = baseline.tokens_per_second(clock_hz);
+    let tp_tps = topick.tokens_per_second(clock_hz);
+    assert!(
+        tp_tps > base_tps,
+        "ToPick {tp_tps:.1} tokens/s should beat baseline {base_tps:.1} tokens/s"
+    );
+    assert!(topick.total_cycles < baseline.total_cycles);
+
+    // The pruning statistics show why: most V rows were never fetched.
+    assert!(topick.prune.v_reduction() > 1.5);
+}
