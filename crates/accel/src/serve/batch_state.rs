@@ -1,0 +1,149 @@
+//! Live per-request state and the running batch with its admission limits.
+
+use super::policy::RunningView;
+use super::queue::ServingRequest;
+use super::stats::RequestStats;
+
+/// Admission-control limits of the running batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum requests decoding concurrently.
+    pub max_batch: usize,
+    /// Maximum total context tokens across the batch (bounds KV-cache
+    /// footprint; a request is admitted only if the budget still covers
+    /// its *final* context, so without preemption it can never be forced
+    /// out mid-flight).
+    pub max_batch_tokens: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_batch_tokens: 16 * 2048,
+        }
+    }
+}
+
+/// One request's live state inside the engine (queued or running).
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveRequest {
+    pub(crate) req: ServingRequest,
+    /// Current context length (prompt + generated tokens).
+    pub(crate) context: usize,
+    /// Engine-assigned enqueue order, the stable tie-break every policy
+    /// falls back to.
+    pub(crate) arrival_seq: u64,
+    /// Step since which the request has been waiting in the queue (its
+    /// arrival, or its most recent eviction) — the baseline policies age
+    /// against, so time spent *running* never counts as waiting.
+    pub(crate) wait_since: usize,
+    /// Step of the most recent admission (first or after a preemption).
+    pub(crate) last_admitted_at: Option<usize>,
+    /// Step of the most recent eviction, for the re-admission cooldown.
+    pub(crate) last_evicted_at: Option<usize>,
+    /// Whether the next decode step must rebuild this request's KV cache
+    /// (set on admission after a preemption; charged to the step model).
+    pub(crate) needs_reprefill: bool,
+    pub(crate) stats: RequestStats,
+}
+
+impl ActiveRequest {
+    /// Context length when the request will retire (bounds its KV budget).
+    pub(crate) fn final_context(&self) -> usize {
+        self.req.prompt_len + self.req.max_new_tokens
+    }
+}
+
+/// The running batch plus the limits admission enforces. The engine owns
+/// the *invariants* (never exceed `max_batch` slots or `max_batch_tokens`
+/// provisioned tokens); policies only choose the order.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchState {
+    running: Vec<ActiveRequest>,
+    limits: AdmissionConfig,
+}
+
+impl BatchState {
+    pub(crate) fn new(limits: AdmissionConfig) -> Self {
+        Self {
+            running: Vec::new(),
+            limits,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.running.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.running.is_empty()
+    }
+
+    /// Context tokens the batch is provisioned for (final contexts, the
+    /// quantity admission guards).
+    pub(crate) fn provisioned_tokens(&self) -> usize {
+        self.running.iter().map(ActiveRequest::final_context).sum()
+    }
+
+    /// Whether a request with the given final context can join right now.
+    pub(crate) fn fits(&self, final_context: usize) -> bool {
+        self.running.len() < self.limits.max_batch
+            && self.provisioned_tokens() + final_context <= self.limits.max_batch_tokens
+    }
+
+    pub(crate) fn admit(&mut self, r: ActiveRequest) {
+        debug_assert!(self.fits(r.final_context()));
+        self.running.push(r);
+    }
+
+    /// Removes the request at `slot` (policy-selected victim).
+    pub(crate) fn evict(&mut self, slot: usize) -> ActiveRequest {
+        self.running.remove(slot)
+    }
+
+    /// Slot index of the request with the given id, if it is running.
+    pub(crate) fn position_of(&self, id: u64) -> Option<usize> {
+        self.running.iter().position(|r| r.req.id == id)
+    }
+
+    pub(crate) fn slots(&self) -> &[ActiveRequest] {
+        &self.running
+    }
+
+    pub(crate) fn slots_mut(&mut self) -> &mut [ActiveRequest] {
+        &mut self.running
+    }
+
+    /// Removes and returns every request that reached its token target.
+    pub(crate) fn retire_finished(&mut self) -> Vec<ActiveRequest> {
+        let mut kept = Vec::with_capacity(self.running.len());
+        let mut done = Vec::new();
+        for r in self.running.drain(..) {
+            if r.stats.generated >= r.req.max_new_tokens {
+                done.push(r);
+            } else {
+                kept.push(r);
+            }
+        }
+        self.running = kept;
+        done
+    }
+
+    /// Snapshots the batch for the policy, in slot order.
+    pub(crate) fn views(&self) -> Vec<RunningView> {
+        self.running
+            .iter()
+            .map(|r| RunningView {
+                id: r.req.id,
+                priority: r.req.priority,
+                client_id: r.req.client_id,
+                arrival_seq: r.arrival_seq,
+                admitted_at: r.last_admitted_at.unwrap_or(r.stats.enqueued_at),
+                remaining_tokens: r.req.max_new_tokens - r.stats.generated,
+                context: r.context,
+                final_context: r.final_context(),
+            })
+            .collect()
+    }
+}

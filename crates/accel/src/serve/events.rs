@@ -1,0 +1,83 @@
+//! The typed event stream: every scheduling decision and generated token,
+//! observable per step instead of only through the final report.
+
+/// One observable scheduling or generation event.
+///
+/// Events are recorded in the order they happen; within one step the order
+/// is admissions/preemptions first, then token generations, then
+/// completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// A request entered the arrival queue.
+    Enqueued {
+        /// The request's id.
+        id: u64,
+        /// Engine step at enqueue time.
+        step: usize,
+    },
+    /// A request joined the running batch.
+    Admitted {
+        /// The request's id.
+        id: u64,
+        /// Engine step of the admission.
+        step: usize,
+        /// The request's context length at admission.
+        context: usize,
+    },
+    /// A decode step produced one token for a request.
+    TokenGenerated {
+        /// The request's id.
+        id: u64,
+        /// Engine step that produced the token.
+        step: usize,
+        /// Context length the token was generated at.
+        context: usize,
+        /// Tokens generated so far, including this one.
+        generated: usize,
+    },
+    /// The scheduler evicted a running request back to the queue.
+    Preempted {
+        /// The request's id.
+        id: u64,
+        /// Engine step of the eviction.
+        step: usize,
+        /// Tokens it had generated when evicted (kept; only the KV cache
+        /// must be rebuilt on re-admission).
+        generated: usize,
+    },
+    /// A request reached its token target and left the batch.
+    Finished {
+        /// The request's id.
+        id: u64,
+        /// Engine step after which it completed.
+        step: usize,
+        /// Total tokens it generated.
+        generated: usize,
+    },
+}
+
+impl ServeEvent {
+    /// The id of the request the event concerns.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match *self {
+            Self::Enqueued { id, .. }
+            | Self::Admitted { id, .. }
+            | Self::TokenGenerated { id, .. }
+            | Self::Preempted { id, .. }
+            | Self::Finished { id, .. } => id,
+        }
+    }
+
+    /// The engine step the event happened in.
+    #[must_use]
+    pub fn step(&self) -> usize {
+        match *self {
+            Self::Enqueued { step, .. }
+            | Self::Admitted { step, .. }
+            | Self::TokenGenerated { step, .. }
+            | Self::Preempted { step, .. }
+            | Self::Finished { step, .. } => step,
+        }
+    }
+}

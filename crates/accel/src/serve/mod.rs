@@ -1,0 +1,1022 @@
+//! Multi-request serving with continuous batching — the paper's batched
+//! generation motivation (§2.2.1) turned into an executable engine, with
+//! the *scheduling* answers (who runs next, who gets evicted) factored out
+//! behind a policy API.
+//!
+//! A [`ServingEngine`] owns an arrival queue and a running batch. Every
+//! engine step models one batched decode iteration:
+//!
+//! 1. **Admission**: a [`SchedulerPolicy`] picks queued requests to join
+//!    the batch; the engine enforces the invariants — a free slot *and*
+//!    the batch's total provisioned context within the token budget
+//!    ([`AdmissionConfig`]), the same guardrails a production scheduler
+//!    uses to bound KV-cache memory. Under pressure, and only when
+//!    [`PreemptionConfig`] allows it, the policy may evict a running
+//!    request back to the queue; its KV re-prefill is charged to the step
+//!    model on re-admission, so eviction is never free.
+//! 2. **Weight streaming**: the FC/FFN weights stream from DRAM once and
+//!    are shared by every request in the batch
+//!    ([`weight_stream_cycles`](crate::batch::weight_stream_cycles)).
+//! 3. **Attention**: each request streams its own KV cache through the
+//!    cycle-level simulator at its own context length — heterogeneous
+//!    contexts batch together, exactly the regime where Token-Picker's
+//!    pruning pays off hardest.
+//! 4. **Retirement**: requests that reached their token target leave the
+//!    batch, freeing budget for the queue at the *next* step — continuous
+//!    batching rather than batch-synchronous scheduling.
+//!
+//! Progress is observable per token through a typed event stream
+//! ([`ServeEvent`]) and per request through [`SessionStats`] (queue wait,
+//! time-to-first-token, decode steps), not only through the final
+//! [`ServingReport`].
+//!
+//! The per-request attention cost is measured (not modeled): one
+//! cycle-level simulation per request per step on a synthetic instance of
+//! the request's current context, scaled by the model's head count.
+
+pub mod batch_state;
+pub mod error;
+pub mod events;
+pub mod policy;
+pub mod queue;
+pub mod stats;
+pub mod workloads;
+
+pub use batch_state::AdmissionConfig;
+pub use error::ServeError;
+pub use events::ServeEvent;
+pub use policy::{
+    FairRoundRobin, Fifo, PendingView, PolicyKind, PreemptionConfig, PriorityAging, RunningView,
+    SchedulerPolicy, ShortestJobFirst,
+};
+pub use queue::ServingRequest;
+pub use stats::{RequestStats, ServingReport, SessionStats, StepReport};
+
+use topick_core::{PruneStats, QVector, QuantBuffer};
+use topick_model::{SynthInstance, SynthProfile};
+
+use crate::batch::weight_stream_cycles;
+use crate::config::AccelConfig;
+use crate::engine::ToPickAccelerator;
+
+use batch_state::{ActiveRequest, BatchState};
+use queue::PendingQueue;
+
+/// Full configuration of the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// Accelerator configuration each attention step runs under.
+    pub accel: AccelConfig,
+    /// Admission limits.
+    pub admission: AdmissionConfig,
+    /// Preemption behavior (off by default).
+    pub preemption: PreemptionConfig,
+    /// FC/FFN weight bytes streamed once per decode step.
+    pub weight_bytes: u64,
+    /// Attention heads per request per step (layers × heads of the model;
+    /// the per-head cost is measured once per request and scaled).
+    pub heads: usize,
+    /// Accelerator clock in Hz, for cycles → seconds conversion.
+    pub clock_hz: f64,
+    /// Base seed of the synthetic per-request workloads.
+    pub seed: u64,
+}
+
+impl ServingConfig {
+    /// A configuration around an accelerator config with paper-flavoured
+    /// defaults: 50 MB of weights, 16 heads, 500 MHz core clock.
+    #[must_use]
+    pub fn new(accel: AccelConfig) -> Self {
+        Self {
+            accel,
+            admission: AdmissionConfig::default(),
+            preemption: PreemptionConfig::default(),
+            weight_bytes: 50_000_000,
+            heads: 16,
+            clock_hz: 500e6,
+            seed: 0,
+        }
+    }
+}
+
+/// Step-by-step construction of a [`ServingEngine`]: configuration knobs,
+/// the scheduling policy, and event recording.
+///
+/// # Examples
+///
+/// ```
+/// use topick_accel::{AccelConfig, AccelMode, PolicyKind, ServingEngine, ServingRequest};
+///
+/// let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3)?;
+/// let mut engine = ServingEngine::builder(accel)
+///     .heads(2)
+///     .max_batch(4)
+///     .policy(PolicyKind::ShortestJobFirst)
+///     .build();
+/// engine.enqueue(ServingRequest::new(0, 32, 2).with_priority(3))?;
+/// let report = engine.run_to_completion(16)?;
+/// assert_eq!(report.policy, "shortest-job-first");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ServingEngineBuilder {
+    cfg: ServingConfig,
+    policy: Box<dyn SchedulerPolicy>,
+    record_events: bool,
+}
+
+impl ServingEngineBuilder {
+    /// Starts from paper-flavoured defaults around an accelerator config,
+    /// with the FIFO policy and preemption off.
+    #[must_use]
+    pub fn new(accel: AccelConfig) -> Self {
+        Self {
+            cfg: ServingConfig::new(accel),
+            policy: Box::new(Fifo),
+            record_events: true,
+        }
+    }
+
+    /// Replaces the whole serving configuration.
+    #[must_use]
+    pub fn config(mut self, cfg: ServingConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the admission limits.
+    #[must_use]
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Sets the batch slot limit.
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.cfg.admission.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the batch KV token budget.
+    #[must_use]
+    pub fn max_batch_tokens(mut self, max_batch_tokens: usize) -> Self {
+        self.cfg.admission.max_batch_tokens = max_batch_tokens;
+        self
+    }
+
+    /// Sets the attention head count per request per step.
+    #[must_use]
+    pub fn heads(mut self, heads: usize) -> Self {
+        self.cfg.heads = heads;
+        self
+    }
+
+    /// Sets the FC/FFN weight bytes streamed per step.
+    #[must_use]
+    pub fn weight_bytes(mut self, weight_bytes: u64) -> Self {
+        self.cfg.weight_bytes = weight_bytes;
+        self
+    }
+
+    /// Sets the base seed of the synthetic per-request workloads.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Selects a built-in scheduling policy.
+    #[must_use]
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy = kind.build();
+        self
+    }
+
+    /// Installs a custom scheduling policy.
+    #[must_use]
+    pub fn policy_boxed(mut self, policy: Box<dyn SchedulerPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the preemption behavior.
+    #[must_use]
+    pub fn preemption(mut self, preemption: PreemptionConfig) -> Self {
+        self.cfg.preemption = preemption;
+        self
+    }
+
+    /// Enables preemption with default cost and thrash bounds.
+    #[must_use]
+    pub fn enable_preemption(mut self) -> Self {
+        self.cfg.preemption = PreemptionConfig::enabled();
+        self
+    }
+
+    /// Toggles event recording (on by default; benches that only need the
+    /// final report can switch it off).
+    #[must_use]
+    pub fn record_events(mut self, record: bool) -> Self {
+        self.record_events = record;
+        self
+    }
+
+    /// Builds the engine.
+    #[must_use]
+    pub fn build(self) -> ServingEngine {
+        ServingEngine::from_parts(self.cfg, self.policy, self.record_events)
+    }
+}
+
+/// The continuous-batching serving engine.
+///
+/// # Examples
+///
+/// ```
+/// use topick_accel::{AccelConfig, AccelMode, ServingConfig, ServingEngine, ServingRequest};
+///
+/// let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3)?;
+/// let mut cfg = ServingConfig::new(accel);
+/// cfg.heads = 2;
+/// let mut engine = ServingEngine::new(cfg);
+/// for id in 0..3 {
+///     engine.enqueue(ServingRequest::new(id, 24 + 8 * id as usize, 2))?;
+/// }
+/// let report = engine.run_to_completion(64)?;
+/// assert_eq!(report.tokens_generated, 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ServingEngine {
+    cfg: ServingConfig,
+    accel: ToPickAccelerator,
+    policy: Box<dyn SchedulerPolicy>,
+    pending: PendingQueue,
+    batch: BatchState,
+    finished: Vec<RequestStats>,
+    steps: Vec<StepReport>,
+    events: Vec<ServeEvent>,
+    record_events: bool,
+    prune: PruneStats,
+    total_cycles: u64,
+    tokens_generated: usize,
+    preemptions: usize,
+    step_index: usize,
+    arrival_seq: u64,
+    key_buf: QuantBuffer,
+}
+
+impl ServingEngine {
+    /// Creates an idle engine with the FIFO policy (the pre-redesign
+    /// behavior, bit-for-bit).
+    #[must_use]
+    pub fn new(cfg: ServingConfig) -> Self {
+        Self::from_parts(cfg, Box::new(Fifo), true)
+    }
+
+    /// Starts a [`ServingEngineBuilder`] around an accelerator config.
+    #[must_use]
+    pub fn builder(accel: AccelConfig) -> ServingEngineBuilder {
+        ServingEngineBuilder::new(accel)
+    }
+
+    fn from_parts(
+        cfg: ServingConfig,
+        policy: Box<dyn SchedulerPolicy>,
+        record_events: bool,
+    ) -> Self {
+        let chunks = cfg.accel.precision.num_chunks();
+        let accel = ToPickAccelerator::new(cfg.accel.clone());
+        let batch = BatchState::new(cfg.admission);
+        Self {
+            cfg,
+            accel,
+            policy,
+            pending: PendingQueue::default(),
+            batch,
+            finished: Vec::new(),
+            steps: Vec::new(),
+            events: Vec::new(),
+            record_events,
+            prune: PruneStats::new(0, chunks),
+            total_cycles: 0,
+            tokens_generated: 0,
+            preemptions: 0,
+            step_index: 0,
+            arrival_seq: 0,
+            key_buf: QuantBuffer::new(),
+        }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
+    }
+
+    /// The active scheduling policy's name.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Requests waiting for admission.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Requests currently decoding.
+    #[must_use]
+    pub fn running(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Whether all enqueued work has completed.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.batch.is_empty()
+    }
+
+    /// Events recorded so far, in order.
+    #[must_use]
+    pub fn events(&self) -> &[ServeEvent] {
+        &self.events
+    }
+
+    /// Removes and returns all recorded events (subsequent calls see only
+    /// newer ones) — the poll side of the event stream.
+    pub fn drain_events(&mut self) -> Vec<ServeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn emit(&mut self, event: ServeEvent) {
+        if self.record_events {
+            self.events.push(event);
+        }
+    }
+
+    /// Adds a request to the arrival queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] if the prompt or token target
+    /// is zero, or if the request alone could never satisfy the admission
+    /// budget.
+    pub fn enqueue(&mut self, req: ServingRequest) -> Result<(), ServeError> {
+        if req.prompt_len == 0 {
+            return Err(ServeError::InvalidRequest("prompt_len must be positive"));
+        }
+        if req.max_new_tokens == 0 {
+            return Err(ServeError::InvalidRequest(
+                "max_new_tokens must be positive",
+            ));
+        }
+        // A request becomes schedulable when it both has been enqueued and
+        // has arrived.
+        let schedulable_at = self.step_index.max(req.arrival_step as usize);
+        let active = ActiveRequest {
+            req,
+            context: req.prompt_len,
+            arrival_seq: self.arrival_seq,
+            wait_since: schedulable_at,
+            last_admitted_at: None,
+            last_evicted_at: None,
+            needs_reprefill: false,
+            stats: RequestStats {
+                id: req.id,
+                prompt_len: req.prompt_len,
+                generated: 0,
+                priority: req.priority,
+                client_id: req.client_id,
+                enqueued_at: schedulable_at,
+                admitted_at: None,
+                first_token_at: None,
+                finished_at: None,
+                preemptions: 0,
+                attention_cycles: 0,
+                reprefill_cycles: 0,
+            },
+        };
+        if active.final_context() > self.cfg.admission.max_batch_tokens {
+            return Err(ServeError::InvalidRequest(
+                "request exceeds the batch token budget even alone",
+            ));
+        }
+        self.arrival_seq += 1;
+        self.pending.push(active);
+        self.emit(ServeEvent::Enqueued {
+            id: req.id,
+            step: self.step_index,
+        });
+        Ok(())
+    }
+
+    /// Admits queued requests under the policy's ordering while the batch
+    /// has room, evicting victims for non-fitting candidates when
+    /// preemption allows it.
+    fn admit(&mut self) {
+        let step = self.step_index;
+        let mut evictions_left = if self.cfg.preemption.enabled {
+            self.cfg.preemption.max_evictions_per_step
+        } else {
+            0
+        };
+        loop {
+            let pending_views = self.pending.views(step);
+            if pending_views.is_empty() {
+                break;
+            }
+            let running_views = self.batch.views();
+            let Some(pi) = self
+                .policy
+                .pick_next(&pending_views, &running_views, step as u64)
+            else {
+                break;
+            };
+            let Some(cand) = pending_views.get(pi).copied() else {
+                break; // out-of-range pick: treat as "stop admitting"
+            };
+            if !self.batch.fits(cand.final_context) {
+                // Preemption rescue, planned transactionally: victims are
+                // chosen against a scratch view and committed only if the
+                // candidate then fits, so a failed admission never charges
+                // anyone re-prefill for nothing.
+                let limits = self.cfg.admission;
+                let mut sim = self.batch.views();
+                let mut provisioned = self.batch.provisioned_tokens();
+                let fits_sim = |sim: &[policy::RunningView], provisioned: usize| {
+                    sim.len() < limits.max_batch
+                        && provisioned + cand.final_context <= limits.max_batch_tokens
+                };
+                let mut victims: Vec<u64> = Vec::new();
+                while victims.len() < evictions_left
+                    && !sim.is_empty()
+                    && !fits_sim(&sim, provisioned)
+                {
+                    let Some(vi) = self.policy.pick_victim(&cand, &sim, step as u64) else {
+                        break;
+                    };
+                    if vi >= sim.len() {
+                        break; // out-of-range victim: decline
+                    }
+                    let victim = sim.remove(vi);
+                    provisioned -= victim.final_context;
+                    victims.push(victim.id);
+                }
+                if fits_sim(&sim, provisioned) {
+                    evictions_left -= victims.len();
+                    for id in victims {
+                        let slot = self
+                            .batch
+                            .position_of(id)
+                            .expect("planned victim is running");
+                        self.evict(slot);
+                    }
+                }
+                if !self.batch.fits(cand.final_context) {
+                    // Head-of-line blocking: the policy's chosen candidate
+                    // cannot run, so admission ends for this step.
+                    break;
+                }
+            }
+            let mut active = self.pending.remove_by_seq(cand.arrival_seq);
+            if active.stats.admitted_at.is_none() {
+                active.stats.admitted_at = Some(step);
+            }
+            active.last_admitted_at = Some(step);
+            let (id, context) = (active.req.id, active.context);
+            self.batch.admit(active);
+            self.emit(ServeEvent::Admitted { id, step, context });
+        }
+    }
+
+    /// Evicts the running request at `slot` back to the queue.
+    fn evict(&mut self, slot: usize) {
+        let mut victim = self.batch.evict(slot);
+        victim.stats.preemptions += 1;
+        victim.last_evicted_at = Some(self.step_index);
+        // Waiting restarts now: time spent running must not count as
+        // queue age when policies apply starvation aging.
+        victim.wait_since = self.step_index;
+        victim.needs_reprefill = true;
+        self.preemptions += 1;
+        let (id, generated) = (victim.req.id, victim.stats.generated);
+        self.pending.push(victim);
+        self.emit(ServeEvent::Preempted {
+            id,
+            step: self.step_index,
+            generated,
+        });
+    }
+
+    /// Runs one batched decode step.
+    ///
+    /// Returns `Ok(None)` when the engine is idle (nothing pending or
+    /// running). When requests are queued but none has arrived yet, the
+    /// step is an idle tick: time advances with an all-zero [`StepReport`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures as [`ServeError::Core`], and
+    /// reports a permanently unadmittable queue as
+    /// [`ServeError::AdmissionStalled`].
+    pub fn step(&mut self) -> Result<Option<StepReport>, ServeError> {
+        self.admit();
+        if self.batch.is_empty() {
+            if self.pending.is_empty() {
+                return Ok(None);
+            }
+            if self.pending.has_visible(self.step_index) {
+                // An empty batch that still cannot admit a schedulable
+                // request means the limits (or the policy) exclude it
+                // permanently. Erroring beats silently dropping the work.
+                return Err(ServeError::AdmissionStalled {
+                    pending: self.pending.len(),
+                });
+            }
+            // Everything queued arrives later: tick time forward.
+            let report = StepReport {
+                index: self.step_index,
+                batch: 0,
+                context_tokens: 0,
+                weight_cycles: 0,
+                attention_cycles: 0,
+                reprefill_cycles: 0,
+            };
+            self.steps.push(report);
+            self.step_index += 1;
+            return Ok(Some(report));
+        }
+
+        let weight_cycles = weight_stream_cycles(&self.cfg.accel, self.cfg.weight_bytes);
+        let mut attention_cycles = 0u64;
+        let mut reprefill_cycles = 0u64;
+        let mut context_tokens = 0usize;
+        let step = self.step_index;
+
+        for slot in 0..self.batch.len() {
+            let (ctx, req_id) = {
+                let r = &self.batch.slots()[slot];
+                (r.context, r.req.id)
+            };
+            context_tokens += ctx;
+            let result = self.simulate_attention(req_id, ctx)?;
+            let request_cycles = result.0 * self.cfg.heads as u64;
+            self.prune.merge(&result.1);
+            let (id, generated, rebuild_cycles) = {
+                let r = &mut self.batch.slots_mut()[slot];
+                let rebuild = if r.needs_reprefill {
+                    // KV rebuild priced off the measured attention cost at
+                    // the request's current context; never free.
+                    r.needs_reprefill = false;
+                    ((request_cycles as f64 * self.cfg.preemption.reprefill_factor.max(0.0)).ceil()
+                        as u64)
+                        .max(1)
+                } else {
+                    0
+                };
+                r.stats.attention_cycles += request_cycles;
+                r.stats.reprefill_cycles += rebuild;
+                if r.stats.first_token_at.is_none() {
+                    r.stats.first_token_at = Some(step);
+                }
+                r.stats.generated += 1;
+                r.context += 1;
+                (r.req.id, r.stats.generated, rebuild)
+            };
+            attention_cycles += request_cycles;
+            reprefill_cycles += rebuild_cycles;
+            self.emit(ServeEvent::TokenGenerated {
+                id,
+                step,
+                context: ctx,
+                generated,
+            });
+        }
+
+        let report = StepReport {
+            index: step,
+            batch: self.batch.len(),
+            context_tokens,
+            weight_cycles,
+            attention_cycles,
+            reprefill_cycles,
+        };
+        self.total_cycles += report.total_cycles();
+        self.tokens_generated += report.batch;
+        self.steps.push(report);
+        self.step_index += 1;
+
+        // Retire completed requests; freed budget admits queue at the next
+        // step (continuous batching).
+        for mut r in self.batch.retire_finished() {
+            r.stats.finished_at = Some(report.index);
+            let (id, generated) = (r.req.id, r.stats.generated);
+            self.finished.push(r.stats);
+            self.emit(ServeEvent::Finished {
+                id,
+                step: report.index,
+                generated,
+            });
+        }
+
+        Ok(Some(report))
+    }
+
+    /// One cycle-level attention simulation of a request at context `ctx`,
+    /// returning `(per-head cycles, pruning stats)`. The synthetic
+    /// workload is deterministic in `(engine seed, request id, context)`.
+    fn simulate_attention(
+        &mut self,
+        req_id: u64,
+        ctx: usize,
+    ) -> Result<(u64, PruneStats), ServeError> {
+        let dim = self.cfg.accel.dim;
+        let pc = self.cfg.accel.precision;
+        let seed = self
+            .cfg
+            .seed
+            .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((ctx as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        let inst = SynthInstance::generate(&SynthProfile::realistic(ctx, dim), seed);
+        let q = QVector::quantize(&inst.query, pc);
+        let keys = self
+            .key_buf
+            .quantize(inst.keys().data(), dim, pc)
+            .map_err(ServeError::Core)?;
+        let result = self.accel.run_attention(&q, &keys, inst.values());
+        self.key_buf.reclaim(keys);
+        let r = result?;
+        Ok((r.cycles, r.prune))
+    }
+
+    /// Drives the engine until every request finishes, bounded by
+    /// `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::StepLimitExceeded`] if work remains after
+    /// `max_steps`, or propagates simulation failures.
+    pub fn run_to_completion(&mut self, max_steps: usize) -> Result<ServingReport, ServeError> {
+        for _ in 0..max_steps {
+            if self.step()?.is_none() {
+                return Ok(self.report());
+            }
+        }
+        if self.is_idle() {
+            return Ok(self.report());
+        }
+        Err(ServeError::StepLimitExceeded {
+            max_steps,
+            unfinished: self.pending.len() + self.batch.len(),
+        })
+    }
+
+    /// The report accumulated so far (complete once the engine is idle).
+    #[must_use]
+    pub fn report(&self) -> ServingReport {
+        ServingReport {
+            policy: self.policy.name().to_string(),
+            steps: self.steps.clone(),
+            requests: self.finished.clone(),
+            total_cycles: self.total_cycles,
+            tokens_generated: self.tokens_generated,
+            preemptions: self.preemptions,
+            prune: self.prune.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccelMode;
+
+    fn small_cfg(mode: AccelMode) -> ServingConfig {
+        let mut cfg = ServingConfig::new(AccelConfig::paper(mode, 1e-3).expect("thr"));
+        cfg.heads = 2;
+        cfg.weight_bytes = 1_000_000;
+        cfg
+    }
+
+    fn mixed_requests(n: u64) -> Vec<ServingRequest> {
+        (0..n)
+            .map(|id| ServingRequest::new(id, 16 + (id as usize % 5) * 12, 2 + (id as usize % 3)))
+            .collect()
+    }
+
+    #[test]
+    fn admission_respects_batch_slot_limit() {
+        let mut cfg = small_cfg(AccelMode::OutOfOrder);
+        cfg.admission = AdmissionConfig {
+            max_batch: 2,
+            max_batch_tokens: 100_000,
+        };
+        let mut engine = ServingEngine::new(cfg);
+        for r in mixed_requests(5) {
+            engine.enqueue(r).unwrap();
+        }
+        engine.step().unwrap().unwrap();
+        assert!(engine.running() <= 2);
+        assert_eq!(engine.running() + engine.pending(), 5);
+    }
+
+    #[test]
+    fn admission_respects_token_budget() {
+        let mut cfg = small_cfg(AccelMode::OutOfOrder);
+        cfg.admission = AdmissionConfig {
+            max_batch: 16,
+            max_batch_tokens: 100, // fits ~2 small requests' final contexts
+        };
+        let mut engine = ServingEngine::new(cfg);
+        for id in 0..4 {
+            engine.enqueue(ServingRequest::new(id, 30, 4)).unwrap();
+        }
+        let s = engine.step().unwrap().unwrap();
+        // final_context = 34 each; budget 100 admits at most 2.
+        assert_eq!(s.batch, 2);
+    }
+
+    #[test]
+    fn oversized_request_rejected_up_front() {
+        let mut cfg = small_cfg(AccelMode::OutOfOrder);
+        cfg.admission.max_batch_tokens = 64;
+        let mut engine = ServingEngine::new(cfg);
+        let err = engine.enqueue(ServingRequest::new(0, 100, 10)).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn zero_shapes_rejected() {
+        let mut engine = ServingEngine::new(small_cfg(AccelMode::OutOfOrder));
+        assert!(engine.enqueue(ServingRequest::new(0, 0, 1)).is_err());
+        assert!(engine.enqueue(ServingRequest::new(0, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn continuous_batching_refills_from_queue() {
+        let mut cfg = small_cfg(AccelMode::OutOfOrder);
+        cfg.admission = AdmissionConfig {
+            max_batch: 2,
+            max_batch_tokens: 100_000,
+        };
+        let mut engine = ServingEngine::new(cfg);
+        // Two short requests and one queued behind them.
+        for (id, steps) in [(0u64, 1usize), (1, 1), (2, 2)] {
+            engine.enqueue(ServingRequest::new(id, 16, steps)).unwrap();
+        }
+        engine.step().unwrap().unwrap(); // 0 and 1 run and finish
+        assert_eq!(engine.pending(), 1);
+        let s2 = engine.step().unwrap().unwrap(); // 2 admitted immediately
+        assert_eq!(s2.batch, 1);
+        let report = engine.run_to_completion(8).unwrap();
+        assert_eq!(report.requests.len(), 3);
+    }
+
+    #[test]
+    fn conservation_every_request_finishes_with_its_token_target() {
+        let mut engine = ServingEngine::new(small_cfg(AccelMode::OutOfOrder));
+        let reqs = mixed_requests(6);
+        let expected_tokens: usize = reqs.iter().map(|r| r.max_new_tokens).sum();
+        for r in &reqs {
+            engine.enqueue(*r).unwrap();
+        }
+        let report = engine.run_to_completion(64).unwrap();
+        assert_eq!(report.requests.len(), reqs.len());
+        assert_eq!(report.tokens_generated, expected_tokens);
+        let by_id: std::collections::HashMap<u64, &RequestStats> =
+            report.requests.iter().map(|s| (s.id, s)).collect();
+        for r in &reqs {
+            let stats = by_id[&r.id];
+            assert_eq!(stats.generated, r.max_new_tokens);
+            assert!(stats.finished_at.is_some());
+            assert!(stats.admitted_at.is_some());
+            assert!(stats.attention_cycles > 0);
+        }
+        let step_total: u64 = report.steps.iter().map(StepReport::total_cycles).sum();
+        assert_eq!(step_total, report.total_cycles);
+    }
+
+    #[test]
+    fn stalled_admission_is_an_error_not_silent_completion() {
+        let mut cfg = small_cfg(AccelMode::OutOfOrder);
+        cfg.admission.max_batch = 0;
+        let mut engine = ServingEngine::new(cfg);
+        engine.enqueue(ServingRequest::new(0, 16, 1)).unwrap();
+        let err = engine.run_to_completion(4).unwrap_err();
+        assert!(matches!(err, ServeError::AdmissionStalled { pending: 1 }));
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let mut engine = ServingEngine::new(small_cfg(AccelMode::OutOfOrder));
+        engine.enqueue(ServingRequest::new(0, 16, 50)).unwrap();
+        let err = engine.run_to_completion(3).unwrap_err();
+        assert!(matches!(err, ServeError::StepLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn future_arrivals_tick_idle_steps_then_run() {
+        let mut engine = ServingEngine::new(small_cfg(AccelMode::OutOfOrder));
+        engine
+            .enqueue(ServingRequest::new(0, 16, 1).arriving_at(2))
+            .unwrap();
+        let s0 = engine.step().unwrap().unwrap();
+        assert_eq!((s0.batch, s0.total_cycles()), (0, 0));
+        let s1 = engine.step().unwrap().unwrap();
+        assert_eq!(s1.batch, 0);
+        let s2 = engine.step().unwrap().unwrap();
+        assert_eq!(s2.batch, 1);
+        let report = engine.run_to_completion(4).unwrap();
+        let stats = report.requests[0];
+        assert_eq!(stats.enqueued_at, 2);
+        assert_eq!(stats.session().unwrap().queue_wait_steps, 0);
+        assert_eq!(stats.session().unwrap().time_to_first_token_steps, 1);
+    }
+
+    #[test]
+    fn event_stream_tracks_the_request_lifecycle() {
+        let mut engine = ServingEngine::new(small_cfg(AccelMode::OutOfOrder));
+        engine.enqueue(ServingRequest::new(7, 16, 2)).unwrap();
+        let report = engine.run_to_completion(8).unwrap();
+        let events = engine.drain_events();
+        assert_eq!(
+            events,
+            vec![
+                ServeEvent::Enqueued { id: 7, step: 0 },
+                ServeEvent::Admitted {
+                    id: 7,
+                    step: 0,
+                    context: 16
+                },
+                ServeEvent::TokenGenerated {
+                    id: 7,
+                    step: 0,
+                    context: 16,
+                    generated: 1
+                },
+                ServeEvent::TokenGenerated {
+                    id: 7,
+                    step: 1,
+                    context: 17,
+                    generated: 2
+                },
+                ServeEvent::Finished {
+                    id: 7,
+                    step: 1,
+                    generated: 2
+                },
+            ]
+        );
+        assert!(engine.drain_events().is_empty());
+        assert_eq!(report.tokens_generated, 2);
+    }
+
+    #[test]
+    fn priority_aging_admits_high_priority_first_and_ages_the_rest() {
+        let mut cfg = small_cfg(AccelMode::OutOfOrder);
+        cfg.admission = AdmissionConfig {
+            max_batch: 1,
+            max_batch_tokens: 100_000,
+        };
+        let mut engine = ServingEngine::builder(cfg.accel.clone())
+            .config(cfg)
+            .policy(PolicyKind::PriorityAging)
+            .build();
+        engine
+            .enqueue(ServingRequest::new(0, 16, 2).with_priority(0))
+            .unwrap();
+        engine
+            .enqueue(ServingRequest::new(1, 16, 2).with_priority(5))
+            .unwrap();
+        let report = engine.run_to_completion(16).unwrap();
+        // Request 1 (higher priority) ran first despite arriving second.
+        assert_eq!(report.requests[0].id, 1);
+        assert_eq!(report.requests[1].id, 0);
+    }
+
+    #[test]
+    fn shortest_job_first_prefers_fewer_remaining_tokens() {
+        let mut cfg = small_cfg(AccelMode::OutOfOrder);
+        cfg.admission.max_batch = 1;
+        let mut engine = ServingEngine::builder(cfg.accel.clone())
+            .config(cfg)
+            .policy(PolicyKind::ShortestJobFirst)
+            .build();
+        engine.enqueue(ServingRequest::new(0, 16, 6)).unwrap();
+        engine.enqueue(ServingRequest::new(1, 16, 1)).unwrap();
+        let report = engine.run_to_completion(16).unwrap();
+        assert_eq!(report.requests[0].id, 1);
+    }
+
+    #[test]
+    fn fair_round_robin_balances_clients() {
+        let mut cfg = small_cfg(AccelMode::OutOfOrder);
+        cfg.admission = AdmissionConfig {
+            max_batch: 2,
+            max_batch_tokens: 100_000,
+        };
+        let mut engine = ServingEngine::builder(cfg.accel.clone())
+            .config(cfg)
+            .policy(PolicyKind::FairRoundRobin)
+            .build();
+        // Client 0 floods the queue; client 1 sends one request later.
+        for id in 0..4 {
+            engine
+                .enqueue(ServingRequest::new(id, 16, 2).with_client(0))
+                .unwrap();
+        }
+        engine
+            .enqueue(ServingRequest::new(9, 16, 2).with_client(1))
+            .unwrap();
+        engine.step().unwrap().unwrap();
+        // The first batch holds one request per client, not two of client 0.
+        let admitted: Vec<u64> = engine
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ServeEvent::Admitted { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(admitted, vec![0, 9]);
+    }
+
+    #[test]
+    fn preemption_evicts_and_charges_reprefill() {
+        let mut cfg = small_cfg(AccelMode::OutOfOrder);
+        cfg.admission = AdmissionConfig {
+            max_batch: 1,
+            max_batch_tokens: 100_000,
+        };
+        let mut engine = ServingEngine::builder(cfg.accel.clone())
+            .config(cfg)
+            .policy(PolicyKind::PriorityAging)
+            .enable_preemption()
+            .build();
+        engine
+            .enqueue(ServingRequest::new(0, 16, 6).with_priority(0))
+            .unwrap();
+        engine.step().unwrap().unwrap(); // request 0 occupies the only slot
+        engine
+            .enqueue(ServingRequest::new(1, 16, 1).with_priority(9))
+            .unwrap();
+        let report = engine.run_to_completion(32).unwrap();
+        assert_eq!(report.preemptions, 1);
+        // Request 1 finished before the preempted request 0.
+        assert_eq!(report.requests[0].id, 1);
+        let evicted = report.requests.iter().find(|r| r.id == 0).unwrap();
+        assert_eq!(evicted.preemptions, 1);
+        assert_eq!(evicted.generated, 6, "kept its progress");
+        assert!(evicted.reprefill_cycles > 0, "eviction is never free");
+        let reprefill: u64 = report.steps.iter().map(|s| s.reprefill_cycles).sum();
+        assert_eq!(reprefill, evicted.reprefill_cycles);
+    }
+
+    #[test]
+    fn preemption_off_means_no_evictions_for_every_policy() {
+        for kind in PolicyKind::all() {
+            let cfg = small_cfg(AccelMode::OutOfOrder);
+            let mut engine = ServingEngine::builder(cfg.accel.clone())
+                .config(cfg)
+                .policy(kind)
+                .build();
+            for r in mixed_requests(5) {
+                engine.enqueue(r).unwrap();
+            }
+            let report = engine.run_to_completion(64).unwrap();
+            assert_eq!(report.preemptions, 0, "{kind}");
+            assert!(report.requests.iter().all(|r| r.preemptions == 0));
+        }
+    }
+
+    #[test]
+    fn all_policies_complete_the_mixed_workload() {
+        for kind in PolicyKind::all() {
+            let cfg = small_cfg(AccelMode::OutOfOrder);
+            let mut engine = ServingEngine::builder(cfg.accel.clone())
+                .config(cfg)
+                .policy(kind)
+                .enable_preemption()
+                .build();
+            for (i, mut r) in mixed_requests(8).into_iter().enumerate() {
+                r.priority = (i % 4) as u8;
+                r.client_id = (i % 3) as u64;
+                engine.enqueue(r).unwrap();
+            }
+            let report = engine.run_to_completion(128).unwrap();
+            assert_eq!(report.requests.len(), 8, "{kind}");
+            assert_eq!(report.policy, kind.name());
+        }
+    }
+
+    #[test]
+    fn policy_kind_round_trips_through_names() {
+        for kind in PolicyKind::all() {
+            assert_eq!(kind.name().parse::<PolicyKind>().unwrap(), kind);
+        }
+        assert!("nope".parse::<PolicyKind>().is_err());
+    }
+}

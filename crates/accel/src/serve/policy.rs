@@ -1,0 +1,371 @@
+//! The pluggable scheduling surface: policies choose *which* request to
+//! admit or evict; the engine enforces the admission invariants.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Snapshot of one queued request, handed to policies during admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingView {
+    /// The request's id.
+    pub id: u64,
+    /// Caller-assigned priority (higher is more urgent).
+    pub priority: u8,
+    /// Originating client.
+    pub client_id: u64,
+    /// Engine-assigned enqueue order — the universal tie-break.
+    pub arrival_seq: u64,
+    /// Steps the request has been schedulable without running.
+    pub waited_steps: u64,
+    /// Tokens still to generate (less than the target after a preemption).
+    pub remaining_tokens: usize,
+    /// Context length at retirement — what admission must budget for.
+    pub final_context: usize,
+}
+
+/// Snapshot of one running request, handed to policies when choosing
+/// admissions and preemption victims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunningView {
+    /// The request's id.
+    pub id: u64,
+    /// Caller-assigned priority (higher is more urgent).
+    pub priority: u8,
+    /// Originating client.
+    pub client_id: u64,
+    /// Engine-assigned enqueue order.
+    pub arrival_seq: u64,
+    /// Step of the request's (most recent) admission.
+    pub admitted_at: usize,
+    /// Tokens still to generate.
+    pub remaining_tokens: usize,
+    /// Current context length.
+    pub context: usize,
+    /// Context length at retirement.
+    pub final_context: usize,
+}
+
+/// A scheduling policy: the ordering brain of the serving engine.
+///
+/// The engine asks the policy *which* queued request to admit next
+/// ([`pick_next`](Self::pick_next)) and, when that candidate does not fit
+/// and preemption is enabled, *which* running request to evict for it
+/// ([`pick_victim`](Self::pick_victim)). The engine itself enforces the
+/// invariants — the batch never exceeds its slot or token limits, and a
+/// candidate that still does not fit ends admission for the step — so a
+/// policy cannot corrupt the batch, only order it badly.
+pub trait SchedulerPolicy: fmt::Debug {
+    /// Stable, human-readable policy name (used in reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Index into `pending` of the request to admit next, or `None` to
+    /// stop admitting for this step. `pending` is never empty and holds
+    /// only schedulable requests, in arrival order.
+    fn pick_next(
+        &mut self,
+        pending: &[PendingView],
+        running: &[RunningView],
+        step: u64,
+    ) -> Option<usize>;
+
+    /// Index into `running` of a victim to evict so `candidate` can be
+    /// admitted, or `None` to decline preemption (the default). Called
+    /// only when preemption is enabled and `candidate` does not fit.
+    fn pick_victim(
+        &mut self,
+        candidate: &PendingView,
+        running: &[RunningView],
+        step: u64,
+    ) -> Option<usize> {
+        let _ = (candidate, running, step);
+        None
+    }
+}
+
+/// First-in-first-out with head-of-line blocking — bit-for-bit the
+/// pre-redesign engine's schedule. Never preempts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl SchedulerPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn pick_next(
+        &mut self,
+        pending: &[PendingView],
+        _running: &[RunningView],
+        _step: u64,
+    ) -> Option<usize> {
+        // Oldest arrival; pending is in arrival order, so index 0.
+        (!pending.is_empty()).then_some(0)
+    }
+}
+
+/// Highest effective priority first, where waiting raises priority: a
+/// request's effective priority is `priority + waited_steps / aging_steps`,
+/// so low-priority work cannot starve forever. Preempts strictly
+/// lower-priority running requests when allowed.
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityAging {
+    /// Queue steps that add one effective priority level.
+    pub aging_steps: u64,
+}
+
+impl PriorityAging {
+    /// A policy where waiting `aging_steps` steps is worth one priority
+    /// level (clamped to at least 1).
+    #[must_use]
+    pub fn new(aging_steps: u64) -> Self {
+        Self {
+            aging_steps: aging_steps.max(1),
+        }
+    }
+
+    fn effective(&self, p: &PendingView) -> u64 {
+        u64::from(p.priority) + p.waited_steps / self.aging_steps
+    }
+}
+
+impl Default for PriorityAging {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+impl SchedulerPolicy for PriorityAging {
+    fn name(&self) -> &'static str {
+        "priority-aging"
+    }
+
+    fn pick_next(
+        &mut self,
+        pending: &[PendingView],
+        _running: &[RunningView],
+        _step: u64,
+    ) -> Option<usize> {
+        // Max effective priority; ties go to the oldest arrival, which
+        // `max_by_key` yields because pending is in arrival order and it
+        // keeps the first of equals under a (key, Reverse(seq)) ordering.
+        pending
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| (self.effective(p), std::cmp::Reverse(p.arrival_seq)))
+            .map(|(i, _)| i)
+    }
+
+    fn pick_victim(
+        &mut self,
+        candidate: &PendingView,
+        running: &[RunningView],
+        _step: u64,
+    ) -> Option<usize> {
+        // Evict the lowest-priority running request, youngest first among
+        // equals, and only for a strictly higher-priority candidate (raw
+        // priorities: aging gets work *into* the queue order, but must not
+        // let an aged background job evict on-par foreground work).
+        let (slot, victim) = running
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| (r.priority, std::cmp::Reverse(r.arrival_seq)))?;
+        (victim.priority < candidate.priority).then_some(slot)
+    }
+}
+
+/// Shortest job first, by remaining tokens to generate. With preemption it
+/// becomes shortest-remaining-processing-time: a long-running request may
+/// be evicted for a strictly shorter newcomer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestJobFirst;
+
+impl SchedulerPolicy for ShortestJobFirst {
+    fn name(&self) -> &'static str {
+        "shortest-job-first"
+    }
+
+    fn pick_next(
+        &mut self,
+        pending: &[PendingView],
+        _running: &[RunningView],
+        _step: u64,
+    ) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| (p.remaining_tokens, p.arrival_seq))
+            .map(|(i, _)| i)
+    }
+
+    fn pick_victim(
+        &mut self,
+        candidate: &PendingView,
+        running: &[RunningView],
+        _step: u64,
+    ) -> Option<usize> {
+        let (slot, victim) = running
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| (r.remaining_tokens, r.arrival_seq))?;
+        (victim.remaining_tokens > candidate.remaining_tokens).then_some(slot)
+    }
+}
+
+/// Fair slots per client: admit from the client holding the fewest batch
+/// slots. Preemption rebalances only when it strictly improves fairness
+/// (the victim's client holds at least two more slots than the
+/// candidate's).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FairRoundRobin;
+
+impl FairRoundRobin {
+    fn client_slots(running: &[RunningView], client: u64) -> usize {
+        running.iter().filter(|r| r.client_id == client).count()
+    }
+}
+
+impl SchedulerPolicy for FairRoundRobin {
+    fn name(&self) -> &'static str {
+        "fair-round-robin"
+    }
+
+    fn pick_next(
+        &mut self,
+        pending: &[PendingView],
+        running: &[RunningView],
+        _step: u64,
+    ) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| (Self::client_slots(running, p.client_id), p.arrival_seq))
+            .map(|(i, _)| i)
+    }
+
+    fn pick_victim(
+        &mut self,
+        candidate: &PendingView,
+        running: &[RunningView],
+        _step: u64,
+    ) -> Option<usize> {
+        // From the most-over-served client, evict the member with the most
+        // work left; only worthwhile if it strictly improves fairness.
+        let cand_slots = Self::client_slots(running, candidate.client_id);
+        let (slot, victim) = running.iter().enumerate().max_by_key(|(_, r)| {
+            (
+                Self::client_slots(running, r.client_id),
+                r.remaining_tokens,
+                r.arrival_seq,
+            )
+        })?;
+        (Self::client_slots(running, victim.client_id) >= cand_slots + 2).then_some(slot)
+    }
+}
+
+/// The built-in policies, nameable from CLI flags and bench configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`Fifo`].
+    Fifo,
+    /// [`PriorityAging`] with its default aging rate.
+    PriorityAging,
+    /// [`ShortestJobFirst`].
+    ShortestJobFirst,
+    /// [`FairRoundRobin`].
+    FairRoundRobin,
+}
+
+impl PolicyKind {
+    /// Every built-in policy, in presentation order.
+    #[must_use]
+    pub fn all() -> [Self; 4] {
+        [
+            Self::Fifo,
+            Self::PriorityAging,
+            Self::ShortestJobFirst,
+            Self::FairRoundRobin,
+        ]
+    }
+
+    /// The policy's stable name (matches [`SchedulerPolicy::name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Fifo => "fifo",
+            Self::PriorityAging => "priority-aging",
+            Self::ShortestJobFirst => "shortest-job-first",
+            Self::FairRoundRobin => "fair-round-robin",
+        }
+    }
+
+    /// Instantiates the policy with its defaults.
+    #[must_use]
+    pub fn build(self) -> Box<dyn SchedulerPolicy> {
+        match self {
+            Self::Fifo => Box::new(Fifo),
+            Self::PriorityAging => Box::new(PriorityAging::default()),
+            Self::ShortestJobFirst => Box::new(ShortestJobFirst),
+            Self::FairRoundRobin => Box::new(FairRoundRobin),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fifo" => Ok(Self::Fifo),
+            "priority" | "priority-aging" => Ok(Self::PriorityAging),
+            "sjf" | "shortest-job-first" => Ok(Self::ShortestJobFirst),
+            "fair" | "fair-round-robin" => Ok(Self::FairRoundRobin),
+            other => Err(format!(
+                "unknown policy '{other}' (expected fifo | priority | sjf | fair)"
+            )),
+        }
+    }
+}
+
+/// Preemption behavior of the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreemptionConfig {
+    /// Whether the policy may evict running requests at all. Off by
+    /// default: the pre-redesign guarantee that an admitted request never
+    /// leaves before finishing.
+    pub enabled: bool,
+    /// Extra attention passes charged on a re-admitted request's first
+    /// decode step, modeling the KV-cache rebuild (re-prefill). The charge
+    /// is proportional to the request's measured attention cost at its
+    /// current context, and is floored at one cycle — eviction is never
+    /// free.
+    pub reprefill_factor: f64,
+    /// Evictions allowed per engine step (bounds scheduling thrash).
+    pub max_evictions_per_step: usize,
+}
+
+impl Default for PreemptionConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            reprefill_factor: 1.0,
+            max_evictions_per_step: 2,
+        }
+    }
+}
+
+impl PreemptionConfig {
+    /// Preemption on, with default cost and thrash bounds.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}

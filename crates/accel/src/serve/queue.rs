@@ -1,0 +1,134 @@
+//! Requests and the arrival queue the scheduler draws from.
+
+use super::batch_state::ActiveRequest;
+use super::policy::PendingView;
+
+/// One generation request entering the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingRequest {
+    /// Caller-chosen request id (also seeds the request's workload).
+    pub id: u64,
+    /// Context length at arrival (the already-processed prompt).
+    pub prompt_len: usize,
+    /// Tokens to generate before the request completes.
+    pub max_new_tokens: usize,
+    /// Scheduling priority (higher is more urgent; only priority-aware
+    /// policies consult it).
+    pub priority: u8,
+    /// Originating client, for fair-share policies. Requests with the same
+    /// `client_id` compete for the same fair slot allocation.
+    pub client_id: u64,
+    /// Engine step at which the request becomes visible to the scheduler.
+    /// `0` means "already arrived" — the pre-redesign behavior. Later
+    /// steps model open-loop traffic where work trickles in over time.
+    pub arrival_step: u64,
+}
+
+impl ServingRequest {
+    /// A request with default scheduling metadata (priority 0, client 0,
+    /// immediate arrival) — equivalent to the pre-redesign struct literal.
+    #[must_use]
+    pub fn new(id: u64, prompt_len: usize, max_new_tokens: usize) -> Self {
+        Self {
+            id,
+            prompt_len,
+            max_new_tokens,
+            priority: 0,
+            client_id: 0,
+            arrival_step: 0,
+        }
+    }
+
+    /// Sets the scheduling priority (higher is more urgent).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the originating client for fair-share scheduling.
+    #[must_use]
+    pub fn with_client(mut self, client_id: u64) -> Self {
+        self.client_id = client_id;
+        self
+    }
+
+    /// Defers the request's visibility to the scheduler until `step`.
+    #[must_use]
+    pub fn arriving_at(mut self, step: u64) -> Self {
+        self.arrival_step = step;
+        self
+    }
+}
+
+/// The arrival queue: requests waiting for admission, kept sorted by
+/// arrival sequence so FIFO order is always recoverable regardless of how
+/// preemption re-inserts evicted work.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PendingQueue {
+    entries: Vec<ActiveRequest>,
+}
+
+impl PendingQueue {
+    /// Inserts a request, keeping the queue sorted by arrival sequence.
+    /// Fresh enqueues carry the largest sequence so far and append in
+    /// O(1); preempted requests binary-search back to their slot.
+    pub(crate) fn push(&mut self, r: ActiveRequest) {
+        let at = self
+            .entries
+            .partition_point(|e| e.arrival_seq < r.arrival_seq);
+        self.entries.insert(at, r);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a request is visible to the scheduler at `step`: it has
+    /// arrived, and it was not evicted from the batch this very step (a
+    /// one-step cooldown that prevents evict/re-admit livelock).
+    fn is_visible(e: &ActiveRequest, step: usize) -> bool {
+        e.req.arrival_step as usize <= step && e.last_evicted_at != Some(step)
+    }
+
+    /// Whether any queued request is visible to the scheduler at `step`.
+    pub(crate) fn has_visible(&self, step: usize) -> bool {
+        self.entries.iter().any(|e| Self::is_visible(e, step))
+    }
+
+    /// Snapshots the visible queue for the policy, in arrival order.
+    pub(crate) fn views(&self, step: usize) -> Vec<PendingView> {
+        self.entries
+            .iter()
+            .filter(|e| Self::is_visible(e, step))
+            .map(|e| PendingView {
+                id: e.req.id,
+                priority: e.req.priority,
+                client_id: e.req.client_id,
+                arrival_seq: e.arrival_seq,
+                waited_steps: (step as u64).saturating_sub(e.wait_since as u64),
+                remaining_tokens: e.req.max_new_tokens - e.stats.generated,
+                final_context: e.final_context(),
+            })
+            .collect()
+    }
+
+    /// Removes and returns the entry with arrival sequence `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry has that sequence (policy views are built from
+    /// the same queue, so a miss is an engine bug).
+    pub(crate) fn remove_by_seq(&mut self, seq: u64) -> ActiveRequest {
+        let at = self
+            .entries
+            .iter()
+            .position(|e| e.arrival_seq == seq)
+            .expect("pending view maps to a queued request");
+        self.entries.remove(at)
+    }
+}

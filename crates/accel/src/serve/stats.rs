@@ -1,0 +1,179 @@
+//! Per-request, per-step and aggregate observability of a served workload.
+
+use topick_core::PruneStats;
+
+/// Lifecycle record of one request, filled in as the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestStats {
+    /// The request's id.
+    pub id: u64,
+    /// Context length at arrival.
+    pub prompt_len: usize,
+    /// Tokens generated so far (equals the target once finished).
+    pub generated: usize,
+    /// Scheduling priority the request carried.
+    pub priority: u8,
+    /// Originating client.
+    pub client_id: u64,
+    /// Engine step at which the request became schedulable (its arrival
+    /// step, or the enqueue step if it arrived immediately).
+    pub enqueued_at: usize,
+    /// Engine step at which it first joined the running batch.
+    pub admitted_at: Option<usize>,
+    /// Engine step in which its first token was generated.
+    pub first_token_at: Option<usize>,
+    /// Engine step after which it completed.
+    pub finished_at: Option<usize>,
+    /// How many times the scheduler evicted it back to the queue.
+    pub preemptions: u32,
+    /// Attention cycles attributed to this request (per-head cost × heads).
+    pub attention_cycles: u64,
+    /// KV re-prefill cycles charged to this request across re-admissions.
+    pub reprefill_cycles: u64,
+}
+
+impl RequestStats {
+    /// The session-level summary of this request, once it has produced at
+    /// least one token (`None` before that).
+    #[must_use]
+    pub fn session(&self) -> Option<SessionStats> {
+        let admitted = self.admitted_at?;
+        let first = self.first_token_at?;
+        Some(SessionStats {
+            queue_wait_steps: admitted.saturating_sub(self.enqueued_at),
+            time_to_first_token_steps: first - self.enqueued_at + 1,
+            decode_steps: self.generated,
+            preemptions: self.preemptions,
+        })
+    }
+}
+
+/// Per-request serving quality: how long the request queued, how fast its
+/// first token came back, and how much scheduling churn it suffered. All
+/// times are in engine steps (one batched decode iteration each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Steps spent in the arrival queue before first admission.
+    pub queue_wait_steps: usize,
+    /// Steps from becoming schedulable until the first token existed
+    /// (inclusive of the generating step, so the minimum is 1).
+    pub time_to_first_token_steps: usize,
+    /// Decode steps the request participated in (= tokens generated).
+    pub decode_steps: usize,
+    /// Times the request was preempted back to the queue.
+    pub preemptions: u32,
+}
+
+/// What one engine step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepReport {
+    /// Step index (0-based).
+    pub index: usize,
+    /// Requests decoding in this step (0 for an idle tick while the
+    /// engine waits on future arrivals).
+    pub batch: usize,
+    /// Total context tokens attended over in this step — the step's
+    /// attention work.
+    pub context_tokens: usize,
+    /// Cycles streaming the shared weights.
+    pub weight_cycles: u64,
+    /// Cycles of batched attention (requests share the lanes serially).
+    pub attention_cycles: u64,
+    /// Cycles rebuilding KV caches of re-admitted (preempted) requests —
+    /// the step-model charge that makes eviction never free.
+    pub reprefill_cycles: u64,
+}
+
+impl StepReport {
+    /// Total cycles of the step.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.weight_cycles + self.attention_cycles + self.reprefill_cycles
+    }
+}
+
+/// Aggregate outcome of a served workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Name of the scheduling policy that produced this run.
+    pub policy: String,
+    /// Per-step records, in order.
+    pub steps: Vec<StepReport>,
+    /// Per-request lifecycle records, in completion order.
+    pub requests: Vec<RequestStats>,
+    /// Total engine cycles across all steps.
+    pub total_cycles: u64,
+    /// Tokens generated across all requests.
+    pub tokens_generated: usize,
+    /// Total evictions the scheduler performed.
+    pub preemptions: usize,
+    /// Aggregate pruning statistics over every simulated attention step.
+    pub prune: PruneStats,
+}
+
+impl ServingReport {
+    /// End-to-end throughput in generated tokens per second at `clock_hz`.
+    #[must_use]
+    pub fn tokens_per_second(&self, clock_hz: f64) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.tokens_generated as f64 / (self.total_cycles as f64 / clock_hz)
+    }
+
+    /// Mean decode-step latency in cycles.
+    #[must_use]
+    pub fn mean_step_cycles(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.total_cycles as f64 / self.steps.len() as f64
+    }
+
+    /// Mean steps finished requests waited in the queue before admission.
+    #[must_use]
+    pub fn mean_queue_wait_steps(&self) -> f64 {
+        self.mean_session(|s| s.queue_wait_steps as f64)
+    }
+
+    /// Mean time-to-first-token of finished requests, in steps.
+    #[must_use]
+    pub fn mean_ttft_steps(&self) -> f64 {
+        self.mean_session(|s| s.time_to_first_token_steps as f64)
+    }
+
+    /// Mean time-to-first-token of finished requests, in cycles: for each
+    /// request, the total cycles of the steps from when it became
+    /// schedulable through the step that produced its first token.
+    #[must_use]
+    pub fn mean_ttft_cycles(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut n = 0usize;
+        for r in &self.requests {
+            if let Some(first) = r.first_token_at {
+                sum += self.steps[r.enqueued_at..=first]
+                    .iter()
+                    .map(StepReport::total_cycles)
+                    .sum::<u64>();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    fn mean_session(&self, f: impl Fn(&SessionStats) -> f64) -> f64 {
+        let sessions: Vec<SessionStats> = self
+            .requests
+            .iter()
+            .filter_map(RequestStats::session)
+            .collect();
+        if sessions.is_empty() {
+            return 0.0;
+        }
+        sessions.iter().map(f).sum::<f64>() / sessions.len() as f64
+    }
+}

@@ -1,8 +1,12 @@
 //! Property tests of the accelerator: soundness under arbitrary timing,
-//! exact traffic accounting, and robustness to degenerate configurations.
+//! exact traffic accounting, robustness to degenerate configurations, and
+//! the serving engine's admission invariants under any scheduling policy.
 
 use proptest::prelude::*;
-use topick_accel::{AccelConfig, AccelMode, ToPickAccelerator};
+use topick_accel::{
+    AccelConfig, AccelMode, PolicyKind, ServeEvent, ServingEngine, ServingRequest,
+    ToPickAccelerator,
+};
 use topick_core::{exact_probabilities, PrecisionConfig, QMatrix, QVector, Rows};
 
 fn random_instance(seed: u64, n: usize, dim: usize) -> (QVector, QMatrix, Vec<f32>) {
@@ -98,6 +102,96 @@ proptest! {
             if p > 1e-3 {
                 prop_assert!(tiny.kept.contains(&t));
             }
+        }
+    }
+
+    /// Under any interleaving of enqueue and step, any policy, and
+    /// preemption on or off, the batch never exceeds its slot limit or
+    /// its provisioned-token budget — and with preemption off, no
+    /// admitted request ever leaves the batch before finishing.
+    #[test]
+    fn serving_invariants_hold_under_any_interleaving(
+        seed in any::<u64>(),
+        max_batch in 1usize..5,
+        budget in 400usize..1200,
+        policy_idx in 0usize..4,
+        preempt in any::<bool>(),
+        ops in prop::collection::vec(0u8..4, 4..32),
+    ) {
+        let policy = PolicyKind::all()[policy_idx];
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr");
+        let mut builder = ServingEngine::builder(accel)
+            .heads(2)
+            .weight_bytes(1_000_000)
+            .max_batch(max_batch)
+            .max_batch_tokens(budget)
+            .seed(seed)
+            .policy(policy);
+        if preempt {
+            builder = builder.enable_preemption();
+        }
+        let mut engine = builder.build();
+
+        let mut next_id = 0u64;
+        let check_step = |engine: &ServingEngine, report: Option<topick_accel::StepReport>| {
+            prop_assert!(engine.running() <= max_batch);
+            if let Some(s) = report {
+                prop_assert!(s.batch <= max_batch, "{policy}: batch over slots");
+                prop_assert!(
+                    s.context_tokens <= budget,
+                    "{policy}: {} context tokens over budget {budget}",
+                    s.context_tokens
+                );
+            }
+        };
+        // Random interleaving: op 0 enqueues (with randomized shape,
+        // priority, client and arrival), anything else steps once.
+        for (i, op) in ops.iter().enumerate() {
+            if *op == 0 {
+                let mix = seed.wrapping_mul(31).wrapping_add(i as u64);
+                let req = ServingRequest::new(
+                    next_id,
+                    4 + (mix % 48) as usize,
+                    1 + (mix % 5) as usize,
+                )
+                .with_priority((mix % 7) as u8)
+                .with_client(mix % 3)
+                .arriving_at(mix % 6);
+                engine.enqueue(req).expect("request fits the budget alone");
+                next_id += 1;
+            } else {
+                let report = engine.step().expect("step succeeds");
+                check_step(&engine, report);
+            }
+        }
+        // Drain the rest, checking every remaining step.
+        let mut guard = 0;
+        while !engine.is_idle() {
+            let report = engine.step().expect("step succeeds");
+            check_step(&engine, report);
+            guard += 1;
+            prop_assert!(guard < 4096, "engine failed to drain");
+        }
+
+        let report = engine.report();
+        prop_assert_eq!(report.requests.len(), next_id as usize);
+        if !preempt {
+            // Never-evict guarantee: no preemption events, one admission
+            // per request, and every admitted request ran to its target.
+            prop_assert_eq!(report.preemptions, 0);
+            for r in &report.requests {
+                prop_assert_eq!(r.preemptions, 0);
+                let admissions = engine
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e, ServeEvent::Admitted { id, .. } if *id == r.id))
+                    .count();
+                prop_assert_eq!(admissions, 1, "request {} re-admitted", r.id);
+            }
+        }
+        for r in &report.requests {
+            prop_assert!(r.generated >= 1);
+            prop_assert!(r.finished_at.is_some());
         }
     }
 

@@ -1,29 +1,25 @@
-//! `serving_throughput` — sweeps the continuous-batching serving engine
-//! over batch size × pruning threshold and emits one JSON document on
-//! stdout, so future changes can be regression-checked for tokens/s.
+//! `serving_throughput` — regression bench of the serving engine. Two
+//! sweeps, one JSON document on stdout:
+//!
+//! 1. **Throughput sweep** (`points`): batch size × pruning threshold
+//!    under the FIFO policy, so tokens/s regressions are caught.
+//! 2. **Policy sweep** (`policies`): every scheduler policy on a skewed
+//!    elephant/mice workload, with and without preemption, so scheduling
+//!    regressions (mean TTFT, queue wait, eviction counts) are caught too.
 //!
 //! ```sh
 //! cargo run --release -p topick-bench --bin serving_throughput
 //! cargo run --release -p topick-bench --bin serving_throughput -- --requests 32
+//! cargo run --release -p topick-bench --bin serving_throughput -- --quick   # CI mode
 //! ```
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
 
+use topick_accel::serve::workloads::skewed_elephant_mice;
 use topick_accel::{
-    AccelConfig, AccelMode, AdmissionConfig, ServingConfig, ServingEngine, ServingRequest,
+    AccelConfig, AccelMode, PolicyKind, ServingEngine, ServingReport, ServingRequest,
 };
-
-struct SweepPoint {
-    mode: &'static str,
-    threshold: f64,
-    max_batch: usize,
-    tokens: usize,
-    steps: usize,
-    total_cycles: u64,
-    tokens_per_s: f64,
-    v_reduction: f64,
-}
+use topick_bench::json::{JsonObject, JsonValue};
 
 fn run_point(
     mode: AccelMode,
@@ -31,57 +27,126 @@ fn run_point(
     threshold: f64,
     max_batch: usize,
     requests: u64,
-) -> SweepPoint {
+) -> JsonValue {
     let accel = AccelConfig::paper(mode, threshold).expect("valid threshold");
-    let mut cfg = ServingConfig::new(accel);
-    cfg.heads = 4;
-    cfg.weight_bytes = 10_000_000;
-    cfg.admission = AdmissionConfig {
-        max_batch,
-        max_batch_tokens: max_batch * 600,
-    };
-    cfg.seed = 1;
-    let clock_hz = cfg.clock_hz;
-    let mut engine = ServingEngine::new(cfg);
+    let mut engine = ServingEngine::builder(accel)
+        .heads(4)
+        .weight_bytes(10_000_000)
+        .max_batch(max_batch)
+        .max_batch_tokens(max_batch * 600)
+        .seed(1)
+        .record_events(false)
+        .build();
+    let clock_hz = engine.config().clock_hz;
     for id in 0..requests {
         engine
-            .enqueue(ServingRequest {
+            .enqueue(ServingRequest::new(
                 id,
-                prompt_len: 128 + (id as usize % 8) * 48,
-                max_new_tokens: 2 + (id as usize % 4),
-            })
+                128 + (id as usize % 8) * 48,
+                2 + (id as usize % 4),
+            ))
             .expect("valid request");
     }
     let report = engine.run_to_completion(100_000).expect("completes");
-    SweepPoint {
-        mode: mode_name,
-        threshold,
-        max_batch,
-        tokens: report.tokens_generated,
-        steps: report.steps.len(),
-        total_cycles: report.total_cycles,
-        tokens_per_s: report.tokens_per_second(clock_hz),
-        v_reduction: report.prune.v_reduction(),
+    JsonObject::new()
+        .field("mode", mode_name)
+        .field("threshold", JsonValue::Sci(threshold))
+        .field("max_batch", max_batch)
+        .field("tokens", report.tokens_generated)
+        .field("steps", report.steps.len())
+        .field("total_cycles", report.total_cycles)
+        .field(
+            "tokens_per_s",
+            JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
+        )
+        .field(
+            "v_reduction",
+            JsonValue::Prec(report.prune.v_reduction(), 3),
+        )
+        .into()
+}
+
+/// Skewed workload: a few long low-priority "elephants" from one client
+/// fill the batch, then short high-priority "mice" from other clients
+/// arrive behind them — the regime where scheduling policy and preemption
+/// visibly bend the TTFT profile.
+fn run_policy(policy: PolicyKind, preemption: bool, mice: u64) -> (ServingReport, f64) {
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut builder = ServingEngine::builder(accel)
+        .heads(4)
+        .weight_bytes(10_000_000)
+        .max_batch(4)
+        .max_batch_tokens(2200)
+        .seed(7)
+        .record_events(false)
+        .policy(policy);
+    if preemption {
+        builder = builder.enable_preemption();
     }
+    let mut engine = builder.build();
+    let clock_hz = engine.config().clock_hz;
+    for r in skewed_elephant_mice(4, mice) {
+        engine.enqueue(r).expect("valid request");
+    }
+    (
+        engine.run_to_completion(100_000).expect("completes"),
+        clock_hz,
+    )
+}
+
+fn policy_record(policy: PolicyKind, preemption: bool, mice: u64) -> JsonValue {
+    let (report, clock_hz) = run_policy(policy, preemption, mice);
+    JsonObject::new()
+        .field("policy", report.policy.as_str())
+        .field("preemption", preemption)
+        .field("tokens", report.tokens_generated)
+        .field("steps", report.steps.len())
+        .field("total_cycles", report.total_cycles)
+        .field(
+            "tokens_per_s",
+            JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
+        )
+        .field(
+            "mean_ttft_steps",
+            JsonValue::Prec(report.mean_ttft_steps(), 2),
+        )
+        .field(
+            "mean_queue_wait_steps",
+            JsonValue::Prec(report.mean_queue_wait_steps(), 2),
+        )
+        .field("preemptions", report.preemptions)
+        .into()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut flags: HashMap<String, String> = HashMap::new();
     let mut i = 0;
-    while i + 1 < args.len() {
+    while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            flags.insert(name.to_string(), args[i + 1].clone());
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            i += 1;
         }
-        i += 2;
     }
+    let quick = flags.contains_key("quick");
     let requests: u64 = flags
         .get("requests")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(16);
+        .unwrap_or(if quick { 8 } else { 16 });
+
+    let batches: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let thresholds: &[f64] = if quick { &[1e-3] } else { &[1e-2, 1e-3, 1e-4] };
+    let mice: u64 = if quick { 6 } else { 12 };
 
     let mut points = Vec::new();
-    for &max_batch in &[1usize, 2, 4, 8] {
+    for &max_batch in batches {
         points.push(run_point(
             AccelMode::Baseline,
             "baseline",
@@ -89,7 +154,7 @@ fn main() {
             max_batch,
             requests,
         ));
-        for &thr in &[1e-2f64, 1e-3, 1e-4] {
+        for &thr in thresholds {
             points.push(run_point(
                 AccelMode::OutOfOrder,
                 "topick",
@@ -100,27 +165,26 @@ fn main() {
         }
     }
 
-    // Hand-rolled JSON (the workspace deliberately has no serde).
-    let mut out = String::from("{\n  \"bench\": \"serving_throughput\",\n");
-    let _ = writeln!(out, "  \"requests\": {requests},");
-    out.push_str("  \"points\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"mode\": \"{}\", \"threshold\": {:e}, \"max_batch\": {}, \
-             \"tokens\": {}, \"steps\": {}, \"total_cycles\": {}, \
-             \"tokens_per_s\": {:.1}, \"v_reduction\": {:.3}}}",
-            p.mode,
-            p.threshold,
-            p.max_batch,
-            p.tokens,
-            p.steps,
-            p.total_cycles,
-            p.tokens_per_s,
-            p.v_reduction
-        );
-        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    // One record per policy without preemption, plus one per preempting
+    // policy (FIFO never preempts, so its preemption run would be
+    // identical).
+    let mut policies = Vec::new();
+    for kind in PolicyKind::all() {
+        policies.push(policy_record(kind, false, mice));
     }
-    out.push_str("  ]\n}");
-    println!("{out}");
+    for kind in [
+        PolicyKind::PriorityAging,
+        PolicyKind::ShortestJobFirst,
+        PolicyKind::FairRoundRobin,
+    ] {
+        policies.push(policy_record(kind, true, mice));
+    }
+
+    let doc = JsonObject::new()
+        .field("bench", "serving_throughput")
+        .field("requests", requests)
+        .field("quick", quick)
+        .field("points", points)
+        .field("policies", policies);
+    println!("{}", doc.render());
 }

@@ -1,0 +1,237 @@
+//! Minimal JSON emission shared by the bench binaries.
+//!
+//! The workspace deliberately has no serde (no crates.io access), so the
+//! regression benches used to hand-roll their JSON with `write!` chains.
+//! This module centralizes that: a [`JsonValue`] tree plus an object
+//! builder, rendered with stable two-space pretty-printing so bench output
+//! diffs cleanly across runs.
+
+use std::fmt::Write as _;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float rendered with `{}` (shortest round-trip form).
+    Num(f64),
+    /// A float rendered with a fixed number of decimal places.
+    Prec(f64, usize),
+    /// A float rendered in scientific notation (`{:e}`), the conventional
+    /// spelling for pruning thresholds.
+    Sci(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        Self::UInt(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        Self::UInt(v as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        Self::Int(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        Self::Num(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        Self::Array(v)
+    }
+}
+impl From<JsonObject> for JsonValue {
+    fn from(v: JsonObject) -> Self {
+        Self::Object(v.fields)
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl JsonValue {
+    /// Renders the value as pretty-printed JSON (two-space indent).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out
+    }
+
+    fn write_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Self::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Self::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Self::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Self::Num(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Self::Prec(v, p) => {
+                let _ = write!(out, "{v:.p$}");
+            }
+            Self::Sci(v) => {
+                let _ = write!(out, "{v:e}");
+            }
+            Self::Str(s) => {
+                out.push('"');
+                escape(s, out);
+                out.push('"');
+            }
+            Self::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                let inner = indent + 1;
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&"  ".repeat(inner));
+                    item.write_into(out, inner);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Self::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                let inner = indent + 1;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&"  ".repeat(inner));
+                    out.push('"');
+                    escape(k, out);
+                    out.push_str("\": ");
+                    v.write_into(out, inner);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Insertion-ordered object builder.
+///
+/// # Examples
+///
+/// ```
+/// use topick_bench::json::{JsonObject, JsonValue};
+///
+/// let record = JsonObject::new()
+///     .field("bench", "demo")
+///     .field("tokens", 62u64)
+///     .field("tokens_per_s", JsonValue::Prec(113.062, 1));
+/// assert!(record.render().contains("\"tokens_per_s\": 113.1"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsonObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a field (keys render in insertion order).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Renders the object as pretty-printed JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        JsonValue::Object(self.fields.clone()).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures_with_stable_layout() {
+        let doc = JsonObject::new()
+            .field("name", "sweep")
+            .field("ok", true)
+            .field("thr", JsonValue::Sci(1e-3))
+            .field(
+                "points",
+                vec![
+                    JsonValue::from(JsonObject::new().field("x", 1u64)),
+                    JsonValue::from(JsonObject::new().field("x", 2u64)),
+                ],
+            )
+            .field("empty", Vec::<JsonValue>::new());
+        let text = doc.render();
+        assert_eq!(
+            text,
+            "{\n  \"name\": \"sweep\",\n  \"ok\": true,\n  \"thr\": 1e-3,\n  \"points\": [\n    {\n      \"x\": 1\n    },\n    {\n      \"x\": 2\n    }\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::Str("a\"b\\c\nd".to_string());
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -5,6 +5,8 @@
 //! topick sweep   [--context N] [--dim D] [--seed S]
 //! topick accel   [--context N] [--threshold T] [--seed S]
 //! topick traffic [--model NAME] [--context N]
+//! topick serve   [--requests N] [--batch B] [--threshold T] [--seed S] [--baseline]
+//!                [--policy fifo|priority|sjf|fair|all] [--preemption]
 //! topick help
 //! ```
 
@@ -166,14 +168,51 @@ fn cmd_traffic(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error
     Ok(())
 }
 
+fn serve_once(
+    mode: AccelMode,
+    threshold: f64,
+    batch: usize,
+    seed: u64,
+    requests: u64,
+    policy: token_picker::accel::PolicyKind,
+    preemption: bool,
+) -> Result<(token_picker::accel::ServingReport, f64), Box<dyn std::error::Error>> {
+    use token_picker::accel::{PreemptionConfig, ServingEngine, ServingRequest};
+
+    let mut builder = ServingEngine::builder(AccelConfig::paper(mode, threshold)?)
+        .max_batch(batch)
+        .seed(seed)
+        .policy(policy);
+    if preemption {
+        builder = builder.preemption(PreemptionConfig::enabled());
+    }
+    let mut engine = builder.build();
+    let clock_hz = engine.config().clock_hz;
+    for id in 0..requests {
+        // Heterogeneous shapes, priorities and clients so every policy has
+        // something to differentiate on; arrivals come in waves so
+        // later high-priority work can actually contend with (and under
+        // --preemption, evict) earlier long-running requests.
+        engine.enqueue(
+            ServingRequest::new(id, 64 + (id as usize % 7) * 32, 4 + (id as usize % 5) * 2)
+                .with_priority((id % 4) as u8)
+                .with_client(id % 3)
+                .arriving_at((id / 4) * 3),
+        )?;
+    }
+    Ok((engine.run_to_completion(10_000)?, clock_hz))
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
-    use token_picker::accel::{ServingConfig, ServingEngine, ServingRequest};
+    use token_picker::accel::PolicyKind;
 
     let requests = flag(flags, "requests", 16u64);
     let thr = flag(flags, "threshold", 1e-3f64);
     let batch = flag(flags, "batch", 8usize);
     let seed = flag(flags, "seed", 0u64);
     let baseline_mode = flags.contains_key("baseline");
+    let preemption = flags.contains_key("preemption");
+    let policy_flag = flags.get("policy").map_or("fifo", String::as_str);
 
     let mode = if baseline_mode {
         AccelMode::Baseline
@@ -181,22 +220,33 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         AccelMode::OutOfOrder
     };
     let t = if baseline_mode { 0.5 } else { thr };
-    let mut cfg = ServingConfig::new(AccelConfig::paper(mode, t)?);
-    cfg.admission.max_batch = batch;
-    cfg.seed = seed;
-    let clock_hz = cfg.clock_hz;
-    let mut engine = ServingEngine::new(cfg);
-    for id in 0..requests {
-        engine.enqueue(ServingRequest {
-            id,
-            prompt_len: 64 + (id as usize % 7) * 32,
-            max_new_tokens: 4 + (id as usize % 5) * 2,
-        })?;
+
+    if policy_flag == "all" {
+        println!(
+            "{:<20} {:>8} {:>12} {:>11} {:>10} {:>9}",
+            "policy", "steps", "tokens/s", "mean TTFT", "mean wait", "preempts"
+        );
+        for kind in PolicyKind::all() {
+            let (report, clock_hz) = serve_once(mode, t, batch, seed, requests, kind, preemption)?;
+            println!(
+                "{:<20} {:>8} {:>12.1} {:>11.2} {:>10.2} {:>9}",
+                report.policy,
+                report.steps.len(),
+                report.tokens_per_second(clock_hz),
+                report.mean_ttft_steps(),
+                report.mean_queue_wait_steps(),
+                report.preemptions
+            );
+        }
+        return Ok(());
     }
-    let report = engine.run_to_completion(10_000)?;
+
+    let policy: PolicyKind = policy_flag.parse()?;
+    let (report, clock_hz) = serve_once(mode, t, batch, seed, requests, policy, preemption)?;
     println!(
-        "mode {:?}: {} requests, {} tokens in {} steps",
+        "mode {:?}, policy {}: {} requests, {} tokens in {} steps",
         mode,
+        report.policy,
         report.requests.len(),
         report.tokens_generated,
         report.steps.len()
@@ -207,6 +257,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         "throughput     : {:.1} tokens/s",
         report.tokens_per_second(clock_hz)
     );
+    println!("mean TTFT      : {:.2} steps", report.mean_ttft_steps());
+    println!(
+        "mean queue wait: {:.2} steps",
+        report.mean_queue_wait_steps()
+    );
+    println!("preemptions    : {}", report.preemptions);
     println!("V reduction    : {:.2}x", report.prune.v_reduction());
     Ok(())
 }
@@ -225,6 +281,7 @@ fn usage() {
     println!("           [--model NAME] [--context N]");
     println!("  serve    continuous-batching serving engine");
     println!("           [--requests N] [--batch B] [--threshold T] [--seed S] [--baseline]");
+    println!("           [--policy fifo|priority|sjf|fair|all] [--preemption]");
 }
 
 fn main() {

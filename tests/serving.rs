@@ -1,10 +1,16 @@
 //! Workspace integration tests of the continuous-batching serving engine:
 //! a 16-request mixed-context workload must complete under both
 //! accelerator modes, conserve its token accounting, price bigger batches
-//! higher, and run measurably faster under Token-Picker pruning.
+//! higher, run measurably faster under Token-Picker pruning — and, after
+//! the scheduler redesign, the `Fifo` policy must reproduce the
+//! pre-refactor engine's schedule bit for bit while preemption-enabled
+//! policies bend the latency profile on skewed workloads.
+
+use std::collections::BTreeSet;
 
 use token_picker::accel::{
-    AccelConfig, AccelMode, AdmissionConfig, ServingConfig, ServingEngine, ServingRequest,
+    AccelConfig, AccelMode, AdmissionConfig, PolicyKind, ServeEvent, ServingConfig, ServingEngine,
+    ServingRequest,
 };
 
 fn mixed_workload() -> Vec<ServingRequest> {
@@ -14,15 +20,11 @@ fn mixed_workload() -> Vec<ServingRequest> {
     // streaming) to be a visible share of each step, the regime the paper
     // evaluates.
     (0..16u64)
-        .map(|id| ServingRequest {
-            id,
-            prompt_len: 128 + (id as usize % 8) * 48,
-            max_new_tokens: 2 + (id as usize % 5),
-        })
+        .map(|id| ServingRequest::new(id, 128 + (id as usize % 8) * 48, 2 + (id as usize % 5)))
         .collect()
 }
 
-fn serve(mode: AccelMode, threshold: f64) -> token_picker::accel::ServingReport {
+fn serving_config(mode: AccelMode, threshold: f64) -> ServingConfig {
     let accel = AccelConfig::paper(mode, threshold).expect("valid threshold");
     let mut cfg = ServingConfig::new(accel);
     cfg.heads = 4;
@@ -32,7 +34,11 @@ fn serve(mode: AccelMode, threshold: f64) -> token_picker::accel::ServingReport 
         max_batch_tokens: 4096,
     };
     cfg.seed = 7;
-    let mut engine = ServingEngine::new(cfg);
+    cfg
+}
+
+fn serve(mode: AccelMode, threshold: f64) -> token_picker::accel::ServingReport {
+    let mut engine = ServingEngine::new(serving_config(mode, threshold));
     for r in mixed_workload() {
         engine.enqueue(r).expect("valid request");
     }
@@ -73,6 +79,131 @@ fn sixteen_request_workload_completes_with_conservation() {
     // Cycle accounting is closed: steps sum to the total.
     let sum: u64 = report.steps.iter().map(|s| s.total_cycles()).sum();
     assert_eq!(sum, report.total_cycles);
+}
+
+/// Golden schedule of the pre-refactor (PR 1) engine on the 16-request
+/// mixed workload above, captured before the scheduler redesign:
+/// `(batch, context_tokens, weight_cycles, attention_cycles)` per step.
+const GOLDEN_STEPS: [(usize, usize, u64, u64); 13] = [
+    (6, 1488, 19532, 1768),
+    (6, 1494, 19532, 1796),
+    (6, 1880, 19532, 1972),
+    (6, 1835, 19532, 1968),
+    (6, 1789, 19532, 1964),
+    (6, 1595, 19532, 1872),
+    (6, 1495, 19532, 1604),
+    (6, 1691, 19532, 1916),
+    (5, 1753, 19532, 1896),
+    (5, 1758, 19532, 1884),
+    (2, 791, 19532, 828),
+    (1, 420, 19532, 448),
+    (1, 421, 19532, 420),
+];
+
+/// Golden per-request lifecycle, in completion order:
+/// `(id, prompt_len, generated, admitted_at, finished_at, attention_cycles)`.
+const GOLDEN_REQUESTS: [(u64, usize, usize, usize, usize, u64); 16] = [
+    (0, 128, 2, 0, 1, 440),
+    (5, 368, 2, 0, 1, 724),
+    (1, 176, 3, 0, 2, 744),
+    (2, 224, 4, 0, 3, 1104),
+    (3, 272, 5, 0, 4, 1508),
+    (6, 416, 3, 2, 4, 1264),
+    (4, 320, 6, 0, 5, 2060),
+    (7, 464, 4, 2, 5, 1804),
+    (10, 224, 2, 5, 6, 584),
+    (8, 128, 5, 3, 7, 952),
+    (11, 272, 3, 5, 7, 844),
+    (9, 176, 6, 4, 9, 1528),
+    (12, 320, 4, 6, 9, 1384),
+    (15, 464, 2, 8, 9, 932),
+    (13, 368, 5, 6, 10, 1876),
+    (14, 416, 6, 7, 12, 2588),
+];
+
+const GOLDEN_TOTAL_CYCLES: u64 = 274_252;
+const GOLDEN_TOKENS: usize = 62;
+const GOLDEN_PRUNE_KEPT: usize = 4959;
+const GOLDEN_PRUNE_TOKENS: usize = 18_410;
+const GOLDEN_CHUNK_FETCHES: [u64; 3] = [18_410, 10_129, 5795];
+
+#[test]
+fn fifo_policy_reproduces_the_pre_refactor_engine_exactly() {
+    let mut engine = ServingEngine::new(serving_config(AccelMode::OutOfOrder, 1e-3));
+    for r in mixed_workload() {
+        engine.enqueue(r).expect("valid request");
+    }
+    let report = engine.run_to_completion(256).expect("workload completes");
+
+    assert_eq!(report.policy, "fifo");
+    assert_eq!(report.steps.len(), GOLDEN_STEPS.len());
+    for (step, &(batch, ctx, wcyc, acyc)) in report.steps.iter().zip(&GOLDEN_STEPS) {
+        assert_eq!(
+            (
+                step.batch,
+                step.context_tokens,
+                step.weight_cycles,
+                step.attention_cycles
+            ),
+            (batch, ctx, wcyc, acyc),
+            "step {} diverged from the pre-refactor schedule",
+            step.index
+        );
+        assert_eq!(step.reprefill_cycles, 0);
+    }
+
+    assert_eq!(report.requests.len(), GOLDEN_REQUESTS.len());
+    for (stats, &(id, prompt, gen, adm, fin, acyc)) in report.requests.iter().zip(&GOLDEN_REQUESTS)
+    {
+        assert_eq!(stats.id, id, "completion order diverged");
+        assert_eq!(stats.prompt_len, prompt);
+        assert_eq!(stats.generated, gen);
+        assert_eq!(stats.enqueued_at, 0);
+        assert_eq!(stats.admitted_at, Some(adm), "request {id}");
+        assert_eq!(stats.finished_at, Some(fin), "request {id}");
+        assert_eq!(stats.attention_cycles, acyc, "request {id}");
+        assert_eq!(stats.preemptions, 0);
+    }
+
+    assert_eq!(report.total_cycles, GOLDEN_TOTAL_CYCLES);
+    assert_eq!(report.tokens_generated, GOLDEN_TOKENS);
+    assert_eq!(report.preemptions, 0);
+    assert_eq!(report.prune.kept, GOLDEN_PRUNE_KEPT);
+    assert_eq!(report.prune.tokens, GOLDEN_PRUNE_TOKENS);
+    assert_eq!(report.prune.chunk_fetches, GOLDEN_CHUNK_FETCHES);
+
+    // The event stream agrees with the golden per-step admitted/retired
+    // sets derived from the request lifecycles.
+    for step in 0..GOLDEN_STEPS.len() {
+        let golden_admitted: BTreeSet<u64> = GOLDEN_REQUESTS
+            .iter()
+            .filter(|&&(_, _, _, adm, _, _)| adm == step)
+            .map(|&(id, ..)| id)
+            .collect();
+        let golden_retired: BTreeSet<u64> = GOLDEN_REQUESTS
+            .iter()
+            .filter(|&&(_, _, _, _, fin, _)| fin == step)
+            .map(|&(id, ..)| id)
+            .collect();
+        let admitted: BTreeSet<u64> = engine
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ServeEvent::Admitted { id, step: s, .. } if *s == step => Some(*id),
+                _ => None,
+            })
+            .collect();
+        let retired: BTreeSet<u64> = engine
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ServeEvent::Finished { id, step: s, .. } if *s == step => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(admitted, golden_admitted, "admitted set at step {step}");
+        assert_eq!(retired, golden_retired, "retired set at step {step}");
+    }
 }
 
 #[test]
@@ -130,4 +261,52 @@ fn topick_serves_more_tokens_per_second_than_baseline() {
 
     // The pruning statistics show why: most V rows were never fetched.
     assert!(topick.prune.v_reduction() > 1.5);
+}
+
+fn serve_skewed(policy: PolicyKind, preemption: bool) -> token_picker::accel::ServingReport {
+    use token_picker::accel::serve::workloads::skewed_elephant_mice;
+
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut builder = ServingEngine::builder(accel)
+        .heads(4)
+        .weight_bytes(10_000_000)
+        .max_batch(4)
+        .max_batch_tokens(2200)
+        .seed(7)
+        .policy(policy);
+    if preemption {
+        builder = builder.enable_preemption();
+    }
+    let mut engine = builder.build();
+    for r in skewed_elephant_mice(4, 12) {
+        engine.enqueue(r).expect("valid request");
+    }
+    engine.run_to_completion(2048).expect("workload completes")
+}
+
+#[test]
+fn preemption_bends_the_latency_profile_on_a_skewed_workload() {
+    let fifo = serve_skewed(PolicyKind::Fifo, false);
+    let preempting = serve_skewed(PolicyKind::PriorityAging, true);
+
+    // Same work either way.
+    assert_eq!(fifo.tokens_generated, preempting.tokens_generated);
+    assert_eq!(fifo.preemptions, 0);
+
+    // Under FIFO the mice sit behind the elephants; priority-with-
+    // preemption evicts elephants and serves the mice first, so mean
+    // time-to-first-token drops.
+    assert!(preempting.preemptions > 0, "no evictions happened");
+    assert!(
+        preempting.mean_ttft_steps() < fifo.mean_ttft_steps(),
+        "preemption should cut mean TTFT: {} vs fifo {}",
+        preempting.mean_ttft_steps(),
+        fifo.mean_ttft_steps()
+    );
+
+    // Eviction is never free: the re-prefill charge makes the two runs'
+    // cycle totals (and thus tokens/s) genuinely different profiles.
+    let reprefill: u64 = preempting.steps.iter().map(|s| s.reprefill_cycles).sum();
+    assert!(reprefill > 0);
+    assert_ne!(fifo.total_cycles, preempting.total_cycles);
 }
