@@ -1,5 +1,5 @@
 //! The cycle-level simulator packaged as an
-//! [`AttentionBackend`](topick_model::AttentionBackend) — the third
+//! [`AttentionBackend`] — the third
 //! implementation of the workspace's unified attention interface, next to
 //! the functional kernels and SpAtten's top-k baseline.
 //!

@@ -58,8 +58,8 @@ pub use layout::KvLayout;
 pub use prompt::{run_prompt_phase, PromptPhaseResult};
 pub use result::AttentionStepResult;
 pub use serve::{
-    AdmissionConfig, FairRoundRobin, Fifo, PendingView, PolicyKind, PreemptionConfig,
-    PriorityAging, RequestStats, RunningView, SchedulerPolicy, ServeError, ServeEvent,
-    ServingConfig, ServingEngine, ServingEngineBuilder, ServingReport, ServingRequest,
+    AdmissionConfig, FairRoundRobin, Fifo, KvPager, PendingView, PolicyKind, PreemptionConfig,
+    PriorityAging, RequestStats, RetentionPolicy, RunningView, SchedulerPolicy, ServeError,
+    ServeEvent, ServingConfig, ServingEngine, ServingEngineBuilder, ServingReport, ServingRequest,
     SessionStats, ShortestJobFirst, StepReport,
 };

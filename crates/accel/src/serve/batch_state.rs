@@ -1,5 +1,6 @@
 //! Live per-request state and the running batch with its admission limits.
 
+use super::kv_pager::KvPager;
 use super::policy::RunningView;
 use super::queue::ServingRequest;
 use super::stats::RequestStats;
@@ -10,10 +11,16 @@ pub struct AdmissionConfig {
     /// Maximum requests decoding concurrently.
     pub max_batch: usize,
     /// Maximum total context tokens across the batch (bounds KV-cache
-    /// footprint; a request is admitted only if the budget still covers
-    /// its *final* context, so without preemption it can never be forced
-    /// out mid-flight).
+    /// footprint). The budget is carved into fixed-size pages (see
+    /// [`page_size`](Self::page_size)); a request is admitted only if
+    /// free pages still cover its *final* context, so without preemption
+    /// it can never be forced out mid-flight.
     pub max_batch_tokens: usize,
+    /// Tokens per KV page. Admission provisions whole pages, so a
+    /// request's footprint rounds up to page granularity — partially
+    /// filled tail pages are fragmentation the budget pays for, and a
+    /// non-page-aligned `max_batch_tokens` loses its remainder.
+    pub page_size: usize,
 }
 
 impl Default for AdmissionConfig {
@@ -21,6 +28,7 @@ impl Default for AdmissionConfig {
         Self {
             max_batch: 16,
             max_batch_tokens: 16 * 2048,
+            page_size: 16,
         }
     }
 }
@@ -32,7 +40,8 @@ pub(crate) struct ActiveRequest {
     /// Current context length (prompt + generated tokens).
     pub(crate) context: usize,
     /// Engine-assigned enqueue order, the stable tie-break every policy
-    /// falls back to.
+    /// falls back to (and the request's owner key in the [`KvPager`] —
+    /// unlike caller-chosen ids, sequences are unique).
     pub(crate) arrival_seq: u64,
     /// Step since which the request has been waiting in the queue (its
     /// arrival, or its most recent eviction) — the baseline policies age
@@ -43,8 +52,13 @@ pub(crate) struct ActiveRequest {
     /// Step of the most recent eviction, for the re-admission cooldown.
     pub(crate) last_evicted_at: Option<usize>,
     /// Whether the next decode step must rebuild this request's KV cache
-    /// (set on admission after a preemption; charged to the step model).
+    /// (set on eviction; charged to the step model after re-admission).
     pub(crate) needs_reprefill: bool,
+    /// KV tokens the next rebuild must re-prefill: the suffix of the
+    /// context that eviction dropped (the whole context under full
+    /// re-prefill; less when pages were retained; grows back to the whole
+    /// context if retained pages are reclaimed while queued).
+    pub(crate) dropped_tokens: usize,
     pub(crate) stats: RequestStats,
 }
 
@@ -56,18 +70,24 @@ impl ActiveRequest {
 }
 
 /// The running batch plus the limits admission enforces. The engine owns
-/// the *invariants* (never exceed `max_batch` slots or `max_batch_tokens`
-/// provisioned tokens); policies only choose the order.
+/// the *invariants* (never exceed `max_batch` slots or the KV page
+/// budget); policies only choose the order.
+///
+/// KV accounting lives here too: the [`KvPager`] carves
+/// `max_batch_tokens` into `page_size`-token pages, and every admission,
+/// preemption and retirement allocates or frees pages through it.
 #[derive(Debug, Clone)]
 pub(crate) struct BatchState {
     running: Vec<ActiveRequest>,
     limits: AdmissionConfig,
+    pager: KvPager,
 }
 
 impl BatchState {
     pub(crate) fn new(limits: AdmissionConfig) -> Self {
         Self {
             running: Vec::new(),
+            pager: KvPager::new(limits.page_size, limits.max_batch_tokens),
             limits,
         }
     }
@@ -80,47 +100,50 @@ impl BatchState {
         self.running.is_empty()
     }
 
-    /// Context tokens the batch is provisioned for (final contexts, the
-    /// quantity admission guards).
-    pub(crate) fn provisioned_tokens(&self) -> usize {
-        self.running.iter().map(ActiveRequest::final_context).sum()
+    /// The KV page allocator (shared accounting for running requests and
+    /// queued requests' retained pages).
+    pub(crate) fn pager(&self) -> &KvPager {
+        &self.pager
     }
 
-    /// Whether a request with the given final context can join right now.
-    pub(crate) fn fits(&self, final_context: usize) -> bool {
-        self.running.len() < self.limits.max_batch
-            && self.provisioned_tokens() + final_context <= self.limits.max_batch_tokens
+    pub(crate) fn pager_mut(&mut self) -> &mut KvPager {
+        &mut self.pager
     }
 
+    /// Whether the request keyed `seq` with the given final context can
+    /// join right now: a free slot, and enough free pages to grow its
+    /// allocation (pages it already retains across a preemption count
+    /// toward the need).
+    pub(crate) fn fits(&self, seq: u64, final_context: usize) -> bool {
+        self.running.len() < self.limits.max_batch && self.pager.can_reserve(seq, final_context)
+    }
+
+    /// Admits a request, reserving KV pages for its final context.
     pub(crate) fn admit(&mut self, r: ActiveRequest) {
-        debug_assert!(self.fits(r.final_context()));
+        debug_assert!(self.fits(r.arrival_seq, r.final_context()));
+        self.pager.reserve(r.arrival_seq, r.final_context());
         self.running.push(r);
     }
 
-    /// Removes the request at `slot` (policy-selected victim).
+    /// Removes the request at `slot` (policy-selected victim). The caller
+    /// decides the fate of its KV pages (retention vs full release).
     pub(crate) fn evict(&mut self, slot: usize) -> ActiveRequest {
         self.running.remove(slot)
     }
 
-    /// Slot index of the request with the given id, if it is running.
-    pub(crate) fn position_of(&self, id: u64) -> Option<usize> {
-        self.running.iter().position(|r| r.req.id == id)
+    /// Slot index of the request with arrival sequence `seq`, if running.
+    pub(crate) fn position_of_seq(&self, seq: u64) -> Option<usize> {
+        self.running.iter().position(|r| r.arrival_seq == seq)
     }
 
-    pub(crate) fn slots(&self) -> &[ActiveRequest] {
-        &self.running
-    }
-
-    pub(crate) fn slots_mut(&mut self) -> &mut [ActiveRequest] {
-        &mut self.running
-    }
-
-    /// Removes and returns every request that reached its token target.
+    /// Removes and returns every request that reached its token target,
+    /// freeing their KV pages.
     pub(crate) fn retire_finished(&mut self) -> Vec<ActiveRequest> {
         let mut kept = Vec::with_capacity(self.running.len());
         let mut done = Vec::new();
         for r in self.running.drain(..) {
             if r.stats.generated >= r.req.max_new_tokens {
+                self.pager.release(r.arrival_seq);
                 done.push(r);
             } else {
                 kept.push(r);
@@ -145,5 +168,13 @@ impl BatchState {
                 final_context: r.final_context(),
             })
             .collect()
+    }
+
+    pub(crate) fn slots(&self) -> &[ActiveRequest] {
+        &self.running
+    }
+
+    pub(crate) fn slots_mut(&mut self) -> &mut [ActiveRequest] {
+        &mut self.running
     }
 }

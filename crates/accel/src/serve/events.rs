@@ -41,9 +41,17 @@ pub enum ServeEvent {
         id: u64,
         /// Engine step of the eviction.
         step: usize,
-        /// Tokens it had generated when evicted (kept; only the KV cache
-        /// must be rebuilt on re-admission).
+        /// Tokens it had generated when evicted (kept; only the dropped
+        /// part of the KV cache must be rebuilt on re-admission).
         generated: usize,
+        /// KV tokens whose pages survived the eviction (a prefix of the
+        /// context, per the configured
+        /// [`RetentionPolicy`](super::RetentionPolicy); 0 under full
+        /// re-prefill).
+        retained_tokens: usize,
+        /// KV tokens whose pages were freed — what re-admission will
+        /// re-prefill.
+        dropped_tokens: usize,
     },
     /// A request reached its token target and left the batch.
     Finished {

@@ -1,0 +1,270 @@
+//! Paged KV-cache accounting for the serving engine.
+//!
+//! The engine's KV token budget
+//! ([`max_batch_tokens`](super::AdmissionConfig::max_batch_tokens)) is
+//! carved into fixed-size **pages** of [`page_size`](KvPager::page_size)
+//! tokens each. Admission provisions
+//! whole pages — a request's KV footprint is its *final* context rounded
+//! up to page granularity, so partially-filled tail pages are real
+//! fragmentation the budget pays for, exactly as in a paged KV allocator
+//! (vLLM-style) on hardware.
+//!
+//! Paging is what makes **partial retention across preemptions** possible:
+//! where the flat token budget forced an eviction to drop the victim's
+//! whole KV state, the pager can free only a *suffix* of the victim's
+//! pages ([`truncate`](KvPager::truncate)) and keep the prefix allocated
+//! while the victim waits in the queue, so re-admission only re-prefills
+//! the dropped tokens. The storage-level half of the same operation is
+//! [`HeadCache::truncate`](topick_model::HeadCache::truncate), which drops
+//! the concrete key/value rows the freed pages held.
+
+/// A fixed-size-page allocator over the serving engine's KV token budget.
+///
+/// Pages are identified by dense indices `0..total_pages` and handed out
+/// from a LIFO free list, so allocation order is deterministic. Owners are
+/// engine-assigned arrival sequences (unique per request lifetime, unlike
+/// caller-chosen request ids).
+///
+/// # Examples
+///
+/// ```
+/// use topick_accel::serve::kv_pager::KvPager;
+///
+/// let mut pager = KvPager::new(16, 160); // 10 pages of 16 tokens
+/// assert_eq!(pager.total_pages(), 10);
+/// assert_eq!(pager.pages_needed(40), 3); // tail page half-filled
+///
+/// pager.reserve(1, 40);
+/// assert_eq!((pager.pages_of(1), pager.free_pages()), (3, 7));
+///
+/// // Preemption with partial retention: keep 1 page, free the rest.
+/// assert_eq!(pager.truncate(1, 1), 2);
+/// assert_eq!(pager.pages_of(1), 1);
+///
+/// // Re-admission tops the allocation back up to the full need.
+/// pager.reserve(1, 40);
+/// assert_eq!(pager.pages_of(1), 3);
+///
+/// assert_eq!(pager.release(1), 3);
+/// assert_eq!(pager.free_pages(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvPager {
+    page_size: usize,
+    total_pages: usize,
+    /// LIFO free list of page indices (pop from the back).
+    free: Vec<usize>,
+    /// Per-owner page lists, in insertion order (deterministic iteration).
+    tables: Vec<(u64, Vec<usize>)>,
+}
+
+impl KvPager {
+    /// A pager carving `capacity_tokens` into pages of `page_size` tokens.
+    ///
+    /// The page count is `capacity_tokens / page_size` rounded *down*: the
+    /// pager never provisions more tokens than the budget allows, so a
+    /// budget that is not page-aligned loses its remainder to
+    /// fragmentation. A zero `page_size` is clamped to 1.
+    #[must_use]
+    pub fn new(page_size: usize, capacity_tokens: usize) -> Self {
+        let page_size = page_size.max(1);
+        let total_pages = capacity_tokens / page_size;
+        Self {
+            page_size,
+            total_pages,
+            // Pages pop back-to-front, so page 0 is allocated first.
+            free: (0..total_pages).rev().collect(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Tokens per page.
+    #[must_use]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Total pages the budget was carved into.
+    #[must_use]
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Pages currently on the free list.
+    #[must_use]
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Pages currently allocated across all owners. Always satisfies
+    /// `allocated_pages() + free_pages() == total_pages()` — the leak-free
+    /// invariant the property tests pin down.
+    #[must_use]
+    pub fn allocated_pages(&self) -> usize {
+        self.tables.iter().map(|(_, pages)| pages.len()).sum()
+    }
+
+    /// Pages held by `owner` (0 if the owner holds none).
+    #[must_use]
+    pub fn pages_of(&self, owner: u64) -> usize {
+        self.table(owner).map_or(0, |i| self.tables[i].1.len())
+    }
+
+    /// Pages needed to cover `tokens` (rounded up — the tail page counts
+    /// even when partially filled).
+    #[must_use]
+    pub fn pages_needed(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.page_size)
+    }
+
+    /// Whether `owner` could grow its allocation to cover `tokens`. Pages
+    /// the owner already holds (e.g. retained across a preemption) count
+    /// toward the need.
+    #[must_use]
+    pub fn can_reserve(&self, owner: u64, tokens: usize) -> bool {
+        let need = self
+            .pages_needed(tokens)
+            .saturating_sub(self.pages_of(owner));
+        need <= self.free.len()
+    }
+
+    /// Grows `owner`'s allocation until it covers `tokens`, reusing any
+    /// pages it already holds. Returns the pages newly allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the free list cannot cover the growth — callers gate on
+    /// [`can_reserve`](Self::can_reserve) (the engine's admission check),
+    /// so running dry is an accounting bug, not a recoverable state.
+    pub fn reserve(&mut self, owner: u64, tokens: usize) -> usize {
+        let target = self.pages_needed(tokens);
+        let at = match self.table(owner) {
+            Some(i) => i,
+            None => {
+                self.tables.push((owner, Vec::new()));
+                self.tables.len() - 1
+            }
+        };
+        let pages = &mut self.tables[at].1;
+        let mut grown = 0;
+        while pages.len() < target {
+            let page = self
+                .free
+                .pop()
+                .expect("KV page reservation exceeds capacity; admission must gate on can_reserve");
+            pages.push(page);
+            grown += 1;
+        }
+        grown
+    }
+
+    /// Frees every page of `owner` beyond the first `keep_pages` (the
+    /// partial-retention half of a preemption: the retained prefix stays
+    /// allocated while the owner waits in the queue). Returns the pages
+    /// freed. Keeping zero pages removes the owner entirely.
+    pub fn truncate(&mut self, owner: u64, keep_pages: usize) -> usize {
+        let Some(at) = self.table(owner) else {
+            return 0;
+        };
+        let pages = &mut self.tables[at].1;
+        let freed: Vec<usize> = pages.drain(keep_pages.min(pages.len())..).collect();
+        let n = freed.len();
+        self.free.extend(freed);
+        if self.tables[at].1.is_empty() {
+            self.tables.remove(at);
+        }
+        n
+    }
+
+    /// Frees every page of `owner` (retirement, or reclaiming a queued
+    /// request's retained pages under admission pressure). Returns the
+    /// pages freed.
+    pub fn release(&mut self, owner: u64) -> usize {
+        self.truncate(owner, 0)
+    }
+
+    fn table(&self, owner: u64) -> Option<usize> {
+        self.tables.iter().position(|(o, _)| *o == owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carves_budget_into_pages_rounding_down() {
+        let pager = KvPager::new(16, 100);
+        assert_eq!(pager.total_pages(), 6); // 96 tokens; 4 lost to alignment
+        assert_eq!(pager.free_pages(), 6);
+        assert_eq!(pager.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn zero_page_size_is_clamped() {
+        let pager = KvPager::new(0, 10);
+        assert_eq!(pager.page_size(), 1);
+        assert_eq!(pager.total_pages(), 10);
+    }
+
+    #[test]
+    fn reserve_counts_fragmentation() {
+        let mut pager = KvPager::new(16, 160);
+        assert_eq!(pager.reserve(7, 17), 2); // 1 full + 1 tail page
+        assert_eq!(pager.pages_of(7), 2);
+        assert_eq!(pager.free_pages(), 8);
+        // Growing within already-held pages allocates nothing.
+        assert_eq!(pager.reserve(7, 30), 0);
+        assert_eq!(pager.reserve(7, 33), 1);
+        assert_eq!(pager.pages_of(7), 3);
+    }
+
+    #[test]
+    fn truncate_retains_a_prefix_and_release_empties() {
+        let mut pager = KvPager::new(8, 64);
+        pager.reserve(1, 40); // 5 pages
+        assert_eq!(pager.truncate(1, 2), 3);
+        assert_eq!(pager.pages_of(1), 2);
+        assert_eq!(pager.free_pages(), 6);
+        // Truncating to more pages than held frees nothing.
+        assert_eq!(pager.truncate(1, 9), 0);
+        assert_eq!(pager.release(1), 2);
+        assert_eq!(pager.pages_of(1), 0);
+        assert_eq!(pager.free_pages(), 8);
+        // Releasing an unknown owner is a no-op.
+        assert_eq!(pager.release(42), 0);
+    }
+
+    #[test]
+    fn accounting_is_leak_free_across_churn() {
+        let mut pager = KvPager::new(4, 64); // 16 pages
+        pager.reserve(1, 20);
+        pager.reserve(2, 9);
+        pager.truncate(1, 1);
+        pager.reserve(3, 16);
+        pager.release(2);
+        pager.reserve(1, 20);
+        assert_eq!(
+            pager.allocated_pages() + pager.free_pages(),
+            pager.total_pages()
+        );
+    }
+
+    #[test]
+    fn can_reserve_credits_held_pages() {
+        let mut pager = KvPager::new(8, 32); // 4 pages
+        pager.reserve(1, 24); // 3 pages
+        assert!(!pager.can_reserve(2, 16)); // needs 2, only 1 free
+        pager.truncate(1, 1);
+        // Owner 1 re-reserving its original need only asks for the delta.
+        assert!(pager.can_reserve(1, 24));
+        assert!(pager.can_reserve(2, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn reserve_past_capacity_panics() {
+        let mut pager = KvPager::new(8, 16);
+        pager.reserve(1, 100);
+    }
+}

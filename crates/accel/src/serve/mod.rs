@@ -8,15 +8,20 @@
 //!
 //! 1. **Admission**: a [`SchedulerPolicy`] picks queued requests to join
 //!    the batch; the engine enforces the invariants — a free slot *and*
-//!    the batch's total provisioned context within the token budget
-//!    ([`AdmissionConfig`]), the same guardrails a production scheduler
-//!    uses to bound KV-cache memory. Under pressure, and only when
-//!    [`PreemptionConfig`] allows it, the policy may evict a running
-//!    request back to the queue; its KV re-prefill is charged to the step
-//!    model on re-admission, so eviction is never free.
+//!    enough free KV pages for the request's final context. The KV token
+//!    budget ([`AdmissionConfig`]) is carved into fixed-size pages by a
+//!    [`KvPager`], the same paged-allocation guardrail a production
+//!    scheduler uses to bound KV-cache memory (fragmentation from
+//!    partially-filled tail pages included). Under pressure, and only
+//!    when [`PreemptionConfig`] allows it, the policy may evict a running
+//!    request back to the queue; a configurable [`RetentionPolicy`] keeps
+//!    a prefix of the victim's pages allocated, so re-admission only
+//!    re-prefills the dropped suffix — and the re-prefill charge to the
+//!    step model scales with what was actually dropped, so eviction is
+//!    never free but retention makes it cheaper.
 //! 2. **Weight streaming**: the FC/FFN weights stream from DRAM once and
 //!    are shared by every request in the batch
-//!    ([`weight_stream_cycles`](crate::batch::weight_stream_cycles)).
+//!    ([`weight_stream_cycles`]).
 //! 3. **Attention**: each request streams its own KV cache through the
 //!    cycle-level simulator at its own context length — heterogeneous
 //!    contexts batch together, exactly the regime where Token-Picker's
@@ -37,6 +42,7 @@
 pub mod batch_state;
 pub mod error;
 pub mod events;
+pub mod kv_pager;
 pub mod policy;
 pub mod queue;
 pub mod stats;
@@ -45,9 +51,10 @@ pub mod workloads;
 pub use batch_state::AdmissionConfig;
 pub use error::ServeError;
 pub use events::ServeEvent;
+pub use kv_pager::KvPager;
 pub use policy::{
-    FairRoundRobin, Fifo, PendingView, PolicyKind, PreemptionConfig, PriorityAging, RunningView,
-    SchedulerPolicy, ShortestJobFirst,
+    FairRoundRobin, Fifo, PendingView, PolicyKind, PreemptionConfig, PriorityAging,
+    RetentionPolicy, RunningView, SchedulerPolicy, ShortestJobFirst,
 };
 pub use queue::ServingRequest;
 pub use stats::{RequestStats, ServingReport, SessionStats, StepReport};
@@ -165,6 +172,15 @@ impl ServingEngineBuilder {
         self
     }
 
+    /// Sets the KV page size in tokens (the granularity the token budget
+    /// is carved into; admission rounds every request's footprint up to
+    /// whole pages).
+    #[must_use]
+    pub fn page_size(mut self, page_size: usize) -> Self {
+        self.cfg.admission.page_size = page_size;
+        self
+    }
+
     /// Sets the attention head count per request per step.
     #[must_use]
     pub fn heads(mut self, heads: usize) -> Self {
@@ -207,10 +223,20 @@ impl ServingEngineBuilder {
         self
     }
 
-    /// Enables preemption with default cost and thrash bounds.
+    /// Enables preemption, keeping whatever cost, thrash and retention
+    /// settings are already configured (so the call order relative to
+    /// [`retention`](Self::retention) does not matter).
     #[must_use]
     pub fn enable_preemption(mut self) -> Self {
-        self.cfg.preemption = PreemptionConfig::enabled();
+        self.cfg.preemption.enabled = true;
+        self
+    }
+
+    /// Sets how much of a preemption victim's paged KV cache survives the
+    /// eviction (does not by itself enable preemption).
+    #[must_use]
+    pub fn retention(mut self, retention: RetentionPolicy) -> Self {
+        self.cfg.preemption.retention = retention;
         self
     }
 
@@ -339,6 +365,14 @@ impl ServingEngine {
         self.pending.is_empty() && self.batch.is_empty()
     }
 
+    /// The KV page allocator: page-granular accounting of the batch's KV
+    /// budget, including pages retained by preempted requests waiting in
+    /// the queue.
+    #[must_use]
+    pub fn kv_pager(&self) -> &KvPager {
+        self.batch.pager()
+    }
+
     /// Events recorded so far, in order.
     #[must_use]
     pub fn events(&self) -> &[ServeEvent] {
@@ -384,6 +418,7 @@ impl ServingEngine {
             last_admitted_at: None,
             last_evicted_at: None,
             needs_reprefill: false,
+            dropped_tokens: 0,
             stats: RequestStats {
                 id: req.id,
                 prompt_len: req.prompt_len,
@@ -397,11 +432,14 @@ impl ServingEngine {
                 preemptions: 0,
                 attention_cycles: 0,
                 reprefill_cycles: 0,
+                retained_tokens: 0,
+                reprefilled_tokens: 0,
             },
         };
-        if active.final_context() > self.cfg.admission.max_batch_tokens {
+        let pager = self.batch.pager();
+        if pager.pages_needed(active.final_context()) > pager.total_pages() {
             return Err(ServeError::InvalidRequest(
-                "request exceeds the batch token budget even alone",
+                "request exceeds the batch KV page budget even alone",
             ));
         }
         self.arrival_seq += 1;
@@ -438,44 +476,66 @@ impl ServingEngine {
             let Some(cand) = pending_views.get(pi).copied() else {
                 break; // out-of-range pick: treat as "stop admitting"
             };
-            if !self.batch.fits(cand.final_context) {
-                // Preemption rescue, planned transactionally: victims are
-                // chosen against a scratch view and committed only if the
-                // candidate then fits, so a failed admission never charges
-                // anyone re-prefill for nothing.
-                let limits = self.cfg.admission;
-                let mut sim = self.batch.views();
-                let mut provisioned = self.batch.provisioned_tokens();
-                let fits_sim = |sim: &[policy::RunningView], provisioned: usize| {
-                    sim.len() < limits.max_batch
-                        && provisioned + cand.final_context <= limits.max_batch_tokens
-                };
-                let mut victims: Vec<u64> = Vec::new();
-                while victims.len() < evictions_left
-                    && !sim.is_empty()
-                    && !fits_sim(&sim, provisioned)
-                {
-                    let Some(vi) = self.policy.pick_victim(&cand, &sim, step as u64) else {
-                        break;
+            if !self.batch.fits(cand.arrival_seq, cand.final_context) {
+                // Cheapest rescue first: when the candidate has a slot
+                // and only lacks pages, reclaim queued requests' retained
+                // pages — that costs no new preemption, so it must be
+                // tried before evicting anyone who is actually running.
+                self.reclaim_for(&cand);
+                // Preemption rescue, planned transactionally in page
+                // space: victims are chosen against a scratch view and
+                // committed (pages freed/retained) only if the candidate
+                // then fits, so a failed admission never charges anyone
+                // re-prefill for nothing.
+                if !self.batch.fits(cand.arrival_seq, cand.final_context) && evictions_left > 0 {
+                    let limits = self.cfg.admission;
+                    let retention = self.cfg.preemption.retention;
+                    let pager = self.batch.pager();
+                    // Pages the candidate still needs, crediting any it
+                    // retained across an earlier preemption.
+                    let cand_need = pager
+                        .pages_needed(cand.final_context)
+                        .saturating_sub(pager.pages_of(cand.arrival_seq));
+                    let mut sim = self.batch.views();
+                    let mut free = pager.free_pages();
+                    let fits_sim = |sim: &[policy::RunningView], free: usize| {
+                        sim.len() < limits.max_batch && cand_need <= free
                     };
-                    if vi >= sim.len() {
-                        break; // out-of-range victim: decline
+                    let mut victims: Vec<u64> = Vec::new();
+                    while victims.len() < evictions_left && !sim.is_empty() && !fits_sim(&sim, free)
+                    {
+                        let Some(vi) = self.policy.pick_victim(&cand, &sim, step as u64) else {
+                            break;
+                        };
+                        if vi >= sim.len() {
+                            break; // out-of-range victim: decline
+                        }
+                        let victim = sim.remove(vi);
+                        // Evicting frees the victim's pages minus what
+                        // retention would keep allocated for it.
+                        let occupied = pager.pages_needed(victim.context);
+                        let kept = retention.retained_pages(occupied);
+                        free += pager.pages_of(victim.arrival_seq).saturating_sub(kept);
+                        victims.push(victim.arrival_seq);
                     }
-                    let victim = sim.remove(vi);
-                    provisioned -= victim.final_context;
-                    victims.push(victim.id);
-                }
-                if fits_sim(&sim, provisioned) {
-                    evictions_left -= victims.len();
-                    for id in victims {
-                        let slot = self
-                            .batch
-                            .position_of(id)
-                            .expect("planned victim is running");
-                        self.evict(slot);
+                    if fits_sim(&sim, free) {
+                        evictions_left -= victims.len();
+                        for seq in victims {
+                            let slot = self
+                                .batch
+                                .position_of_seq(seq)
+                                .expect("planned victim is running");
+                            self.evict(slot);
+                        }
                     }
                 }
-                if !self.batch.fits(cand.final_context) {
+                // Combined pressure: a rescue eviction may have freed the
+                // slot while pages are still short (retention keeps most
+                // of the victims' pages allocated) — one more reclaim
+                // pass covers that before declaring head-of-line
+                // blocking.
+                self.reclaim_for(&cand);
+                if !self.batch.fits(cand.arrival_seq, cand.final_context) {
                     // Head-of-line blocking: the policy's chosen candidate
                     // cannot run, so admission ends for this step.
                     break;
@@ -492,15 +552,30 @@ impl ServingEngine {
         }
     }
 
-    /// Evicts the running request at `slot` back to the queue.
+    /// Evicts the running request at `slot` back to the queue, retaining
+    /// a prefix of its KV pages per the configured [`RetentionPolicy`].
     fn evict(&mut self, slot: usize) {
         let mut victim = self.batch.evict(slot);
+        let ctx = victim.context;
+        let page_size = self.batch.pager().page_size();
+        let occupied = self.batch.pager().pages_needed(ctx);
+        let kept_pages = self.cfg.preemption.retention.retained_pages(occupied);
+        // Free the dropped suffix and the unused reservation beyond the
+        // current context; the retained prefix stays allocated while the
+        // victim queues.
+        self.batch
+            .pager_mut()
+            .truncate(victim.arrival_seq, kept_pages);
+        let retained_tokens = ctx.min(kept_pages * page_size);
+        let dropped_tokens = ctx - retained_tokens;
         victim.stats.preemptions += 1;
+        victim.stats.retained_tokens += retained_tokens;
         victim.last_evicted_at = Some(self.step_index);
         // Waiting restarts now: time spent running must not count as
         // queue age when policies apply starvation aging.
         victim.wait_since = self.step_index;
         victim.needs_reprefill = true;
+        victim.dropped_tokens = dropped_tokens;
         self.preemptions += 1;
         let (id, generated) = (victim.req.id, victim.stats.generated);
         self.pending.push(victim);
@@ -508,7 +583,62 @@ impl ServingEngine {
             id,
             step: self.step_index,
             generated,
+            retained_tokens,
+            dropped_tokens,
         });
+    }
+
+    /// Pressure release for an admission candidate: retained pages are a
+    /// cache, not a reservation, so while `cand` has a batch slot but not
+    /// the pages, reclaim other queued requests' retained pages. A slot
+    /// shortage is never a reason to reclaim — freeing pages cannot
+    /// conjure a slot.
+    fn reclaim_for(&mut self, cand: &PendingView) {
+        while self.batch.len() < self.cfg.admission.max_batch
+            && !self
+                .batch
+                .pager()
+                .can_reserve(cand.arrival_seq, cand.final_context)
+            && self.reclaim_retained(cand.arrival_seq)
+        {}
+    }
+
+    /// Reclaims one retained KV page from a queued request other than
+    /// `exclude_seq` — a tail page of the holder with the deepest retained
+    /// prefix (oldest first among equals), so retention degrades evenly
+    /// and page-by-page instead of wiping whole victims. The holder's
+    /// re-prefill debt grows by the tokens the lost page covered.
+    /// Returns whether a page was reclaimed.
+    fn reclaim_retained(&mut self, exclude_seq: u64) -> bool {
+        let holder = {
+            let pager = self.batch.pager();
+            self.pending
+                .entries()
+                .iter()
+                .filter(|e| e.arrival_seq != exclude_seq)
+                .map(|e| (pager.pages_of(e.arrival_seq), e.arrival_seq))
+                .filter(|&(pages, _)| pages > 0)
+                .max_by_key(|&(pages, seq)| (pages, std::cmp::Reverse(seq)))
+                .map(|(_, seq)| seq)
+        };
+        let Some(seq) = holder else {
+            return false;
+        };
+        let pager = self.batch.pager_mut();
+        let kept_pages = pager.pages_of(seq) - 1;
+        pager.truncate(seq, kept_pages);
+        let page_size = pager.page_size();
+        let e = self
+            .pending
+            .get_mut_by_seq(seq)
+            .expect("retained-page holder is queued");
+        // A shorter prefix is still a valid prefix: only the tokens the
+        // reclaimed tail page covered move back into the re-prefill debt.
+        let old_retained = e.context - e.dropped_tokens;
+        let new_retained = e.context.min(kept_pages * page_size);
+        e.stats.retained_tokens -= old_retained - new_retained;
+        e.dropped_tokens = e.context - new_retained;
+        true
     }
 
     /// Runs one batched decode step.
@@ -569,10 +699,23 @@ impl ServingEngine {
                 let r = &mut self.batch.slots_mut()[slot];
                 let rebuild = if r.needs_reprefill {
                     // KV rebuild priced off the measured attention cost at
-                    // the request's current context; never free.
+                    // the request's current context, scaled by the share
+                    // of that context the eviction actually dropped (all
+                    // of it under full re-prefill; only the suffix beyond
+                    // the retained pages under paged retention). Floored
+                    // at one cycle: eviction is never free.
                     r.needs_reprefill = false;
-                    ((request_cycles as f64 * self.cfg.preemption.reprefill_factor.max(0.0)).ceil()
-                        as u64)
+                    let dropped_frac = if r.context == 0 {
+                        1.0
+                    } else {
+                        r.dropped_tokens as f64 / r.context as f64
+                    };
+                    r.stats.reprefilled_tokens += r.dropped_tokens;
+                    r.dropped_tokens = 0;
+                    ((request_cycles as f64
+                        * self.cfg.preemption.reprefill_factor.max(0.0)
+                        * dropped_frac)
+                        .ceil() as u64)
                         .max(1)
                 } else {
                     0
@@ -713,6 +856,7 @@ mod tests {
         cfg.admission = AdmissionConfig {
             max_batch: 2,
             max_batch_tokens: 100_000,
+            page_size: 16,
         };
         let mut engine = ServingEngine::new(cfg);
         for r in mixed_requests(5) {
@@ -729,6 +873,7 @@ mod tests {
         cfg.admission = AdmissionConfig {
             max_batch: 16,
             max_batch_tokens: 100, // fits ~2 small requests' final contexts
+            page_size: 16,
         };
         let mut engine = ServingEngine::new(cfg);
         for id in 0..4 {
@@ -761,6 +906,7 @@ mod tests {
         cfg.admission = AdmissionConfig {
             max_batch: 2,
             max_batch_tokens: 100_000,
+            page_size: 16,
         };
         let mut engine = ServingEngine::new(cfg);
         // Two short requests and one queued behind them.
@@ -880,6 +1026,7 @@ mod tests {
         cfg.admission = AdmissionConfig {
             max_batch: 1,
             max_batch_tokens: 100_000,
+            page_size: 16,
         };
         let mut engine = ServingEngine::builder(cfg.accel.clone())
             .config(cfg)
@@ -917,6 +1064,7 @@ mod tests {
         cfg.admission = AdmissionConfig {
             max_batch: 2,
             max_batch_tokens: 100_000,
+            page_size: 16,
         };
         let mut engine = ServingEngine::builder(cfg.accel.clone())
             .config(cfg)
@@ -950,6 +1098,7 @@ mod tests {
         cfg.admission = AdmissionConfig {
             max_batch: 1,
             max_batch_tokens: 100_000,
+            page_size: 16,
         };
         let mut engine = ServingEngine::builder(cfg.accel.clone())
             .config(cfg)

@@ -51,9 +51,57 @@ pub struct RunningView {
 /// ([`pick_next`](Self::pick_next)) and, when that candidate does not fit
 /// and preemption is enabled, *which* running request to evict for it
 /// ([`pick_victim`](Self::pick_victim)). The engine itself enforces the
-/// invariants — the batch never exceeds its slot or token limits, and a
-/// candidate that still does not fit ends admission for the step — so a
-/// policy cannot corrupt the batch, only order it badly.
+/// invariants — the batch never exceeds its slot limit or its KV page
+/// budget, and a candidate that still does not fit ends admission for the
+/// step — so a policy cannot corrupt the batch, only order it badly.
+///
+/// # Example
+///
+/// A custom policy is any `Debug` type implementing this trait; install it
+/// with [`ServingEngineBuilder::policy_boxed`](super::ServingEngineBuilder::policy_boxed).
+/// Longest-job-first, in full:
+///
+/// ```
+/// use topick_accel::{
+///     AccelConfig, AccelMode, PendingView, RunningView, SchedulerPolicy, ServingEngine,
+///     ServingRequest,
+/// };
+///
+/// #[derive(Debug)]
+/// struct LongestJobFirst;
+///
+/// impl SchedulerPolicy for LongestJobFirst {
+///     fn name(&self) -> &'static str {
+///         "longest-job-first"
+///     }
+///
+///     fn pick_next(
+///         &mut self,
+///         pending: &[PendingView],
+///         _running: &[RunningView],
+///         _step: u64,
+///     ) -> Option<usize> {
+///         pending
+///             .iter()
+///             .enumerate()
+///             .max_by_key(|(_, p)| (p.remaining_tokens, std::cmp::Reverse(p.arrival_seq)))
+///             .map(|(i, _)| i)
+///     }
+/// }
+///
+/// let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3)?;
+/// let mut engine = ServingEngine::builder(accel)
+///     .heads(2)
+///     .max_batch(1)
+///     .policy_boxed(Box::new(LongestJobFirst))
+///     .build();
+/// engine.enqueue(ServingRequest::new(0, 16, 1))?;
+/// engine.enqueue(ServingRequest::new(1, 16, 4))?;
+/// let report = engine.run_to_completion(16)?;
+/// // The longer request 1 ran (and finished) first.
+/// assert_eq!(report.requests[0].id, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub trait SchedulerPolicy: fmt::Debug {
     /// Stable, human-readable policy name (used in reports and benches).
     fn name(&self) -> &'static str;
@@ -332,6 +380,77 @@ impl FromStr for PolicyKind {
     }
 }
 
+/// How much of a preemption victim's KV cache survives the eviction.
+///
+/// Retention operates on the victim's *occupied* pages (the pages its
+/// current context actually fills) and always keeps a **prefix**: KV
+/// entries are position-dependent, so a retained suffix would be useless
+/// without everything before it. Retained pages stay allocated in the
+/// [`KvPager`](super::kv_pager::KvPager) while the victim waits in the
+/// queue, and re-admission only re-prefills the dropped suffix.
+///
+/// Retained pages are a *cache*, not a reservation: if an admission
+/// candidate has a batch slot but not the pages, the engine reclaims
+/// queued requests' retained pages one tail page at a time (growing
+/// their re-prefill debt by the reclaimed tokens) rather than stalling.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RetentionPolicy {
+    /// Drop everything; re-admission pays a full re-prefill (the PR 2
+    /// behavior, and the default).
+    #[default]
+    None,
+    /// Retain up to this many pages of the victim's KV prefix.
+    Pages(usize),
+    /// Retain this fraction of the victim's occupied pages, rounded down
+    /// (clamped to `[0, 1]`).
+    Fraction(f64),
+}
+
+impl RetentionPolicy {
+    /// Pages to retain from a victim currently occupying `occupied` pages.
+    #[must_use]
+    pub fn retained_pages(&self, occupied: usize) -> usize {
+        match *self {
+            Self::None => 0,
+            Self::Pages(n) => n.min(occupied),
+            Self::Fraction(f) => ((occupied as f64) * f.clamp(0.0, 1.0)).floor() as usize,
+        }
+    }
+}
+
+impl fmt::Display for RetentionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::None => f.write_str("none"),
+            Self::Pages(n) => write!(f, "{n}"),
+            Self::Fraction(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl FromStr for RetentionPolicy {
+    type Err = String;
+
+    /// Parses `none` (full re-prefill), an integer page count, or a
+    /// fraction in `(0, 1)` — the grammar of the `--retention` CLI flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" | "off" | "full" => Ok(Self::None),
+            other => {
+                if let Ok(pages) = other.parse::<usize>() {
+                    return Ok(Self::Pages(pages));
+                }
+                match other.parse::<f64>() {
+                    Ok(f) if f > 0.0 && f < 1.0 => Ok(Self::Fraction(f)),
+                    _ => Err(format!(
+                        "unknown retention '{other}' (expected none | <pages> | <fraction in (0,1)>)"
+                    )),
+                }
+            }
+        }
+    }
+}
+
 /// Preemption behavior of the engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PreemptionConfig {
@@ -342,11 +461,15 @@ pub struct PreemptionConfig {
     /// Extra attention passes charged on a re-admitted request's first
     /// decode step, modeling the KV-cache rebuild (re-prefill). The charge
     /// is proportional to the request's measured attention cost at its
-    /// current context, and is floored at one cycle — eviction is never
-    /// free.
+    /// current context, scaled by the *dropped* fraction of that context
+    /// under [`retention`](Self::retention), and floored at one cycle —
+    /// eviction is never free.
     pub reprefill_factor: f64,
     /// Evictions allowed per engine step (bounds scheduling thrash).
     pub max_evictions_per_step: usize,
+    /// How much of a victim's paged KV cache survives the eviction
+    /// ([`RetentionPolicy::None`], i.e. full re-prefill, by default).
+    pub retention: RetentionPolicy,
 }
 
 impl Default for PreemptionConfig {
@@ -355,17 +478,57 @@ impl Default for PreemptionConfig {
             enabled: false,
             reprefill_factor: 1.0,
             max_evictions_per_step: 2,
+            retention: RetentionPolicy::None,
         }
     }
 }
 
 impl PreemptionConfig {
-    /// Preemption on, with default cost and thrash bounds.
+    /// Preemption on, with default cost and thrash bounds and full
+    /// re-prefill (no retention).
     #[must_use]
     pub fn enabled() -> Self {
         Self {
             enabled: true,
             ..Self::default()
         }
+    }
+
+    /// Replaces the retention policy.
+    #[must_use]
+    pub fn with_retention(mut self, retention: RetentionPolicy) -> Self {
+        self.retention = retention;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_policy_counts_pages() {
+        assert_eq!(RetentionPolicy::None.retained_pages(10), 0);
+        assert_eq!(RetentionPolicy::Pages(4).retained_pages(10), 4);
+        assert_eq!(RetentionPolicy::Pages(4).retained_pages(2), 2);
+        assert_eq!(RetentionPolicy::Fraction(0.5).retained_pages(5), 2);
+        assert_eq!(RetentionPolicy::Fraction(2.0).retained_pages(5), 5);
+        assert_eq!(RetentionPolicy::Fraction(-1.0).retained_pages(5), 0);
+    }
+
+    #[test]
+    fn retention_policy_parses_the_cli_grammar() {
+        assert_eq!("none".parse::<RetentionPolicy>(), Ok(RetentionPolicy::None));
+        assert_eq!("full".parse::<RetentionPolicy>(), Ok(RetentionPolicy::None));
+        assert_eq!(
+            "8".parse::<RetentionPolicy>(),
+            Ok(RetentionPolicy::Pages(8))
+        );
+        assert_eq!(
+            "0.5".parse::<RetentionPolicy>(),
+            Ok(RetentionPolicy::Fraction(0.5))
+        );
+        assert!("1.5".parse::<RetentionPolicy>().is_err());
+        assert!("cows".parse::<RetentionPolicy>().is_err());
     }
 }

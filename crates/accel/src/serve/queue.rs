@@ -117,6 +117,19 @@ impl PendingQueue {
             .collect()
     }
 
+    /// The queued entries, in arrival order (including not-yet-visible
+    /// future arrivals).
+    pub(crate) fn entries(&self) -> &[ActiveRequest] {
+        &self.entries
+    }
+
+    /// Mutable access to the entry with arrival sequence `seq`, if queued
+    /// (used to restate a request's re-prefill debt when its retained KV
+    /// pages are reclaimed under admission pressure).
+    pub(crate) fn get_mut_by_seq(&mut self, seq: u64) -> Option<&mut ActiveRequest> {
+        self.entries.iter_mut().find(|e| e.arrival_seq == seq)
+    }
+
     /// Removes and returns the entry with arrival sequence `seq`.
     ///
     /// # Panics

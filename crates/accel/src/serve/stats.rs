@@ -30,6 +30,14 @@ pub struct RequestStats {
     pub attention_cycles: u64,
     /// KV re-prefill cycles charged to this request across re-admissions.
     pub reprefill_cycles: u64,
+    /// KV tokens whose pages survived this request's preemptions and were
+    /// carried into re-admission (0 without paged retention, or if the
+    /// retained pages were reclaimed under admission pressure).
+    pub retained_tokens: usize,
+    /// KV tokens actually re-prefilled after preemptions (equals the full
+    /// evicted contexts under full re-prefill; only the dropped suffixes
+    /// under paged retention).
+    pub reprefilled_tokens: usize,
 }
 
 impl RequestStats {
@@ -44,6 +52,8 @@ impl RequestStats {
             time_to_first_token_steps: first - self.enqueued_at + 1,
             decode_steps: self.generated,
             preemptions: self.preemptions,
+            retained_tokens: self.retained_tokens,
+            reprefilled_tokens: self.reprefilled_tokens,
         })
     }
 }
@@ -62,6 +72,10 @@ pub struct SessionStats {
     pub decode_steps: usize,
     /// Times the request was preempted back to the queue.
     pub preemptions: u32,
+    /// KV tokens whose pages survived its preemptions (paged retention).
+    pub retained_tokens: usize,
+    /// KV tokens re-prefilled across its re-admissions.
+    pub reprefilled_tokens: usize,
 }
 
 /// What one engine step did.
@@ -80,7 +94,9 @@ pub struct StepReport {
     /// Cycles of batched attention (requests share the lanes serially).
     pub attention_cycles: u64,
     /// Cycles rebuilding KV caches of re-admitted (preempted) requests —
-    /// the step-model charge that makes eviction never free.
+    /// the step-model charge that makes eviction never free. Scales with
+    /// the *dropped* share of each victim's context, so paged retention
+    /// shrinks it while full re-prefill pays for the whole context.
     pub reprefill_cycles: u64,
 }
 
@@ -134,6 +150,25 @@ impl ServingReport {
     #[must_use]
     pub fn mean_queue_wait_steps(&self) -> f64 {
         self.mean_session(|s| s.queue_wait_steps as f64)
+    }
+
+    /// Total KV re-prefill cycles charged across all steps — the price of
+    /// every eviction, which paged retention exists to shrink.
+    #[must_use]
+    pub fn total_reprefill_cycles(&self) -> u64 {
+        self.steps.iter().map(|s| s.reprefill_cycles).sum()
+    }
+
+    /// Total KV tokens that survived preemptions across all requests.
+    #[must_use]
+    pub fn total_retained_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.retained_tokens).sum()
+    }
+
+    /// Total KV tokens re-prefilled after preemptions across all requests.
+    #[must_use]
+    pub fn total_reprefilled_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.reprefilled_tokens).sum()
     }
 
     /// Mean time-to-first-token of finished requests, in steps.

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use topick_accel::{
-    AccelConfig, AccelMode, PolicyKind, ServeEvent, ServingEngine, ServingRequest,
+    AccelConfig, AccelMode, PolicyKind, RetentionPolicy, ServeEvent, ServingEngine, ServingRequest,
     ToPickAccelerator,
 };
 use topick_core::{exact_probabilities, PrecisionConfig, QMatrix, QVector, Rows};
@@ -193,6 +193,85 @@ proptest! {
             prop_assert!(r.generated >= 1);
             prop_assert!(r.finished_at.is_some());
         }
+    }
+
+    /// KV page accounting never leaks: at every point of any interleaving
+    /// of enqueue/step — any policy, preemption and retention included —
+    /// the pages allocated to requests (running, or retained by queued
+    /// preemption victims) plus the free list exactly cover the pager's
+    /// capacity, and a drained engine returns every page.
+    #[test]
+    fn kv_page_accounting_never_leaks(
+        seed in any::<u64>(),
+        max_batch in 1usize..5,
+        budget in 400usize..1200,
+        page_size in 1usize..48,
+        policy_idx in 0usize..4,
+        retention_idx in 0usize..4,
+        ops in prop::collection::vec(0u8..4, 4..32),
+    ) {
+        let policy = PolicyKind::all()[policy_idx];
+        let retention = [
+            RetentionPolicy::None,
+            RetentionPolicy::Pages(1),
+            RetentionPolicy::Pages(3),
+            RetentionPolicy::Fraction(0.5),
+        ][retention_idx];
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr");
+        let mut engine = ServingEngine::builder(accel)
+            .heads(2)
+            .weight_bytes(1_000_000)
+            .max_batch(max_batch)
+            .max_batch_tokens(budget)
+            .page_size(page_size)
+            .seed(seed)
+            .policy(policy)
+            .enable_preemption()
+            .retention(retention)
+            .build();
+
+        let check_pager = |engine: &ServingEngine| {
+            let pager = engine.kv_pager();
+            assert_eq!(
+                pager.allocated_pages() + pager.free_pages(),
+                pager.total_pages(),
+                "page leak under {policy} / {retention:?}"
+            );
+        };
+        let mut next_id = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            if *op == 0 {
+                let mix = seed.wrapping_mul(31).wrapping_add(i as u64);
+                let req = ServingRequest::new(
+                    next_id,
+                    4 + (mix % 48) as usize,
+                    1 + (mix % 5) as usize,
+                )
+                .with_priority((mix % 7) as u8)
+                .with_client(mix % 3)
+                .arriving_at(mix % 6);
+                if engine.enqueue(req).is_ok() {
+                    next_id += 1;
+                }
+            } else {
+                engine.step().expect("step succeeds");
+            }
+            check_pager(&engine);
+        }
+        let mut guard = 0;
+        while !engine.is_idle() {
+            engine.step().expect("step succeeds");
+            check_pager(&engine);
+            guard += 1;
+            prop_assert!(guard < 4096, "engine failed to drain");
+        }
+        // Idle engine: every page is back on the free list.
+        prop_assert_eq!(engine.kv_pager().allocated_pages(), 0);
+        prop_assert_eq!(
+            engine.kv_pager().free_pages(),
+            engine.kv_pager().total_pages()
+        );
+        prop_assert_eq!(engine.report().requests.len(), next_id as usize);
     }
 
     /// Baseline output equals exact attention for any workload.

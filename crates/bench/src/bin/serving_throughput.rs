@@ -17,7 +17,8 @@ use std::collections::HashMap;
 
 use topick_accel::serve::workloads::skewed_elephant_mice;
 use topick_accel::{
-    AccelConfig, AccelMode, PolicyKind, ServingEngine, ServingReport, ServingRequest,
+    AccelConfig, AccelMode, PolicyKind, RetentionPolicy, ServingEngine, ServingReport,
+    ServingRequest,
 };
 use topick_bench::json::{JsonObject, JsonValue};
 
@@ -68,9 +69,14 @@ fn run_point(
 
 /// Skewed workload: a few long low-priority "elephants" from one client
 /// fill the batch, then short high-priority "mice" from other clients
-/// arrive behind them — the regime where scheduling policy and preemption
-/// visibly bend the TTFT profile.
-fn run_policy(policy: PolicyKind, preemption: bool, mice: u64) -> (ServingReport, f64) {
+/// arrive behind them — the regime where scheduling policy, preemption
+/// and paged KV retention visibly bend the TTFT/re-prefill profile.
+fn run_policy(
+    policy: PolicyKind,
+    preemption: bool,
+    retention: RetentionPolicy,
+    mice: u64,
+) -> (ServingReport, f64) {
     let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
     let mut builder = ServingEngine::builder(accel)
         .heads(4)
@@ -81,7 +87,7 @@ fn run_policy(policy: PolicyKind, preemption: bool, mice: u64) -> (ServingReport
         .record_events(false)
         .policy(policy);
     if preemption {
-        builder = builder.enable_preemption();
+        builder = builder.enable_preemption().retention(retention);
     }
     let mut engine = builder.build();
     let clock_hz = engine.config().clock_hz;
@@ -94,11 +100,22 @@ fn run_policy(policy: PolicyKind, preemption: bool, mice: u64) -> (ServingReport
     )
 }
 
-fn policy_record(policy: PolicyKind, preemption: bool, mice: u64) -> JsonValue {
-    let (report, clock_hz) = run_policy(policy, preemption, mice);
+fn policy_record(
+    policy: PolicyKind,
+    preemption: bool,
+    retention: RetentionPolicy,
+    mice: u64,
+) -> JsonValue {
+    let (report, clock_hz) = run_policy(policy, preemption, retention, mice);
+    let retention_label = match (preemption, retention) {
+        (false, _) => "off",
+        (true, RetentionPolicy::None) => "full-reprefill",
+        (true, _) => "paged",
+    };
     JsonObject::new()
         .field("policy", report.policy.as_str())
         .field("preemption", preemption)
+        .field("retention", retention_label)
         .field("tokens", report.tokens_generated)
         .field("steps", report.steps.len())
         .field("total_cycles", report.total_cycles)
@@ -115,6 +132,9 @@ fn policy_record(policy: PolicyKind, preemption: bool, mice: u64) -> JsonValue {
             JsonValue::Prec(report.mean_queue_wait_steps(), 2),
         )
         .field("preemptions", report.preemptions)
+        .field("reprefill_cycles", report.total_reprefill_cycles())
+        .field("reprefilled_tokens", report.total_reprefilled_tokens())
+        .field("retained_tokens", report.total_retained_tokens())
         .into()
 }
 
@@ -165,19 +185,26 @@ fn main() {
         }
     }
 
-    // One record per policy without preemption, plus one per preempting
-    // policy (FIFO never preempts, so its preemption run would be
-    // identical).
+    // One record per policy without preemption, plus — for each policy
+    // that actually preempts (FIFO never does) — a full-re-prefill run
+    // and a paged-retention run, so the bench pins the re-prefill saving
+    // retention buys per policy.
     let mut policies = Vec::new();
     for kind in PolicyKind::all() {
-        policies.push(policy_record(kind, false, mice));
+        policies.push(policy_record(kind, false, RetentionPolicy::None, mice));
     }
     for kind in [
         PolicyKind::PriorityAging,
         PolicyKind::ShortestJobFirst,
         PolicyKind::FairRoundRobin,
     ] {
-        policies.push(policy_record(kind, true, mice));
+        policies.push(policy_record(kind, true, RetentionPolicy::None, mice));
+        policies.push(policy_record(
+            kind,
+            true,
+            RetentionPolicy::Fraction(0.75),
+            mice,
+        ));
     }
 
     let doc = JsonObject::new()

@@ -24,7 +24,7 @@
 //!    maintaining a running softmax denominator ([`LogDenominator`]) and
 //!    pruning with [`should_prune`] ([`ProgressivePruner`]).
 //! 4. Softmax over survivors and weighted-sum their values
-//!    ([`softmax`], [`weighted_value_sum`]).
+//!    ([`softmax()`], [`weighted_value_sum`]).
 //!
 //! ## Example
 //!

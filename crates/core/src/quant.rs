@@ -4,7 +4,7 @@
 //! integers with a shared per-tensor scale, matching the 12-bit operand
 //! format of the ToPick hardware (§4). Keys are later streamed chunk-wise;
 //! the chunk arithmetic itself lives in
-//! [`PrecisionConfig`](crate::PrecisionConfig) and
+//! [`PrecisionConfig`] and
 //! [`MarginTable`](crate::MarginTable).
 
 use crate::config::PrecisionConfig;

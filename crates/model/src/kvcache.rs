@@ -67,7 +67,9 @@ impl<'a> KvView<'a> {
 }
 
 /// The KV cache of one attention head: `len` rows of dimension `dim`,
-/// stored row-major and append-only.
+/// stored row-major. Rows append one per generated token;
+/// [`truncate`](Self::truncate) drops a suffix, the storage-level half of
+/// paged KV retention across preemptions.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct HeadCache {
     keys: Vec<f32>,
@@ -99,6 +101,23 @@ impl HeadCache {
         self.keys.extend_from_slice(key);
         self.values.extend_from_slice(value);
         self.len += 1;
+    }
+
+    /// Drops every cached token beyond the first `len`, keeping the
+    /// prefix — the storage operation behind partial KV retention across
+    /// preemptions: the serving layer's pager decides *how many* tokens
+    /// of a victim's prefix survive, and this makes the retained prefix
+    /// real by discarding the dropped rows. A `len` at or beyond the
+    /// current length is a no-op. Re-pushing the dropped tokens
+    /// reconstructs the original cache exactly (appends are
+    /// deterministic), which is what re-prefill models.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        self.keys.truncate(len * self.dim);
+        self.values.truncate(len * self.dim);
+        self.len = len;
     }
 
     /// Number of cached tokens.
@@ -201,6 +220,18 @@ impl KvCache {
         &self.layers[layer][head]
     }
 
+    /// Truncates every head of every layer to at most `len` tokens —
+    /// the model-wide form of [`HeadCache::truncate`], used when a
+    /// preempted request's retained KV prefix is shorter than its
+    /// context.
+    pub fn truncate(&mut self, len: usize) {
+        for layer in &mut self.layers {
+            for head in layer {
+                head.truncate(len);
+            }
+        }
+    }
+
     /// Number of layers.
     #[must_use]
     pub fn num_layers(&self) -> usize {
@@ -242,6 +273,47 @@ mod tests {
     fn push_rejects_wrong_dim() {
         let mut c = HeadCache::new(2);
         c.push(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn truncate_keeps_the_prefix_and_repush_restores() {
+        let rows: Vec<([f32; 2], [f32; 2])> = (0..4)
+            .map(|i| ([i as f32, i as f32 + 0.5], [-(i as f32), i as f32 * 2.0]))
+            .collect();
+        let mut full = HeadCache::new(2);
+        for (k, v) in &rows {
+            full.push(k, v);
+        }
+        let mut truncated = full.clone();
+        truncated.truncate(2);
+        assert_eq!(truncated.len(), 2);
+        assert_eq!(truncated.key_row(1), full.key_row(1));
+        assert_eq!(truncated.keys().data().len(), 4);
+        // Re-prefilling the dropped suffix reconstructs the cache exactly.
+        for (k, v) in &rows[2..] {
+            truncated.push(k, v);
+        }
+        assert_eq!(truncated, full);
+        // At-or-beyond lengths are no-ops.
+        truncated.truncate(4);
+        truncated.truncate(100);
+        assert_eq!(truncated, full);
+    }
+
+    #[test]
+    fn full_cache_truncate_applies_to_every_head() {
+        let mut c = KvCache::new(2, 2, 3);
+        for _ in 0..3 {
+            for layer in 0..2 {
+                for head in 0..2 {
+                    c.head_mut(layer, head).push(&[1.0; 3], &[2.0; 3]);
+                }
+            }
+        }
+        assert_eq!(c.context_len(), 3);
+        c.truncate(1);
+        assert_eq!(c.context_len(), 1);
+        assert_eq!(c.head(1, 1).len(), 1);
     }
 
     #[test]

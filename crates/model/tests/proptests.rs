@@ -142,3 +142,37 @@ fn different_seeds_give_different_models() {
     let l2 = m2.forward(7, 0, &mut c2, &mut k);
     assert_ne!(l1, l2);
 }
+
+#[test]
+fn truncate_then_reprefill_resumes_the_model_exactly() {
+    // Preemption with partial KV retention, at the storage level: drop a
+    // suffix of a request's cache (`KvCache::truncate`), replay only the
+    // dropped tokens, and the model must continue exactly as if it had
+    // never been interrupted — same cache contents, same logits. This is
+    // the contract the serving layer's re-prefill charge prices.
+    let spec = ModelSpec::toy();
+    let model = TransformerModel::new_random(spec.clone(), 11);
+    let tokens = [3usize, 14, 15, 92, 65, 35];
+
+    let mut kernel = ExactAttention::new();
+    let mut uninterrupted = KvCache::new(spec.n_layers, spec.n_heads, spec.head_dim());
+    let full_logits = model.forward_sequence(&tokens, &mut uninterrupted, &mut kernel);
+
+    let mut cache = KvCache::new(spec.n_layers, spec.n_heads, spec.head_dim());
+    model.forward_sequence(&tokens, &mut cache, &mut kernel);
+    // Preempt, retaining a 2-token prefix (as the pager's retention
+    // policy would decide), then re-prefill the dropped suffix.
+    cache.truncate(2);
+    assert_eq!(cache.context_len(), 2);
+    let mut resumed_logits = Vec::new();
+    for (pos, &tok) in tokens.iter().enumerate().skip(2) {
+        resumed_logits = model.forward(tok, pos, &mut cache, &mut kernel);
+    }
+
+    assert_eq!(cache, uninterrupted, "re-prefill must rebuild the cache");
+    assert_eq!(
+        &resumed_logits,
+        full_logits.last().unwrap(),
+        "resumed generation must match the uninterrupted run"
+    );
+}

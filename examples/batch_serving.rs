@@ -7,7 +7,9 @@
 //! cargo run --release --example batch_serving
 //! ```
 
-use token_picker::accel::{AccelConfig, AccelMode, PolicyKind, ServeEvent, ServingEngine};
+use token_picker::accel::{
+    AccelConfig, AccelMode, PolicyKind, RetentionPolicy, ServeEvent, ServingEngine,
+};
 use token_picker::core::{PrecisionConfig, ProgressivePruner, PrunerConfig, QMatrix, QVector};
 use token_picker::model::{InstanceSampler, ModelSpec, TrafficBreakdown};
 
@@ -17,6 +19,7 @@ use token_picker::model::{InstanceSampler, ModelSpec, TrafficBreakdown};
 fn serve_skewed(
     policy: PolicyKind,
     preemption: bool,
+    retention: RetentionPolicy,
 ) -> Result<token_picker::accel::ServingReport, Box<dyn std::error::Error>> {
     use token_picker::accel::serve::workloads::skewed_elephant_mice;
 
@@ -29,7 +32,7 @@ fn serve_skewed(
         .seed(7)
         .policy(policy);
     if preemption {
-        builder = builder.enable_preemption();
+        builder = builder.enable_preemption().retention(retention);
     }
     let mut engine = builder.build();
     for r in skewed_elephant_mice(4, 12) {
@@ -44,10 +47,13 @@ fn serve_skewed(
             id,
             step,
             generated,
+            retained_tokens,
+            dropped_tokens,
         } = e
         {
             println!(
-                "    [{}] step {step}: request {id} evicted after {generated} token(s)",
+                "    [{}] step {step}: request {id} evicted after {generated} token(s) \
+                 (KV kept {retained_tokens}, dropped {dropped_tokens})",
                 report.policy
             );
         }
@@ -100,36 +106,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(per generation step; the bigger the batch, the more Token-Picker saves)");
 
     // Part two: the same KV budget, four scheduling answers. Elephants
-    // hog the batch; policies differ in what the mice experience.
+    // hog the batch; policies differ in what the mice experience. The
+    // last column pairs show what preemption really costs — and what
+    // paged KV retention (keep half the victim's pages, re-prefill only
+    // the dropped suffix) claws back.
     println!();
     println!("scheduler policies on a skewed workload (4 elephants + 12 mice):");
     println!(
-        "{:<22} {:>7} {:>12} {:>11} {:>10} {:>9}",
-        "policy", "steps", "tokens/s", "mean TTFT", "mean wait", "preempts"
+        "{:<26} {:>6} {:>11} {:>10} {:>9} {:>11} {:>9}",
+        "policy", "steps", "tokens/s", "mean TTFT", "preempts", "reprefill", "KV kept"
     );
-    for (policy, preemption) in [
-        (PolicyKind::Fifo, false),
-        (PolicyKind::ShortestJobFirst, false),
-        (PolicyKind::FairRoundRobin, true),
-        (PolicyKind::PriorityAging, true),
+    for (policy, preemption, retention) in [
+        (PolicyKind::Fifo, false, RetentionPolicy::None),
+        (PolicyKind::ShortestJobFirst, false, RetentionPolicy::None),
+        (PolicyKind::FairRoundRobin, true, RetentionPolicy::None),
+        (PolicyKind::PriorityAging, true, RetentionPolicy::None),
+        (
+            PolicyKind::PriorityAging,
+            true,
+            RetentionPolicy::Fraction(0.5),
+        ),
+        (
+            PolicyKind::ShortestJobFirst,
+            true,
+            RetentionPolicy::Fraction(0.5),
+        ),
     ] {
-        let report = serve_skewed(policy, preemption)?;
-        let label = if preemption {
-            format!("{}+preempt", report.policy)
-        } else {
-            report.policy.clone()
+        let report = serve_skewed(policy, preemption, retention)?;
+        let label = match (preemption, retention) {
+            (false, _) => report.policy.clone(),
+            (true, RetentionPolicy::None) => format!("{}+preempt", report.policy),
+            (true, _) => format!("{}+retain", report.policy),
         };
         println!(
-            "{:<22} {:>7} {:>12.1} {:>11.2} {:>10.2} {:>9}",
+            "{:<26} {:>6} {:>11.1} {:>10.2} {:>9} {:>11} {:>9}",
             label,
             report.steps.len(),
             report.tokens_per_second(500e6),
             report.mean_ttft_steps(),
-            report.mean_queue_wait_steps(),
-            report.preemptions
+            report.preemptions,
+            report.total_reprefill_cycles(),
+            report.total_retained_tokens(),
         );
     }
     println!();
-    println!("(preemption trades elephant re-prefill cycles for mouse latency)");
+    println!("(preemption trades elephant re-prefill cycles for mouse latency;");
+    println!(" paged retention keeps KV prefixes so evictions re-prefill less)");
     Ok(())
 }

@@ -7,6 +7,7 @@
 //! topick traffic [--model NAME] [--context N]
 //! topick serve   [--requests N] [--batch B] [--threshold T] [--seed S] [--baseline]
 //!                [--policy fifo|priority|sjf|fair|all] [--preemption]
+//!                [--page-size P] [--retention none|<pages>|<fraction>]
 //! topick help
 //! ```
 
@@ -168,27 +169,34 @@ fn cmd_traffic(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error
     Ok(())
 }
 
-fn serve_once(
+struct ServeOpts {
     mode: AccelMode,
     threshold: f64,
     batch: usize,
     seed: u64,
     requests: u64,
-    policy: token_picker::accel::PolicyKind,
     preemption: bool,
+    page_size: usize,
+    retention: token_picker::accel::RetentionPolicy,
+}
+
+fn serve_once(
+    opts: &ServeOpts,
+    policy: token_picker::accel::PolicyKind,
 ) -> Result<(token_picker::accel::ServingReport, f64), Box<dyn std::error::Error>> {
     use token_picker::accel::{PreemptionConfig, ServingEngine, ServingRequest};
 
-    let mut builder = ServingEngine::builder(AccelConfig::paper(mode, threshold)?)
-        .max_batch(batch)
-        .seed(seed)
+    let mut builder = ServingEngine::builder(AccelConfig::paper(opts.mode, opts.threshold)?)
+        .max_batch(opts.batch)
+        .page_size(opts.page_size)
+        .seed(opts.seed)
         .policy(policy);
-    if preemption {
-        builder = builder.preemption(PreemptionConfig::enabled());
+    if opts.preemption {
+        builder = builder.preemption(PreemptionConfig::enabled().with_retention(opts.retention));
     }
     let mut engine = builder.build();
     let clock_hz = engine.config().clock_hz;
-    for id in 0..requests {
+    for id in 0..opts.requests {
         // Heterogeneous shapes, priorities and clients so every policy has
         // something to differentiate on; arrivals come in waves so
         // later high-priority work can actually contend with (and under
@@ -204,48 +212,63 @@ fn serve_once(
 }
 
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
-    use token_picker::accel::PolicyKind;
+    use token_picker::accel::{PolicyKind, RetentionPolicy};
 
-    let requests = flag(flags, "requests", 16u64);
-    let thr = flag(flags, "threshold", 1e-3f64);
-    let batch = flag(flags, "batch", 8usize);
-    let seed = flag(flags, "seed", 0u64);
     let baseline_mode = flags.contains_key("baseline");
-    let preemption = flags.contains_key("preemption");
-    let policy_flag = flags.get("policy").map_or("fifo", String::as_str);
-
-    let mode = if baseline_mode {
-        AccelMode::Baseline
-    } else {
-        AccelMode::OutOfOrder
+    let retention: RetentionPolicy = flags
+        .get("retention")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(RetentionPolicy::None);
+    if retention != RetentionPolicy::None && !flags.contains_key("preemption") {
+        return Err("--retention only takes effect with --preemption".into());
+    }
+    let opts = ServeOpts {
+        mode: if baseline_mode {
+            AccelMode::Baseline
+        } else {
+            AccelMode::OutOfOrder
+        },
+        threshold: if baseline_mode {
+            0.5
+        } else {
+            flag(flags, "threshold", 1e-3f64)
+        },
+        batch: flag(flags, "batch", 8usize),
+        seed: flag(flags, "seed", 0u64),
+        requests: flag(flags, "requests", 16u64),
+        preemption: flags.contains_key("preemption"),
+        page_size: flag(flags, "page-size", 16usize),
+        retention,
     };
-    let t = if baseline_mode { 0.5 } else { thr };
+    let policy_flag = flags.get("policy").map_or("fifo", String::as_str);
 
     if policy_flag == "all" {
         println!(
-            "{:<20} {:>8} {:>12} {:>11} {:>10} {:>9}",
-            "policy", "steps", "tokens/s", "mean TTFT", "mean wait", "preempts"
+            "{:<20} {:>8} {:>12} {:>11} {:>10} {:>9} {:>11}",
+            "policy", "steps", "tokens/s", "mean TTFT", "mean wait", "preempts", "reprefill"
         );
         for kind in PolicyKind::all() {
-            let (report, clock_hz) = serve_once(mode, t, batch, seed, requests, kind, preemption)?;
+            let (report, clock_hz) = serve_once(&opts, kind)?;
             println!(
-                "{:<20} {:>8} {:>12.1} {:>11.2} {:>10.2} {:>9}",
+                "{:<20} {:>8} {:>12.1} {:>11.2} {:>10.2} {:>9} {:>11}",
                 report.policy,
                 report.steps.len(),
                 report.tokens_per_second(clock_hz),
                 report.mean_ttft_steps(),
                 report.mean_queue_wait_steps(),
-                report.preemptions
+                report.preemptions,
+                report.total_reprefill_cycles()
             );
         }
         return Ok(());
     }
 
     let policy: PolicyKind = policy_flag.parse()?;
-    let (report, clock_hz) = serve_once(mode, t, batch, seed, requests, policy, preemption)?;
+    let (report, clock_hz) = serve_once(&opts, policy)?;
     println!(
         "mode {:?}, policy {}: {} requests, {} tokens in {} steps",
-        mode,
+        opts.mode,
         report.policy,
         report.requests.len(),
         report.tokens_generated,
@@ -263,6 +286,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         report.mean_queue_wait_steps()
     );
     println!("preemptions    : {}", report.preemptions);
+    println!(
+        "reprefill      : {} cycles ({} tokens; {} KV tokens retained)",
+        report.total_reprefill_cycles(),
+        report.total_reprefilled_tokens(),
+        report.total_retained_tokens()
+    );
     println!("V reduction    : {:.2}x", report.prune.v_reduction());
     Ok(())
 }
@@ -282,6 +311,7 @@ fn usage() {
     println!("  serve    continuous-batching serving engine");
     println!("           [--requests N] [--batch B] [--threshold T] [--seed S] [--baseline]");
     println!("           [--policy fifo|priority|sjf|fair|all] [--preemption]");
+    println!("           [--page-size P] [--retention none|<pages>|<fraction>]");
 }
 
 fn main() {

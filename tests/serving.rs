@@ -9,8 +9,8 @@
 use std::collections::BTreeSet;
 
 use token_picker::accel::{
-    AccelConfig, AccelMode, AdmissionConfig, PolicyKind, ServeEvent, ServingConfig, ServingEngine,
-    ServingRequest,
+    AccelConfig, AccelMode, AdmissionConfig, PolicyKind, RetentionPolicy, ServeEvent,
+    ServingConfig, ServingEngine, ServingRequest,
 };
 
 fn mixed_workload() -> Vec<ServingRequest> {
@@ -32,6 +32,7 @@ fn serving_config(mode: AccelMode, threshold: f64) -> ServingConfig {
     cfg.admission = AdmissionConfig {
         max_batch: 6,
         max_batch_tokens: 4096,
+        page_size: 16,
     };
     cfg.seed = 7;
     cfg
@@ -264,6 +265,14 @@ fn topick_serves_more_tokens_per_second_than_baseline() {
 }
 
 fn serve_skewed(policy: PolicyKind, preemption: bool) -> token_picker::accel::ServingReport {
+    serve_skewed_with_retention(policy, preemption, RetentionPolicy::None)
+}
+
+fn serve_skewed_with_retention(
+    policy: PolicyKind,
+    preemption: bool,
+    retention: RetentionPolicy,
+) -> token_picker::accel::ServingReport {
     use token_picker::accel::serve::workloads::skewed_elephant_mice;
 
     let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
@@ -275,7 +284,7 @@ fn serve_skewed(policy: PolicyKind, preemption: bool) -> token_picker::accel::Se
         .seed(7)
         .policy(policy);
     if preemption {
-        builder = builder.enable_preemption();
+        builder = builder.enable_preemption().retention(retention);
     }
     let mut engine = builder.build();
     for r in skewed_elephant_mice(4, 12) {
@@ -309,4 +318,43 @@ fn preemption_bends_the_latency_profile_on_a_skewed_workload() {
     let reprefill: u64 = preempting.steps.iter().map(|s| s.reprefill_cycles).sum();
     assert!(reprefill > 0);
     assert_ne!(fifo.total_cycles, preempting.total_cycles);
+}
+
+#[test]
+fn paged_retention_reprefills_strictly_less_than_full_reprefill() {
+    // SRPT (shortest-job-first with preemption) on the canonical skewed
+    // workload: under full re-prefill every eviction pays for the victim's
+    // whole context; with paged retention only the dropped suffix is
+    // rebuilt, so the total re-prefill bill must strictly shrink.
+    let full =
+        serve_skewed_with_retention(PolicyKind::ShortestJobFirst, true, RetentionPolicy::None);
+    let paged = serve_skewed_with_retention(
+        PolicyKind::ShortestJobFirst,
+        true,
+        RetentionPolicy::Fraction(0.75),
+    );
+
+    assert!(full.preemptions > 0, "workload must actually preempt");
+    assert!(paged.preemptions > 0, "workload must actually preempt");
+    assert_eq!(full.tokens_generated, paged.tokens_generated);
+
+    // Full re-prefill retains nothing; paged retention carries real KV
+    // prefixes across evictions and re-prefills fewer tokens.
+    assert_eq!(full.total_retained_tokens(), 0);
+    assert!(paged.total_retained_tokens() > 0);
+    assert!(paged.total_reprefilled_tokens() < full.total_reprefilled_tokens());
+
+    // The cycle charge follows the token accounting.
+    assert!(
+        paged.total_reprefill_cycles() < full.total_reprefill_cycles(),
+        "paged retention must cut the re-prefill bill: {} vs {} cycles",
+        paged.total_reprefill_cycles(),
+        full.total_reprefill_cycles()
+    );
+
+    // Per-step and per-request accounting agree.
+    for report in [&full, &paged] {
+        let by_request: u64 = report.requests.iter().map(|r| r.reprefill_cycles).sum();
+        assert_eq!(report.total_reprefill_cycles(), by_request);
+    }
 }
