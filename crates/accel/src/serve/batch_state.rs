@@ -21,6 +21,13 @@ pub struct AdmissionConfig {
     /// filled tail pages are fragmentation the budget pays for, and a
     /// non-page-aligned `max_batch_tokens` loses its remainder.
     pub page_size: usize,
+    /// Enables copy-on-write prefix caching over the pager: full prompt
+    /// pages are content-hashed and shared between requests with a common
+    /// prompt prefix, and refcount-0 pages of retired requests stay
+    /// resident as an LRU cache until allocation pressure reclaims them.
+    /// Off by default — the schedule is then bit-identical to the
+    /// sharing-free pager.
+    pub prefix_cache: bool,
 }
 
 impl Default for AdmissionConfig {
@@ -29,6 +36,7 @@ impl Default for AdmissionConfig {
             max_batch: 16,
             max_batch_tokens: 16 * 2048,
             page_size: 16,
+            prefix_cache: false,
         }
     }
 }
@@ -59,6 +67,17 @@ pub(crate) struct ActiveRequest {
     /// re-prefill; less when pages were retained; grows back to the whole
     /// context if retained pages are reclaimed while queued).
     pub(crate) dropped_tokens: usize,
+    /// Whether the first decode step must charge prompt prefill (set at
+    /// enqueue when the engine prices prefill; cleared once charged, or
+    /// folded into the re-prefill debt if the request is evicted before
+    /// its first decode step).
+    pub(crate) needs_prefill: bool,
+    /// Prompt tokens the first decode step must prefill — the whole
+    /// prompt, minus whatever admission adopted from the prefix cache.
+    pub(crate) prefill_tokens: usize,
+    /// Position-chained content hashes of the request's full prompt pages
+    /// (empty while prefix caching is disabled).
+    pub(crate) page_keys: Vec<u64>,
     pub(crate) stats: RequestStats,
 }
 
@@ -87,7 +106,8 @@ impl BatchState {
     pub(crate) fn new(limits: AdmissionConfig) -> Self {
         Self {
             running: Vec::new(),
-            pager: KvPager::new(limits.page_size, limits.max_batch_tokens),
+            pager: KvPager::new(limits.page_size, limits.max_batch_tokens)
+                .with_prefix_cache(limits.prefix_cache),
             limits,
         }
     }
@@ -111,18 +131,66 @@ impl BatchState {
     }
 
     /// Whether the request keyed `seq` with the given final context can
-    /// join right now: a free slot, and enough free pages to grow its
-    /// allocation (pages it already retains across a preemption count
-    /// toward the need).
-    pub(crate) fn fits(&self, seq: u64, final_context: usize) -> bool {
-        self.running.len() < self.limits.max_batch && self.pager.can_reserve(seq, final_context)
+    /// join right now: a free slot, and enough free (or adoptable, or
+    /// reclaimable-cached) pages to grow its allocation. Pages it already
+    /// retains across a preemption count toward the need, and `chain` —
+    /// its prompt-page hash chain — credits pages the prefix cache can
+    /// supply without allocation.
+    pub(crate) fn fits(&self, seq: u64, final_context: usize, chain: &[u64]) -> bool {
+        self.running.len() < self.limits.max_batch
+            && self.pager.can_admit(seq, final_context, chain)
     }
 
-    /// Admits a request, reserving KV pages for its final context.
-    pub(crate) fn admit(&mut self, r: ActiveRequest) {
-        debug_assert!(self.fits(r.arrival_seq, r.final_context()));
+    /// Admits a request: adopts whatever full-page prompt prefix the
+    /// prefix cache has resident, reserves private pages for the rest of
+    /// its final context, and publishes its own full prompt pages for
+    /// later admissions to share. Returns the prompt tokens served out of
+    /// the cache (`cached_tokens` on the admission event), and folds them
+    /// into the request's prefill / re-prefill debt.
+    pub(crate) fn admit(&mut self, mut r: ActiveRequest) -> usize {
+        debug_assert!(self.fits(r.arrival_seq, r.final_context(), &r.page_keys));
+        let adopted = if self.limits.prefix_cache {
+            self.pager.adopt_prefix(r.arrival_seq, &r.page_keys)
+        } else {
+            0
+        };
         self.pager.reserve(r.arrival_seq, r.final_context());
+        if self.limits.prefix_cache && !r.needs_prefill && !r.needs_reprefill {
+            // With prefill unpriced (and no rebuild pending) the prompt's
+            // KV is valid the moment the request is admitted, so its full
+            // pages publish immediately. Otherwise publication waits for
+            // the decode step that actually (re)builds them
+            // ([`publish_prefix`](Self::publish_prefix)) — the index must
+            // never advertise KV that does not exist yet.
+            self.pager.register_prefix(r.arrival_seq, &r.page_keys);
+        }
+        let cached_tokens = adopted * self.pager.page_size();
+        if cached_tokens > 0 {
+            // Every adopted page holds full, already-built KV the request
+            // would otherwise have had to (re-)prefill, so the cache
+            // shrinks the outstanding debt token for token.
+            if r.needs_reprefill {
+                r.dropped_tokens = r.dropped_tokens.saturating_sub(cached_tokens);
+            } else if r.needs_prefill {
+                r.prefill_tokens = r.prefill_tokens.saturating_sub(cached_tokens);
+            }
+            r.stats.prefix_hit_tokens += cached_tokens;
+        }
         self.running.push(r);
+        cached_tokens
+    }
+
+    /// Publishes the full prompt pages of the request at `slot` in the
+    /// prefix index — called right after the decode step that charged its
+    /// pending prefill or re-prefill, i.e. the moment the pages' KV
+    /// genuinely exists. Idempotent: already-labelled pages are left
+    /// untouched.
+    pub(crate) fn publish_prefix(&mut self, slot: usize) {
+        if !self.limits.prefix_cache {
+            return;
+        }
+        let r = &self.running[slot];
+        self.pager.register_prefix(r.arrival_seq, &r.page_keys);
     }
 
     /// Removes the request at `slot` (policy-selected victim). The caller

@@ -23,6 +23,11 @@ pub enum ServeEvent {
         step: usize,
         /// The request's context length at admission.
         context: usize,
+        /// Prompt tokens served out of the shared-prefix cache at this
+        /// admission: their KV pages were adopted copy-on-write from a
+        /// resident request (or the retained cache) instead of being
+        /// allocated and prefilled (0 with prefix caching disabled).
+        cached_tokens: usize,
     },
     /// A decode step produced one token for a request.
     TokenGenerated {

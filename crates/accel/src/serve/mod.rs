@@ -12,13 +12,19 @@
 //!    budget ([`AdmissionConfig`]) is carved into fixed-size pages by a
 //!    [`KvPager`], the same paged-allocation guardrail a production
 //!    scheduler uses to bound KV-cache memory (fragmentation from
-//!    partially-filled tail pages included). Under pressure, and only
+//!    partially-filled tail pages included). With
+//!    [`prefix_cache`](AdmissionConfig::prefix_cache) on, a candidate
+//!    whose prompt shares a full-page-aligned prefix with pages already
+//!    resident adopts them copy-on-write instead of re-allocating, and
+//!    prompt prefill ([`prefill_factor`](ServingConfig::prefill_factor))
+//!    is charged only for the unshared suffix. Under pressure, and only
 //!    when [`PreemptionConfig`] allows it, the policy may evict a running
 //!    request back to the queue; a configurable [`RetentionPolicy`] keeps
 //!    a prefix of the victim's pages allocated, so re-admission only
 //!    re-prefills the dropped suffix — and the re-prefill charge to the
 //!    step model scales with what was actually dropped, so eviction is
-//!    never free but retention makes it cheaper.
+//!    never free but retention makes it cheaper. Shared pages are never
+//!    reclaimed out from under a second owner.
 //! 2. **Weight streaming**: the FC/FFN weights stream from DRAM once and
 //!    are shared by every request in the batch
 //!    ([`weight_stream_cycles`]).
@@ -78,6 +84,13 @@ pub struct ServingConfig {
     pub admission: AdmissionConfig,
     /// Preemption behavior (off by default).
     pub preemption: PreemptionConfig,
+    /// Extra attention passes charged on a freshly admitted request's
+    /// first decode step, modeling prompt prefill. The charge is
+    /// proportional to the request's measured attention cost at its
+    /// prompt, scaled by the share of the prompt the prefix cache did
+    /// *not* serve. `0` (the default) prices prompts as free — the
+    /// pre-prefill-model behavior, bit-identical to earlier engines.
+    pub prefill_factor: f64,
     /// FC/FFN weight bytes streamed once per decode step.
     pub weight_bytes: u64,
     /// Attention heads per request per step (layers × heads of the model;
@@ -98,6 +111,7 @@ impl ServingConfig {
             accel,
             admission: AdmissionConfig::default(),
             preemption: PreemptionConfig::default(),
+            prefill_factor: 0.0,
             weight_bytes: 50_000_000,
             heads: 16,
             clock_hz: 500e6,
@@ -178,6 +192,24 @@ impl ServingEngineBuilder {
     #[must_use]
     pub fn page_size(mut self, page_size: usize) -> Self {
         self.cfg.admission.page_size = page_size;
+        self
+    }
+
+    /// Enables copy-on-write prefix caching over the KV pager: requests
+    /// whose prompts share a full-page-aligned prefix with resident pages
+    /// adopt them instead of re-allocating and re-prefilling, and pages
+    /// of retired requests stay cached until pressure reclaims them.
+    #[must_use]
+    pub fn prefix_cache(mut self, enabled: bool) -> Self {
+        self.cfg.admission.prefix_cache = enabled;
+        self
+    }
+
+    /// Sets the prompt-prefill charge factor (see
+    /// [`ServingConfig::prefill_factor`]; `0` keeps prompts free).
+    #[must_use]
+    pub fn prefill_factor(mut self, prefill_factor: f64) -> Self {
+        self.cfg.prefill_factor = prefill_factor;
         self
     }
 
@@ -410,6 +442,13 @@ impl ServingEngine {
         // A request becomes schedulable when it both has been enqueued and
         // has arrived.
         let schedulable_at = self.step_index.max(req.arrival_step as usize);
+        // The prompt-page hash chain is what admission matches against the
+        // prefix index; only worth computing when the cache can use it.
+        let page_keys = if self.cfg.admission.prefix_cache {
+            req.page_keys(self.cfg.admission.page_size)
+        } else {
+            Vec::new()
+        };
         let active = ActiveRequest {
             req,
             context: req.prompt_len,
@@ -419,6 +458,9 @@ impl ServingEngine {
             last_evicted_at: None,
             needs_reprefill: false,
             dropped_tokens: 0,
+            needs_prefill: self.cfg.prefill_factor > 0.0,
+            prefill_tokens: req.prompt_len,
+            page_keys,
             stats: RequestStats {
                 id: req.id,
                 prompt_len: req.prompt_len,
@@ -431,9 +473,11 @@ impl ServingEngine {
                 finished_at: None,
                 preemptions: 0,
                 attention_cycles: 0,
+                prefill_cycles: 0,
                 reprefill_cycles: 0,
                 retained_tokens: 0,
                 reprefilled_tokens: 0,
+                prefix_hit_tokens: 0,
             },
         };
         let pager = self.batch.pager();
@@ -476,33 +520,59 @@ impl ServingEngine {
             let Some(cand) = pending_views.get(pi).copied() else {
                 break; // out-of-range pick: treat as "stop admitting"
             };
-            if !self.batch.fits(cand.arrival_seq, cand.final_context) {
+            // The candidate's prompt-page hash chain: pages the prefix
+            // cache can serve reduce what admission must allocate.
+            let chain: Vec<u64> = self
+                .pending
+                .get_by_seq(cand.arrival_seq)
+                .map(|e| e.page_keys.clone())
+                .unwrap_or_default();
+            if !self
+                .batch
+                .fits(cand.arrival_seq, cand.final_context, &chain)
+            {
                 // Cheapest rescue first: when the candidate has a slot
                 // and only lacks pages, reclaim queued requests' retained
                 // pages — that costs no new preemption, so it must be
                 // tried before evicting anyone who is actually running.
-                self.reclaim_for(&cand);
+                self.reclaim_for(&cand, &chain);
                 // Preemption rescue, planned transactionally in page
                 // space: victims are chosen against a scratch view and
                 // committed (pages freed/retained) only if the candidate
                 // then fits, so a failed admission never charges anyone
                 // re-prefill for nothing.
-                if !self.batch.fits(cand.arrival_seq, cand.final_context) && evictions_left > 0 {
+                if !self
+                    .batch
+                    .fits(cand.arrival_seq, cand.final_context, &chain)
+                    && evictions_left > 0
+                {
                     let limits = self.cfg.admission;
                     let retention = self.cfg.preemption.retention;
                     let pager = self.batch.pager();
                     // Pages the candidate still needs, crediting any it
-                    // retained across an earlier preemption.
+                    // retained across an earlier preemption and any the
+                    // prefix cache can supply without allocation.
+                    let hit_pages = pager.adoptable_pages(cand.arrival_seq, &chain);
+                    let hits = hit_pages.len();
+                    let cached_hits = hit_pages
+                        .iter()
+                        .filter(|&&p| pager.refcount(p) == 0)
+                        .count();
                     let cand_need = pager
                         .pages_needed(cand.final_context)
-                        .saturating_sub(pager.pages_of(cand.arrival_seq));
+                        .saturating_sub(pager.pages_of(cand.arrival_seq) + hits);
                     let mut sim = self.batch.views();
-                    let mut free = pager.free_pages();
-                    let fits_sim = |sim: &[policy::RunningView], free: usize| {
-                        sim.len() < limits.max_batch && cand_need <= free
+                    // Refcount-0 cached pages are reclaimable on demand,
+                    // so they count as available — except the ones the
+                    // candidate is itself about to adopt.
+                    let mut avail = pager.free_pages() + pager.cached_pages() - cached_hits;
+                    let fits_sim = |sim: &[policy::RunningView], avail: usize| {
+                        sim.len() < limits.max_batch && cand_need <= avail
                     };
                     let mut victims: Vec<u64> = Vec::new();
-                    while victims.len() < evictions_left && !sim.is_empty() && !fits_sim(&sim, free)
+                    while victims.len() < evictions_left
+                        && !sim.is_empty()
+                        && !fits_sim(&sim, avail)
                     {
                         let Some(vi) = self.policy.pick_victim(&cand, &sim, step as u64) else {
                             break;
@@ -511,14 +581,17 @@ impl ServingEngine {
                             break; // out-of-range victim: decline
                         }
                         let victim = sim.remove(vi);
-                        // Evicting frees the victim's pages minus what
-                        // retention would keep allocated for it.
+                        // Evicting returns the victim's dropped pages
+                        // minus what retention keeps — and minus pages
+                        // another resident request still maps (shared
+                        // pages are never reclaimed out from under a
+                        // second owner) or that the candidate will adopt.
                         let occupied = pager.pages_needed(victim.context);
                         let kept = retention.retained_pages(occupied);
-                        free += pager.pages_of(victim.arrival_seq).saturating_sub(kept);
+                        avail += pager.releasable_pages(victim.arrival_seq, kept, &hit_pages);
                         victims.push(victim.arrival_seq);
                     }
-                    if fits_sim(&sim, free) {
+                    if fits_sim(&sim, avail) {
                         evictions_left -= victims.len();
                         for seq in victims {
                             let slot = self
@@ -534,8 +607,11 @@ impl ServingEngine {
                 // of the victims' pages allocated) — one more reclaim
                 // pass covers that before declaring head-of-line
                 // blocking.
-                self.reclaim_for(&cand);
-                if !self.batch.fits(cand.arrival_seq, cand.final_context) {
+                self.reclaim_for(&cand, &chain);
+                if !self
+                    .batch
+                    .fits(cand.arrival_seq, cand.final_context, &chain)
+                {
                     // Head-of-line blocking: the policy's chosen candidate
                     // cannot run, so admission ends for this step.
                     break;
@@ -547,8 +623,13 @@ impl ServingEngine {
             }
             active.last_admitted_at = Some(step);
             let (id, context) = (active.req.id, active.context);
-            self.batch.admit(active);
-            self.emit(ServeEvent::Admitted { id, step, context });
+            let cached_tokens = self.batch.admit(active);
+            self.emit(ServeEvent::Admitted {
+                id,
+                step,
+                context,
+                cached_tokens,
+            });
         }
     }
 
@@ -559,14 +640,36 @@ impl ServingEngine {
         let ctx = victim.context;
         let page_size = self.batch.pager().page_size();
         let occupied = self.batch.pager().pages_needed(ctx);
-        let kept_pages = self.cfg.preemption.retention.retained_pages(occupied);
+        // Retention cannot keep KV that was never built: a victim evicted
+        // before the decode step that would have charged its pending
+        // prefill (first admission) or re-prefill (outstanding rebuild
+        // debt) only ever materialized `valid` KV tokens, so the retained
+        // prefix caps there and everything beyond it is re-prefill debt —
+        // otherwise the skipped charge would never be billed to anyone.
+        let valid = if victim.needs_prefill {
+            victim.needs_prefill = false;
+            let v = ctx - victim.prefill_tokens;
+            victim.prefill_tokens = 0;
+            v
+        } else if victim.needs_reprefill {
+            ctx - victim.dropped_tokens
+        } else {
+            ctx
+        };
         // Free the dropped suffix and the unused reservation beyond the
         // current context; the retained prefix stays allocated while the
-        // victim queues.
+        // victim queues. Pages past the valid prefix hold no real KV, so
+        // retention never keeps them.
+        let kept_pages = self
+            .cfg
+            .preemption
+            .retention
+            .retained_pages(occupied)
+            .min(self.batch.pager().pages_needed(valid));
         self.batch
             .pager_mut()
             .truncate(victim.arrival_seq, kept_pages);
-        let retained_tokens = ctx.min(kept_pages * page_size);
+        let retained_tokens = valid.min(kept_pages * page_size);
         let dropped_tokens = ctx - retained_tokens;
         victim.stats.preemptions += 1;
         victim.stats.retained_tokens += retained_tokens;
@@ -593,13 +696,13 @@ impl ServingEngine {
     /// the pages, reclaim other queued requests' retained pages. A slot
     /// shortage is never a reason to reclaim — freeing pages cannot
     /// conjure a slot.
-    fn reclaim_for(&mut self, cand: &PendingView) {
+    fn reclaim_for(&mut self, cand: &PendingView, chain: &[u64]) {
         while self.batch.len() < self.cfg.admission.max_batch
             && !self
                 .batch
                 .pager()
-                .can_reserve(cand.arrival_seq, cand.final_context)
-            && self.reclaim_retained(cand.arrival_seq)
+                .can_admit(cand.arrival_seq, cand.final_context, chain)
+            && self.reclaim_retained(cand.arrival_seq, chain)
         {}
     }
 
@@ -609,15 +712,30 @@ impl ServingEngine {
     /// and page-by-page instead of wiping whole victims. The holder's
     /// re-prefill debt grows by the tokens the lost page covered.
     /// Returns whether a page was reclaimed.
-    fn reclaim_retained(&mut self, exclude_seq: u64) -> bool {
+    ///
+    /// Holders whose tail page would not actually free capacity for the
+    /// candidate are skipped: a page shared with another owner stays
+    /// resident for its other holders, and a page the candidate is itself
+    /// about to adopt (it is in `cand_chain`'s hit set) merely moves into
+    /// the LRU cache where the candidate's admission arithmetic already
+    /// counts it — either way reclaiming would charge the queued victim
+    /// re-prefill debt for zero gain. Reclamation is strictly tail-first
+    /// (a retained prefix must stay a prefix), so an ineligible tail
+    /// shields any deeper pages too; in the rare layout where a private
+    /// page sits below a shared tail, that capacity is deliberately
+    /// forgone rather than charging the holder debt for shared drops.
+    fn reclaim_retained(&mut self, exclude_seq: u64, cand_chain: &[u64]) -> bool {
         let holder = {
             let pager = self.batch.pager();
+            let cand_hits = pager.adoptable_pages(exclude_seq, cand_chain);
             self.pending
                 .entries()
                 .iter()
                 .filter(|e| e.arrival_seq != exclude_seq)
                 .map(|e| (pager.pages_of(e.arrival_seq), e.arrival_seq))
-                .filter(|&(pages, _)| pages > 0)
+                .filter(|&(pages, seq)| {
+                    pages > 0 && pager.releasable_pages(seq, pages - 1, &cand_hits) == 1
+                })
                 .max_by_key(|&(pages, seq)| (pages, std::cmp::Reverse(seq)))
                 .map(|(_, seq)| seq)
         };
@@ -634,8 +752,10 @@ impl ServingEngine {
             .expect("retained-page holder is queued");
         // A shorter prefix is still a valid prefix: only the tokens the
         // reclaimed tail page covered move back into the re-prefill debt.
+        // Capped at the previously valid prefix — reclaiming a page a
+        // never-decoded victim hadn't materialized anyway changes nothing.
         let old_retained = e.context - e.dropped_tokens;
-        let new_retained = e.context.min(kept_pages * page_size);
+        let new_retained = old_retained.min(kept_pages * page_size);
         e.stats.retained_tokens -= old_retained - new_retained;
         e.dropped_tokens = e.context - new_retained;
         true
@@ -673,6 +793,7 @@ impl ServingEngine {
                 context_tokens: 0,
                 weight_cycles: 0,
                 attention_cycles: 0,
+                prefill_cycles: 0,
                 reprefill_cycles: 0,
             };
             self.steps.push(report);
@@ -682,6 +803,7 @@ impl ServingEngine {
 
         let weight_cycles = weight_stream_cycles(&self.cfg.accel, self.cfg.weight_bytes);
         let mut attention_cycles = 0u64;
+        let mut prefill_cycles = 0u64;
         let mut reprefill_cycles = 0u64;
         let mut context_tokens = 0usize;
         let step = self.step_index;
@@ -695,8 +817,12 @@ impl ServingEngine {
             let result = self.simulate_attention(req_id, ctx)?;
             let request_cycles = result.0 * self.cfg.heads as u64;
             self.prune.merge(&result.1);
-            let (id, generated, rebuild_cycles) = {
+            let (id, generated, rebuild_cycles, fresh_prefill_cycles, built_kv) = {
                 let r = &mut self.batch.slots_mut()[slot];
+                // Once this step's pending prefill / re-prefill charge
+                // lands, the request's prompt KV genuinely exists and its
+                // full pages may be published for sharing.
+                let built_kv = r.needs_prefill || r.needs_reprefill;
                 let rebuild = if r.needs_reprefill {
                     // KV rebuild priced off the measured attention cost at
                     // the request's current context, scaled by the share
@@ -720,16 +846,44 @@ impl ServingEngine {
                 } else {
                     0
                 };
+                let prefill = if r.needs_prefill {
+                    // Prompt prefill priced the same way, scaled by the
+                    // share of the prompt the prefix cache did not serve.
+                    // A full cache hit genuinely prefills nothing and
+                    // costs nothing — sharing is strictly beneficial.
+                    r.needs_prefill = false;
+                    let frac = if r.context == 0 {
+                        1.0
+                    } else {
+                        r.prefill_tokens as f64 / r.context as f64
+                    };
+                    let charge = if r.prefill_tokens == 0 {
+                        0
+                    } else {
+                        ((request_cycles as f64 * self.cfg.prefill_factor.max(0.0) * frac).ceil()
+                            as u64)
+                            .max(1)
+                    };
+                    r.prefill_tokens = 0;
+                    charge
+                } else {
+                    0
+                };
                 r.stats.attention_cycles += request_cycles;
+                r.stats.prefill_cycles += prefill;
                 r.stats.reprefill_cycles += rebuild;
                 if r.stats.first_token_at.is_none() {
                     r.stats.first_token_at = Some(step);
                 }
                 r.stats.generated += 1;
                 r.context += 1;
-                (r.req.id, r.stats.generated, rebuild)
+                (r.req.id, r.stats.generated, rebuild, prefill, built_kv)
             };
+            if built_kv {
+                self.batch.publish_prefix(slot);
+            }
             attention_cycles += request_cycles;
+            prefill_cycles += fresh_prefill_cycles;
             reprefill_cycles += rebuild_cycles;
             self.emit(ServeEvent::TokenGenerated {
                 id,
@@ -745,6 +899,7 @@ impl ServingEngine {
             context_tokens,
             weight_cycles,
             attention_cycles,
+            prefill_cycles,
             reprefill_cycles,
         };
         self.total_cycles += report.total_cycles();
@@ -857,6 +1012,7 @@ mod tests {
             max_batch: 2,
             max_batch_tokens: 100_000,
             page_size: 16,
+            prefix_cache: false,
         };
         let mut engine = ServingEngine::new(cfg);
         for r in mixed_requests(5) {
@@ -874,6 +1030,7 @@ mod tests {
             max_batch: 16,
             max_batch_tokens: 100, // fits ~2 small requests' final contexts
             page_size: 16,
+            prefix_cache: false,
         };
         let mut engine = ServingEngine::new(cfg);
         for id in 0..4 {
@@ -907,6 +1064,7 @@ mod tests {
             max_batch: 2,
             max_batch_tokens: 100_000,
             page_size: 16,
+            prefix_cache: false,
         };
         let mut engine = ServingEngine::new(cfg);
         // Two short requests and one queued behind them.
@@ -995,7 +1153,8 @@ mod tests {
                 ServeEvent::Admitted {
                     id: 7,
                     step: 0,
-                    context: 16
+                    context: 16,
+                    cached_tokens: 0
                 },
                 ServeEvent::TokenGenerated {
                     id: 7,
@@ -1027,6 +1186,7 @@ mod tests {
             max_batch: 1,
             max_batch_tokens: 100_000,
             page_size: 16,
+            prefix_cache: false,
         };
         let mut engine = ServingEngine::builder(cfg.accel.clone())
             .config(cfg)
@@ -1065,6 +1225,7 @@ mod tests {
             max_batch: 2,
             max_batch_tokens: 100_000,
             page_size: 16,
+            prefix_cache: false,
         };
         let mut engine = ServingEngine::builder(cfg.accel.clone())
             .config(cfg)
@@ -1099,6 +1260,7 @@ mod tests {
             max_batch: 1,
             max_batch_tokens: 100_000,
             page_size: 16,
+            prefix_cache: false,
         };
         let mut engine = ServingEngine::builder(cfg.accel.clone())
             .config(cfg)

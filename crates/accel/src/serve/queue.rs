@@ -6,7 +6,8 @@ use super::policy::PendingView;
 /// One generation request entering the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServingRequest {
-    /// Caller-chosen request id (also seeds the request's workload).
+    /// Caller-chosen request id (also seeds the request's workload, and
+    /// the private part of its synthetic token content).
     pub id: u64,
     /// Context length at arrival (the already-processed prompt).
     pub prompt_len: usize,
@@ -22,6 +23,27 @@ pub struct ServingRequest {
     /// `0` means "already arrived" — the pre-redesign behavior. Later
     /// steps model open-loop traffic where work trickles in over time.
     pub arrival_step: u64,
+    /// Content identity of the request's shared prompt prefix: the first
+    /// [`prefix_len`](Self::prefix_len) prompt tokens are drawn from this
+    /// tag's token pool, so requests with the same `(prefix_tag,
+    /// prefix_len ≥ k)` share their first `k` prompt tokens — the handle
+    /// prefix caching keys on (same system prompt, same few-shot
+    /// template).
+    pub prefix_tag: u64,
+    /// How many leading prompt tokens come from the shared
+    /// [`prefix_tag`](Self::prefix_tag) pool; the rest of the prompt is
+    /// unique to the request. `0` (the default) makes the whole prompt
+    /// private.
+    pub prefix_len: usize,
+}
+
+/// SplitMix64 — the deterministic mix behind the synthetic token content
+/// (and, advanced over a counter, the seeded workload generators).
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl ServingRequest {
@@ -36,6 +58,8 @@ impl ServingRequest {
             priority: 0,
             client_id: 0,
             arrival_step: 0,
+            prefix_tag: 0,
+            prefix_len: 0,
         }
     }
 
@@ -58,6 +82,53 @@ impl ServingRequest {
     pub fn arriving_at(mut self, step: u64) -> Self {
         self.arrival_step = step;
         self
+    }
+
+    /// Declares the first `len` prompt tokens to be the shared prefix
+    /// identified by `tag` (a system prompt, a few-shot template, an
+    /// earlier turn of the same chat). Requests sharing `(tag, ≥ len)`
+    /// have identical leading tokens, which is what makes their full KV
+    /// pages adoptable through the prefix cache.
+    #[must_use]
+    pub fn with_shared_prefix(mut self, tag: u64, len: usize) -> Self {
+        self.prefix_tag = tag;
+        self.prefix_len = len;
+        self
+    }
+
+    /// The synthetic token id at prompt position `i`: drawn from the
+    /// shared [`prefix_tag`](Self::prefix_tag) pool inside the declared
+    /// prefix, and from a request-private pool (keyed by `id`) after it.
+    /// Deterministic, so content identity is reproducible across runs.
+    #[must_use]
+    pub fn token_at(&self, i: usize) -> u64 {
+        if i < self.prefix_len.min(self.prompt_len) {
+            splitmix64(self.prefix_tag ^ 0x5851_F42D_4C95_7F2D ^ (i as u64).rotate_left(17))
+        } else {
+            splitmix64(self.id ^ 0x2545_F491_4F6C_DD1D ^ (i as u64).rotate_left(31))
+        }
+    }
+
+    /// The position-chained content hashes of the request's *full* prompt
+    /// pages at the given page size — `keys[j]` digests every prompt token
+    /// in pages `0..=j`, so two requests agree on `keys[j]` exactly when
+    /// their first `(j + 1) × page_size` prompt tokens agree. The partial
+    /// tail page (and everything generated later) is excluded: those
+    /// tokens will be written, so their page can never be shared.
+    #[must_use]
+    pub fn page_keys(&self, page_size: usize) -> Vec<u64> {
+        let page_size = page_size.max(1);
+        let full_pages = self.prompt_len / page_size;
+        let mut keys = Vec::with_capacity(full_pages);
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for page in 0..full_pages {
+            for i in page * page_size..(page + 1) * page_size {
+                h ^= self.token_at(i);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            keys.push(h);
+        }
+        keys
     }
 }
 
@@ -121,6 +192,13 @@ impl PendingQueue {
     /// future arrivals).
     pub(crate) fn entries(&self) -> &[ActiveRequest] {
         &self.entries
+    }
+
+    /// Shared access to the entry with arrival sequence `seq`, if queued
+    /// (used to read a candidate's prompt-page hash chain during
+    /// admission).
+    pub(crate) fn get_by_seq(&self, seq: u64) -> Option<&ActiveRequest> {
+        self.entries.iter().find(|e| e.arrival_seq == seq)
     }
 
     /// Mutable access to the entry with arrival sequence `seq`, if queued

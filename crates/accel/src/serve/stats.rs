@@ -28,8 +28,18 @@ pub struct RequestStats {
     pub preemptions: u32,
     /// Attention cycles attributed to this request (per-head cost × heads).
     pub attention_cycles: u64,
+    /// Prompt-prefill cycles charged on this request's first decode step
+    /// (0 unless the engine prices prefill via
+    /// [`prefill_factor`](super::ServingConfig::prefill_factor); shrinks
+    /// with every prompt token the prefix cache served).
+    pub prefill_cycles: u64,
     /// KV re-prefill cycles charged to this request across re-admissions.
     pub reprefill_cycles: u64,
+    /// Prompt tokens served out of the shared-prefix cache at this
+    /// request's admissions — KV this request never had to (re-)prefill
+    /// because the pages were adopted copy-on-write from another request
+    /// or from the retained cache.
+    pub prefix_hit_tokens: usize,
     /// KV tokens whose pages survived this request's preemptions and were
     /// carried into re-admission (0 without paged retention, or if the
     /// retained pages were reclaimed under admission pressure).
@@ -54,6 +64,7 @@ impl RequestStats {
             preemptions: self.preemptions,
             retained_tokens: self.retained_tokens,
             reprefilled_tokens: self.reprefilled_tokens,
+            prefix_hit_tokens: self.prefix_hit_tokens,
         })
     }
 }
@@ -76,6 +87,8 @@ pub struct SessionStats {
     pub retained_tokens: usize,
     /// KV tokens re-prefilled across its re-admissions.
     pub reprefilled_tokens: usize,
+    /// Prompt tokens the shared-prefix cache served at its admissions.
+    pub prefix_hit_tokens: usize,
 }
 
 /// What one engine step did.
@@ -93,6 +106,10 @@ pub struct StepReport {
     pub weight_cycles: u64,
     /// Cycles of batched attention (requests share the lanes serially).
     pub attention_cycles: u64,
+    /// Cycles prefilling freshly admitted requests' prompts (0 unless the
+    /// engine prices prefill). Scales with the share of each prompt the
+    /// prefix cache could *not* serve, so prefix caching shrinks it.
+    pub prefill_cycles: u64,
     /// Cycles rebuilding KV caches of re-admitted (preempted) requests —
     /// the step-model charge that makes eviction never free. Scales with
     /// the *dropped* share of each victim's context, so paged retention
@@ -104,7 +121,7 @@ impl StepReport {
     /// Total cycles of the step.
     #[must_use]
     pub fn total_cycles(&self) -> u64 {
-        self.weight_cycles + self.attention_cycles + self.reprefill_cycles
+        self.weight_cycles + self.attention_cycles + self.prefill_cycles + self.reprefill_cycles
     }
 }
 
@@ -157,6 +174,39 @@ impl ServingReport {
     #[must_use]
     pub fn total_reprefill_cycles(&self) -> u64 {
         self.steps.iter().map(|s| s.reprefill_cycles).sum()
+    }
+
+    /// Total prompt-prefill cycles charged across all steps — the cost
+    /// prefix caching exists to shrink (0 unless the engine prices
+    /// prefill).
+    #[must_use]
+    pub fn total_prefill_cycles(&self) -> u64 {
+        self.steps.iter().map(|s| s.prefill_cycles).sum()
+    }
+
+    /// Total prompt tokens the shared-prefix cache served across all
+    /// requests.
+    #[must_use]
+    pub fn total_prefix_hit_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.prefix_hit_tokens).sum()
+    }
+
+    /// Share of all prompt-prefill demand the shared-prefix cache served,
+    /// in `[0, 1]` (0 when no request carried a prompt). Every admission
+    /// demands the request's prompt once — a preempted request re-demands
+    /// it at each re-admission (and may hit the cache again), so the
+    /// denominator is `prompt_len × (preemptions + 1)` per request.
+    #[must_use]
+    pub fn prefix_hit_rate(&self) -> f64 {
+        let demanded: usize = self
+            .requests
+            .iter()
+            .map(|r| r.prompt_len * (r.preemptions as usize + 1))
+            .sum();
+        if demanded == 0 {
+            return 0.0;
+        }
+        self.total_prefix_hit_tokens() as f64 / demanded as f64
     }
 
     /// Total KV tokens that survived preemptions across all requests.

@@ -2,7 +2,79 @@
 //! integration tests, so "the skewed workload" means the same thing in
 //! all three places.
 
-use super::queue::ServingRequest;
+use super::queue::{splitmix64, ServingRequest};
+use super::ServingEngineBuilder;
+use crate::config::AccelConfig;
+
+/// Draws the next value of a SplitMix64 stream: mixes the advanced state
+/// through the shared [`splitmix64`] and steps the counter.
+fn next_rand(state: &mut u64) -> u64 {
+    let out = splitmix64(*state);
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    out
+}
+
+/// The shared-prefix "chat" workload: `tenants` tenants, each with its own
+/// system prompt (a shared prefix of 96–160 tokens, full-page-aligned at
+/// the canonical 16-token page size), each sending `per_tenant` requests
+/// whose prompts append a short unique user turn (8–63 tokens) to the
+/// tenant's prefix. Targets, priorities and staggered arrivals vary per
+/// request, so every scheduling policy still has something to order.
+///
+/// This is the regime real serving traffic lives in — most of every
+/// prompt's KV is identical across a tenant's requests — and therefore
+/// the workload where prefix caching pays: with the cache on, only the
+/// first request per tenant prefills its system prompt; the rest adopt
+/// those pages copy-on-write and prefill only their unique suffix.
+///
+/// Fully deterministic in `seed` (same seed → identical request list,
+/// including ids, shapes and arrivals).
+#[must_use]
+pub fn shared_prefix_chat(seed: u64, tenants: u64, per_tenant: u64) -> Vec<ServingRequest> {
+    let mut state = seed ^ 0xA076_1D64_78BD_642F;
+    let mut reqs = Vec::with_capacity((tenants * per_tenant) as usize);
+    for tenant in 0..tenants {
+        let tag = next_rand(&mut state);
+        // 6..=10 pages of 16 tokens: 96, 112, 128, 144 or 160.
+        let prefix_len = 96 + 16 * (next_rand(&mut state) % 5) as usize;
+        for i in 0..per_tenant {
+            let mix = next_rand(&mut state);
+            let suffix = 8 + (mix % 56) as usize;
+            reqs.push(
+                ServingRequest::new(
+                    tenant * 1000 + i,
+                    prefix_len + suffix,
+                    2 + (mix % 7) as usize,
+                )
+                .with_priority((mix >> 8) as u8 % 4)
+                .with_client(tenant)
+                .with_shared_prefix(tag, prefix_len)
+                .arriving_at(i / 2 + (mix >> 16) % 3),
+            );
+        }
+    }
+    reqs
+}
+
+/// The canonical engine configuration for serving [`shared_prefix_chat`]:
+/// the exact setup the workspace equivalence/acceptance tests,
+/// `examples/batch_serving.rs` and the `serving_throughput` bench all
+/// measure, differing only in whether the prefix cache is on. Prompt
+/// prefill is priced (`prefill_factor` 1.0) so the cache's saving is
+/// visible in cycles; callers may still adjust the returned builder
+/// (e.g. disable event recording) before building.
+#[must_use]
+pub fn shared_prefix_engine(accel: AccelConfig, prefix_cache: bool) -> ServingEngineBuilder {
+    ServingEngineBuilder::new(accel)
+        .heads(4)
+        .weight_bytes(10_000_000)
+        .max_batch(6)
+        .max_batch_tokens(1600)
+        .page_size(16)
+        .seed(7)
+        .prefill_factor(1.0)
+        .prefix_cache(prefix_cache)
+}
 
 /// The skewed "elephant/mice" workload: `elephants` long, low-priority
 /// requests from one client arrive first and fill the batch, then `mice`
@@ -54,5 +126,51 @@ mod tests {
             .any(|m| m.max_new_tokens != mice[0].max_new_tokens));
         assert!(mice.iter().any(|m| m.arrival_step != mice[0].arrival_step));
         assert!(mice.iter().all(|m| m.arrival_step >= 2));
+    }
+
+    #[test]
+    fn shared_prefix_chat_is_deterministic_in_its_seed() {
+        let a = shared_prefix_chat(42, 4, 6);
+        let b = shared_prefix_chat(42, 4, 6);
+        assert_eq!(a, b, "same seed must reproduce the identical workload");
+        let c = shared_prefix_chat(43, 4, 6);
+        assert_ne!(a, c, "different seeds must differ");
+        assert_eq!(a.len(), 24);
+    }
+
+    #[test]
+    fn shared_prefix_chat_shares_within_and_not_across_tenants() {
+        let reqs = shared_prefix_chat(7, 3, 5);
+        for tenant in 0..3u64 {
+            let group: Vec<_> = reqs.iter().filter(|r| r.client_id == tenant).collect();
+            assert_eq!(group.len(), 5);
+            // One tag and one prefix length per tenant, page-aligned at
+            // the canonical 16-token page size and inside every prompt.
+            assert!(group.iter().all(|r| r.prefix_tag == group[0].prefix_tag));
+            assert!(group.iter().all(|r| r.prefix_len == group[0].prefix_len));
+            assert_eq!(group[0].prefix_len % 16, 0);
+            assert!((96..=160).contains(&group[0].prefix_len));
+            assert!(group.iter().all(|r| r.prompt_len > r.prefix_len));
+            // Identical leading page hashes within the tenant, so the
+            // prefix cache can actually adopt across its requests...
+            let keys: Vec<_> = group.iter().map(|r| r.page_keys(16)).collect();
+            let shared_pages = group[0].prefix_len / 16;
+            for k in &keys[1..] {
+                assert_eq!(k[..shared_pages], keys[0][..shared_pages]);
+            }
+        }
+        // ...and nothing shared between tenants.
+        let (a, b) = (
+            reqs.iter().find(|r| r.client_id == 0).unwrap(),
+            reqs.iter().find(|r| r.client_id == 1).unwrap(),
+        );
+        assert_ne!(a.page_keys(16)[0], b.page_keys(16)[0]);
+    }
+
+    #[test]
+    fn unique_ids_across_the_whole_workload() {
+        let reqs = shared_prefix_chat(1, 5, 8);
+        let ids: std::collections::BTreeSet<u64> = reqs.iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), reqs.len());
     }
 }

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use topick_accel::{
-    AccelConfig, AccelMode, PolicyKind, RetentionPolicy, ServeEvent, ServingEngine, ServingRequest,
-    ToPickAccelerator,
+    AccelConfig, AccelMode, KvPager, PolicyKind, RetentionPolicy, ServeEvent, ServingEngine,
+    ServingRequest, ToPickAccelerator,
 };
 use topick_core::{exact_probabilities, PrecisionConfig, QMatrix, QVector, Rows};
 
@@ -196,10 +196,12 @@ proptest! {
     }
 
     /// KV page accounting never leaks: at every point of any interleaving
-    /// of enqueue/step — any policy, preemption and retention included —
-    /// the pages allocated to requests (running, or retained by queued
-    /// preemption victims) plus the free list exactly cover the pager's
-    /// capacity, and a drained engine returns every page.
+    /// of enqueue/step — any policy, preemption, retention and prefix
+    /// caching included — the distinct pages mapped by requests (running,
+    /// or retained by queued preemption victims), the refcount-0 cached
+    /// pages and the free list exactly partition the pager's capacity
+    /// (with every refcount equal to its table mappings, per
+    /// `KvPager::validate`), and a drained engine unmaps every page.
     #[test]
     fn kv_page_accounting_never_leaks(
         seed in any::<u64>(),
@@ -208,6 +210,7 @@ proptest! {
         page_size in 1usize..48,
         policy_idx in 0usize..4,
         retention_idx in 0usize..4,
+        prefix_cache in any::<bool>(),
         ops in prop::collection::vec(0u8..4, 4..32),
     ) {
         let policy = PolicyKind::all()[policy_idx];
@@ -225,6 +228,8 @@ proptest! {
             .max_batch_tokens(budget)
             .page_size(page_size)
             .seed(seed)
+            .prefix_cache(prefix_cache)
+            .prefill_factor(if prefix_cache { 1.0 } else { 0.0 })
             .policy(policy)
             .enable_preemption()
             .retention(retention)
@@ -232,16 +237,19 @@ proptest! {
 
         let check_pager = |engine: &ServingEngine| {
             let pager = engine.kv_pager();
+            pager.validate();
             assert_eq!(
-                pager.allocated_pages() + pager.free_pages(),
+                pager.allocated_pages() + pager.cached_pages() + pager.free_pages(),
                 pager.total_pages(),
-                "page leak under {policy} / {retention:?}"
+                "page leak under {policy} / {retention:?} / cache {prefix_cache}"
             );
         };
         let mut next_id = 0u64;
         for (i, op) in ops.iter().enumerate() {
             if *op == 0 {
                 let mix = seed.wrapping_mul(31).wrapping_add(i as u64);
+                // A couple of shared prefix pools so adoption genuinely
+                // happens (page-aligned halves of the prompts).
                 let req = ServingRequest::new(
                     next_id,
                     4 + (mix % 48) as usize,
@@ -249,6 +257,7 @@ proptest! {
                 )
                 .with_priority((mix % 7) as u8)
                 .with_client(mix % 3)
+                .with_shared_prefix(mix % 2, page_size * ((mix % 4) as usize))
                 .arriving_at(mix % 6);
                 if engine.enqueue(req).is_ok() {
                     next_id += 1;
@@ -265,13 +274,87 @@ proptest! {
             guard += 1;
             prop_assert!(guard < 4096, "engine failed to drain");
         }
-        // Idle engine: every page is back on the free list.
+        // Idle engine: nothing stays mapped. Without the cache every page
+        // is back on the free list; with it, pages are free or cached.
         prop_assert_eq!(engine.kv_pager().allocated_pages(), 0);
+        if !prefix_cache {
+            prop_assert_eq!(engine.kv_pager().cached_pages(), 0);
+        }
         prop_assert_eq!(
-            engine.kv_pager().free_pages(),
+            engine.kv_pager().free_pages() + engine.kv_pager().cached_pages(),
             engine.kv_pager().total_pages()
         );
         prop_assert_eq!(engine.report().requests.len(), next_id as usize);
+    }
+
+    /// Refcounted pager conservation, driven directly: under arbitrary
+    /// interleavings of admit (reserve), share (register + adopt by a
+    /// second owner), fork (adopt), retire (release), preempt (truncate)
+    /// and reclaim (cache eviction inside reserve), the sum of reachable
+    /// refcounts matches the owner tables, no page is double-freed, no
+    /// page is owned by zero holders while marked allocated, and
+    /// allocated + cached + free always equals capacity
+    /// (`KvPager::validate` checks all of it after every operation).
+    #[test]
+    fn refcounted_pager_conserves_under_any_op_sequence(
+        seed in any::<u64>(),
+        page_size in 1usize..24,
+        budget in 100usize..800,
+        cache_enabled in any::<bool>(),
+        ops in prop::collection::vec(0u8..8, 4..64),
+    ) {
+        const OWNERS: u64 = 5;
+        let mut pager = KvPager::new(page_size, budget).with_prefix_cache(cache_enabled);
+        // Three content chains of up to 4 pages each; chains share no keys.
+        let chains: Vec<Vec<u64>> = (0..3u64)
+            .map(|c| (0..4).map(|p| c * 100 + p + 1).collect())
+            .collect();
+        for (i, op) in ops.iter().enumerate() {
+            let mix = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64);
+            let owner = mix % OWNERS;
+            let chain = &chains[(mix >> 8) as usize % chains.len()];
+            let chain_len = 1 + (mix >> 16) as usize % chain.len();
+            let tokens = 1 + (mix >> 24) as usize % (budget / 2);
+            match op {
+                0..=2 => {
+                    // Admit: reserve gated exactly like the engine.
+                    if pager.can_reserve(owner, tokens) {
+                        pager.reserve(owner, tokens);
+                    }
+                }
+                3 => pager.register_prefix(owner, &chain[..chain_len]),
+                4 => {
+                    // Fork/share: adopt a prefix, then cover it like a
+                    // real admission would.
+                    let (hits, _) = pager.adoptable(owner, chain);
+                    if hits > 0 {
+                        pager.adopt_prefix(owner, chain);
+                    }
+                }
+                5 => {
+                    // Preempt: truncate to an arbitrary retained prefix.
+                    let keep = (mix >> 16) as usize % (pager.pages_of(owner) + 1);
+                    pager.truncate(owner, keep);
+                }
+                _ => {
+                    // Retire / reclaim retained pages.
+                    pager.release(owner);
+                }
+            }
+            pager.validate();
+        }
+        // Releasing every owner unmaps everything.
+        for owner in 0..OWNERS {
+            pager.release(owner);
+        }
+        pager.validate();
+        prop_assert_eq!(pager.allocated_pages(), 0);
+        prop_assert_eq!(pager.mapped_pages(), 0);
+        if !cache_enabled {
+            prop_assert_eq!(pager.free_pages(), pager.total_pages());
+        }
     }
 
     /// Baseline output equals exact attention for any workload.

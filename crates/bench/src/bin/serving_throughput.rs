@@ -1,4 +1,4 @@
-//! `serving_throughput` — regression bench of the serving engine. Two
+//! `serving_throughput` — regression bench of the serving engine. Three
 //! sweeps, one JSON document on stdout:
 //!
 //! 1. **Throughput sweep** (`points`): batch size × pruning threshold
@@ -6,6 +6,9 @@
 //! 2. **Policy sweep** (`policies`): every scheduler policy on a skewed
 //!    elephant/mice workload, with and without preemption, so scheduling
 //!    regressions (mean TTFT, queue wait, eviction counts) are caught too.
+//! 3. **Prefix sweep** (`prefix`): the shared-prefix chat workload with
+//!    prompt prefill priced, cache off vs on, so the re-prefill saving
+//!    and hit rate prefix caching buys are pinned per run.
 //!
 //! ```sh
 //! cargo run --release -p topick-bench --bin serving_throughput
@@ -15,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use topick_accel::serve::workloads::skewed_elephant_mice;
+use topick_accel::serve::workloads::{shared_prefix_chat, skewed_elephant_mice};
 use topick_accel::{
     AccelConfig, AccelMode, PolicyKind, RetentionPolicy, ServingEngine, ServingReport,
     ServingRequest,
@@ -138,6 +141,36 @@ fn policy_record(
         .into()
 }
 
+/// Shared-prefix workload with prompt prefill priced: one record per
+/// cache setting, pinning the prefill/re-prefill bill and the hit rate.
+fn prefix_record(prefix_cache: bool, tenants: u64, per_tenant: u64) -> JsonValue {
+    use topick_accel::serve::workloads::shared_prefix_engine;
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut engine = shared_prefix_engine(accel, prefix_cache)
+        .record_events(false)
+        .build();
+    let clock_hz = engine.config().clock_hz;
+    for r in shared_prefix_chat(11, tenants, per_tenant) {
+        engine.enqueue(r).expect("valid request");
+    }
+    let report = engine.run_to_completion(100_000).expect("completes");
+    JsonObject::new()
+        .field("policy", report.policy.as_str())
+        .field("prefix_cache", prefix_cache)
+        .field("tokens", report.tokens_generated)
+        .field("steps", report.steps.len())
+        .field("total_cycles", report.total_cycles)
+        .field(
+            "tokens_per_s",
+            JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
+        )
+        .field("prefill_cycles", report.total_prefill_cycles())
+        .field("reprefill_cycles", report.total_reprefill_cycles())
+        .field("prefix_hit_tokens", report.total_prefix_hit_tokens())
+        .field("hit_rate", JsonValue::Prec(report.prefix_hit_rate(), 3))
+        .into()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut flags: HashMap<String, String> = HashMap::new();
@@ -207,11 +240,21 @@ fn main() {
         ));
     }
 
+    // Prefix caching off vs on at equal generated tokens: the off record
+    // is the prefill bill sharing exists to shrink, the on record shows
+    // what it recovered (hit rate included).
+    let (tenants, per_tenant) = if quick { (3, 4) } else { (4, 6) };
+    let prefix = vec![
+        prefix_record(false, tenants, per_tenant),
+        prefix_record(true, tenants, per_tenant),
+    ];
+
     let doc = JsonObject::new()
         .field("bench", "serving_throughput")
         .field("requests", requests)
         .field("quick", quick)
         .field("points", points)
-        .field("policies", policies);
+        .field("policies", policies)
+        .field("prefix", prefix);
     println!("{}", doc.render());
 }

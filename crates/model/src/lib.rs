@@ -47,6 +47,7 @@ pub mod kvcache;
 pub mod layers;
 pub mod memory;
 pub mod model;
+pub mod paged;
 pub mod perplexity;
 pub mod qcache;
 pub mod rng;
@@ -61,6 +62,7 @@ pub use attention::{
 pub use kvcache::{HeadCache, KvCache, KvView};
 pub use memory::TrafficBreakdown;
 pub use model::{sample_token, TransformerModel};
+pub use paged::{PagedKvStore, PagedSeq};
 pub use perplexity::{
     delta_ppl, evaluate_perplexity, nll_from_logits, teacher_corpus,
     teacher_corpus_with_temperature, PerplexityReport,

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use topick_model::{
-    nll_from_logits, ExactAttention, HeadCache, KvCache, ModelSpec, SynthInstance, SynthProfile,
-    TransformerModel,
+    nll_from_logits, ExactAttention, HeadCache, KvCache, ModelSpec, PagedKvStore, SynthInstance,
+    SynthProfile, TransformerModel,
 };
 
 proptest! {
@@ -109,6 +109,75 @@ proptest! {
         // And the flat buffers are the exact concatenation of the rows.
         let flat_keys: Vec<f32> = nested_keys.concat();
         prop_assert_eq!(cache.keys().data(), flat_keys.as_slice());
+    }
+
+    /// Copy-on-write page sharing is invisible to reads: under arbitrary
+    /// interleavings of push / fork-at-prefix / truncate / release across
+    /// several sequences, every sequence reads back exactly like the
+    /// naive, fully private row list it mirrors, and page refcounts
+    /// conserve.
+    #[test]
+    fn paged_store_matches_private_mirrors_under_any_interleaving(
+        seed in any::<u64>(),
+        page_size in 1usize..6,
+        ops in prop::collection::vec(0u8..8, 4..48),
+    ) {
+        const DIM: usize = 3;
+        const SLOTS: usize = 4;
+        let mut store = PagedKvStore::new(DIM, page_size);
+        let mut seqs: Vec<_> = (0..SLOTS).map(|_| store.new_seq()).collect();
+        let mut mirrors: Vec<Vec<(Vec<f32>, Vec<f32>)>> = vec![Vec::new(); SLOTS];
+        let mut stamp = 0f32;
+        for (i, op) in ops.iter().enumerate() {
+            let mix = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64);
+            let slot = (mix % SLOTS as u64) as usize;
+            let other = ((mix >> 8) % SLOTS as u64) as usize;
+            match op {
+                // Push is the common case: weight it like the engine does.
+                0..=3 => {
+                    stamp += 1.0;
+                    let k = vec![stamp, stamp + 0.25, stamp + 0.5];
+                    let v = vec![-stamp, stamp * 2.0, stamp * 0.125];
+                    store.push(&mut seqs[slot], &k, &v);
+                    mirrors[slot].push((k, v));
+                }
+                4 if slot != other => {
+                    // Fork `other` at an arbitrary prefix of `slot`,
+                    // releasing whatever `other` held.
+                    let prefix = (mix >> 16) as usize % (seqs[slot].len() + 1);
+                    let mut old = std::mem::replace(&mut seqs[other], store.new_seq());
+                    store.release(&mut old);
+                    seqs[other] = store.fork(&seqs[slot], prefix);
+                    mirrors[other] = mirrors[slot][..prefix].to_vec();
+                }
+                4 => {} // self-fork: no-op
+                5 => {
+                    let len = (mix >> 16) as usize % (seqs[slot].len() + 1);
+                    store.truncate(&mut seqs[slot], len);
+                    mirrors[slot].truncate(len);
+                }
+                _ => {
+                    store.release(&mut seqs[slot]);
+                    mirrors[slot].clear();
+                }
+            }
+            // Every sequence equals its private mirror, every time.
+            let live: Vec<_> = seqs.iter().collect();
+            store.validate(&live);
+            for (seq, mirror) in seqs.iter().zip(&mirrors) {
+                prop_assert_eq!(seq.len(), mirror.len());
+                for (j, (k, v)) in mirror.iter().enumerate() {
+                    prop_assert_eq!(store.key_row(seq, j), k.as_slice());
+                    prop_assert_eq!(store.value_row(seq, j), v.as_slice());
+                }
+            }
+        }
+        for mut seq in seqs {
+            store.release(&mut seq);
+        }
+        prop_assert_eq!(store.allocated_pages(), 0);
     }
 }
 

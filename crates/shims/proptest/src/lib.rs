@@ -212,6 +212,18 @@ pub mod test_runner {
         }
     }
 
+    /// The case count a property actually runs: the `PROPTEST_CASES`
+    /// environment variable when set to a valid number (matching the real
+    /// proptest crate, so CI can raise coverage without code changes),
+    /// otherwise the configured count.
+    #[must_use]
+    pub fn resolve_cases(configured: u32) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(configured)
+    }
+
     /// Deterministic per-case generator (SplitMix64 seeded from the test
     /// name and case index).
     #[derive(Debug, Clone)]
@@ -312,7 +324,8 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::Config = $cfg;
-                for case in 0..u64::from(config.cases) {
+                let cases = $crate::test_runner::resolve_cases(config.cases);
+                for case in 0..u64::from(cases) {
                     let mut rng =
                         $crate::test_runner::TestRng::for_case(stringify!($name), case);
                     $(
@@ -360,6 +373,17 @@ mod tests {
         #[test]
         fn default_config_runs(x in any::<u64>()) {
             let _ = x;
+        }
+    }
+
+    #[test]
+    fn proptest_cases_env_var_overrides_the_configured_count() {
+        // Inspect the resolver directly instead of mutating the process
+        // environment (tests run concurrently and every property reads it).
+        let resolved = crate::test_runner::resolve_cases(64);
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => assert_eq!(resolved, v.parse().unwrap_or(64)),
+            Err(_) => assert_eq!(resolved, 64),
         }
     }
 }

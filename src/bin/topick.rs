@@ -8,6 +8,7 @@
 //! topick serve   [--requests N] [--batch B] [--threshold T] [--seed S] [--baseline]
 //!                [--policy fifo|priority|sjf|fair|all] [--preemption]
 //!                [--page-size P] [--retention none|<pages>|<fraction>]
+//!                [--prefix-cache] [--prefill-factor F]
 //! topick help
 //! ```
 
@@ -178,6 +179,8 @@ struct ServeOpts {
     preemption: bool,
     page_size: usize,
     retention: token_picker::accel::RetentionPolicy,
+    prefix_cache: bool,
+    prefill_factor: f64,
 }
 
 fn serve_once(
@@ -189,6 +192,8 @@ fn serve_once(
     let mut builder = ServingEngine::builder(AccelConfig::paper(opts.mode, opts.threshold)?)
         .max_batch(opts.batch)
         .page_size(opts.page_size)
+        .prefix_cache(opts.prefix_cache)
+        .prefill_factor(opts.prefill_factor)
         .seed(opts.seed)
         .policy(policy);
     if opts.preemption {
@@ -200,11 +205,14 @@ fn serve_once(
         // Heterogeneous shapes, priorities and clients so every policy has
         // something to differentiate on; arrivals come in waves so
         // later high-priority work can actually contend with (and under
-        // --preemption, evict) earlier long-running requests.
+        // --preemption, evict) earlier long-running requests. Requests of
+        // one client share a page-aligned system prompt, so
+        // --prefix-cache has real prefixes to hit.
         engine.enqueue(
             ServingRequest::new(id, 64 + (id as usize % 7) * 32, 4 + (id as usize % 5) * 2)
                 .with_priority((id % 4) as u8)
                 .with_client(id % 3)
+                .with_shared_prefix(id % 3, 64)
                 .arriving_at((id / 4) * 3),
         )?;
     }
@@ -223,6 +231,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
     if retention != RetentionPolicy::None && !flags.contains_key("preemption") {
         return Err("--retention only takes effect with --preemption".into());
     }
+    let prefix_cache = flags.contains_key("prefix-cache");
     let opts = ServeOpts {
         mode: if baseline_mode {
             AccelMode::Baseline
@@ -240,25 +249,42 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         preemption: flags.contains_key("preemption"),
         page_size: flag(flags, "page-size", 16usize),
         retention,
+        prefix_cache,
+        // Prompt prefill is priced by default once the cache is on (the
+        // saving is otherwise invisible), and free otherwise — matching
+        // the engine's default.
+        prefill_factor: flag(
+            flags,
+            "prefill-factor",
+            if prefix_cache { 1.0 } else { 0.0 },
+        ),
     };
     let policy_flag = flags.get("policy").map_or("fifo", String::as_str);
 
     if policy_flag == "all" {
         println!(
-            "{:<20} {:>8} {:>12} {:>11} {:>10} {:>9} {:>11}",
-            "policy", "steps", "tokens/s", "mean TTFT", "mean wait", "preempts", "reprefill"
+            "{:<20} {:>8} {:>12} {:>11} {:>10} {:>9} {:>11} {:>9}",
+            "policy",
+            "steps",
+            "tokens/s",
+            "mean TTFT",
+            "mean wait",
+            "preempts",
+            "reprefill",
+            "KV hits"
         );
         for kind in PolicyKind::all() {
             let (report, clock_hz) = serve_once(&opts, kind)?;
             println!(
-                "{:<20} {:>8} {:>12.1} {:>11.2} {:>10.2} {:>9} {:>11}",
+                "{:<20} {:>8} {:>12.1} {:>11.2} {:>10.2} {:>9} {:>11} {:>9}",
                 report.policy,
                 report.steps.len(),
                 report.tokens_per_second(clock_hz),
                 report.mean_ttft_steps(),
                 report.mean_queue_wait_steps(),
                 report.preemptions,
-                report.total_reprefill_cycles()
+                report.total_reprefill_cycles(),
+                report.total_prefix_hit_tokens()
             );
         }
         return Ok(());
@@ -292,6 +318,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         report.total_reprefilled_tokens(),
         report.total_retained_tokens()
     );
+    println!(
+        "prefill        : {} cycles ({} prompt tokens served from the prefix cache, {:.0}% hit rate)",
+        report.total_prefill_cycles(),
+        report.total_prefix_hit_tokens(),
+        100.0 * report.prefix_hit_rate()
+    );
     println!("V reduction    : {:.2}x", report.prune.v_reduction());
     Ok(())
 }
@@ -312,6 +344,7 @@ fn usage() {
     println!("           [--requests N] [--batch B] [--threshold T] [--seed S] [--baseline]");
     println!("           [--policy fifo|priority|sjf|fair|all] [--preemption]");
     println!("           [--page-size P] [--retention none|<pages>|<fraction>]");
+    println!("           [--prefix-cache] [--prefill-factor F]");
 }
 
 fn main() {

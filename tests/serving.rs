@@ -10,7 +10,7 @@ use std::collections::BTreeSet;
 
 use token_picker::accel::{
     AccelConfig, AccelMode, AdmissionConfig, PolicyKind, RetentionPolicy, ServeEvent,
-    ServingConfig, ServingEngine, ServingRequest,
+    ServingConfig, ServingEngine, ServingReport, ServingRequest,
 };
 
 fn mixed_workload() -> Vec<ServingRequest> {
@@ -33,6 +33,7 @@ fn serving_config(mode: AccelMode, threshold: f64) -> ServingConfig {
         max_batch: 6,
         max_batch_tokens: 4096,
         page_size: 16,
+        prefix_cache: false,
     };
     cfg.seed = 7;
     cfg
@@ -318,6 +319,480 @@ fn preemption_bends_the_latency_profile_on_a_skewed_workload() {
     let reprefill: u64 = preempting.steps.iter().map(|s| s.reprefill_cycles).sum();
     assert!(reprefill > 0);
     assert_ne!(fifo.total_cycles, preempting.total_cycles);
+}
+
+/// FNV-1a fold of every pre-prefix-caching schedule observable: per-step
+/// tuples, per-request lifecycles and the report totals. New fields
+/// (`prefill_cycles`, `prefix_hit_tokens`) are deliberately *excluded* and
+/// asserted zero separately, so these digests are comparable with the
+/// PR 3 engine they were captured from.
+fn schedule_digest(report: &ServingReport) -> u64 {
+    fn fnv(h: &mut u64, v: u64) {
+        *h ^= v;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in &report.steps {
+        for v in [
+            s.index as u64,
+            s.batch as u64,
+            s.context_tokens as u64,
+            s.weight_cycles,
+            s.attention_cycles,
+            s.reprefill_cycles,
+        ] {
+            fnv(&mut h, v);
+        }
+    }
+    for r in &report.requests {
+        for v in [
+            r.id,
+            r.prompt_len as u64,
+            r.generated as u64,
+            u64::from(r.priority),
+            r.client_id,
+            r.enqueued_at as u64,
+            r.admitted_at.map_or(u64::MAX, |s| s as u64),
+            r.first_token_at.map_or(u64::MAX, |s| s as u64),
+            r.finished_at.map_or(u64::MAX, |s| s as u64),
+            u64::from(r.preemptions),
+            r.attention_cycles,
+            r.reprefill_cycles,
+            r.retained_tokens as u64,
+            r.reprefilled_tokens as u64,
+        ] {
+            fnv(&mut h, v);
+        }
+    }
+    fnv(&mut h, report.total_cycles);
+    fnv(&mut h, report.tokens_generated as u64);
+    fnv(&mut h, report.preemptions as u64);
+    h
+}
+
+/// Golden schedule digests of the PR 3 engine (captured before prefix
+/// caching existed) on the canonical skewed workload: every policy,
+/// without preemption and with preemption + 0.75-fraction paged
+/// retention.
+const GOLDEN_POLICY_DIGESTS: [(PolicyKind, bool, u64); 8] = [
+    (PolicyKind::Fifo, false, 0xcfd8e5bfc39f65b8),
+    (PolicyKind::Fifo, true, 0xcfd8e5bfc39f65b8),
+    (PolicyKind::PriorityAging, false, 0xf2534e6ff39652df),
+    (PolicyKind::PriorityAging, true, 0xa621ccffc353bdf4),
+    (PolicyKind::ShortestJobFirst, false, 0xea6cf1fed6d69c34),
+    (PolicyKind::ShortestJobFirst, true, 0xe4e6cde81d376586),
+    (PolicyKind::FairRoundRobin, false, 0xb98fc934d9b2935f),
+    (PolicyKind::FairRoundRobin, true, 0x03d59e4836f2e5fe),
+];
+
+#[test]
+fn every_policy_reproduces_the_pre_prefix_caching_schedule_exactly() {
+    for &(policy, preemption, digest) in &GOLDEN_POLICY_DIGESTS {
+        let report =
+            serve_skewed_with_retention(policy, preemption, RetentionPolicy::Fraction(0.75));
+        // Prefix caching off and prefill unpriced: the new machinery must
+        // be completely invisible...
+        for s in &report.steps {
+            assert_eq!(s.prefill_cycles, 0, "{policy}: prefill charged");
+        }
+        for r in &report.requests {
+            assert_eq!(r.prefill_cycles, 0, "{policy}: prefill charged");
+            assert_eq!(r.prefix_hit_tokens, 0, "{policy}: phantom cache hit");
+        }
+        // ...and the schedule bit-identical to the captured PR 3 run.
+        assert_eq!(
+            schedule_digest(&report),
+            digest,
+            "{policy} (preemption: {preemption}) diverged from the PR 3 schedule"
+        );
+    }
+}
+
+/// The canonical shared-prefix configuration: the `shared_prefix_chat`
+/// workload under FIFO with prompt prefill priced, toggling only the
+/// prefix cache.
+fn serve_shared_prefix(prefix_cache: bool) -> ServingReport {
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut engine =
+        token_picker::accel::serve::workloads::shared_prefix_engine(accel, prefix_cache).build();
+    for r in token_picker::accel::serve::workloads::shared_prefix_chat(11, 4, 6) {
+        engine.enqueue(r).expect("valid request");
+    }
+    let report = engine.run_to_completion(4096).expect("workload completes");
+    // The pager conserves pages throughout and drains to nothing mapped.
+    engine.kv_pager().validate();
+    assert_eq!(engine.kv_pager().allocated_pages(), 0);
+    report
+}
+
+#[test]
+fn prefix_caching_is_invisible_to_results_and_strictly_cheaper() {
+    let off = serve_shared_prefix(false);
+    let on = serve_shared_prefix(true);
+
+    // Sharing must be invisible to results: the same tokens come out of
+    // every request either way.
+    assert_eq!(off.tokens_generated, on.tokens_generated);
+    assert_eq!(off.requests.len(), on.requests.len());
+    let on_by_id: std::collections::HashMap<u64, _> =
+        on.requests.iter().map(|r| (r.id, r)).collect();
+    for r_off in &off.requests {
+        let r_on = on_by_id[&r_off.id];
+        assert_eq!(r_off.generated, r_on.generated, "request {}", r_off.id);
+        // Without preemption each request decodes at each of its contexts
+        // exactly once, so its attention bill is schedule-independent.
+        assert_eq!(
+            r_off.attention_cycles, r_on.attention_cycles,
+            "request {}",
+            r_off.id
+        );
+        // Cached prefill never exceeds uncached: the cache can only
+        // shrink the prompt share a request must prefill.
+        assert!(
+            r_on.prefill_cycles <= r_off.prefill_cycles,
+            "request {}: cached prefill {} > uncached {}",
+            r_off.id,
+            r_on.prefill_cycles,
+            r_off.prefill_cycles
+        );
+        assert_eq!(r_off.prefix_hit_tokens, 0);
+    }
+
+    // The savings are prefix-hit-consistent: hits happened, and every hit
+    // token is a prompt token some request did not re-prefill.
+    assert_eq!(off.total_prefix_hit_tokens(), 0);
+    assert!(on.total_prefix_hit_tokens() > 0, "no prefix hits at all");
+    assert!(
+        on.prefix_hit_rate() > 0.3,
+        "hit rate {}",
+        on.prefix_hit_rate()
+    );
+    assert!(on.total_prefill_cycles() < off.total_prefill_cycles());
+    assert_eq!(off.preemptions, 0);
+    assert_eq!(on.preemptions, 0);
+}
+
+#[test]
+fn prefix_caching_cuts_prefill_cycles_by_at_least_thirty_percent() {
+    let off = serve_shared_prefix(false);
+    let on = serve_shared_prefix(true);
+    assert_eq!(off.tokens_generated, on.tokens_generated, "unequal work");
+    let bill_off = off.total_prefill_cycles() + off.total_reprefill_cycles();
+    let bill_on = on.total_prefill_cycles() + on.total_reprefill_cycles();
+    assert!(bill_off > 0, "workload must actually prefill");
+    let saved = 1.0 - bill_on as f64 / bill_off as f64;
+    assert!(
+        saved >= 0.30,
+        "prefix caching saved only {:.1}% of the prefill bill ({} -> {} cycles)",
+        saved * 100.0,
+        bill_off,
+        bill_on
+    );
+}
+
+#[test]
+fn admission_events_report_cached_tokens() {
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut engine = ServingEngine::builder(accel)
+        .heads(2)
+        .weight_bytes(1_000_000)
+        .max_batch(4)
+        .max_batch_tokens(1600)
+        .prefix_cache(true)
+        .build();
+    // Two requests sharing a 64-token (4-page) prefix; the second adopts
+    // all four shared pages.
+    engine
+        .enqueue(ServingRequest::new(0, 80, 2).with_shared_prefix(9, 64))
+        .expect("valid");
+    engine
+        .enqueue(ServingRequest::new(1, 96, 2).with_shared_prefix(9, 64))
+        .expect("valid");
+    engine.run_to_completion(16).expect("completes");
+    let cached: Vec<(u64, usize)> = engine
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            ServeEvent::Admitted {
+                id, cached_tokens, ..
+            } => Some((*id, *cached_tokens)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cached, vec![(0, 0), (1, 64)]);
+    let hit = engine
+        .report()
+        .requests
+        .iter()
+        .find(|r| r.id == 1)
+        .unwrap()
+        .prefix_hit_tokens;
+    assert_eq!(hit, 64);
+}
+
+#[test]
+fn reclaim_never_strips_shared_retained_pages_for_no_gain() {
+    // A and B share a 64-token (4-page) prompt prefix; B is preempted
+    // with those shared pages retained while A keeps running. A later
+    // page-starved candidate must NOT reclaim B's retained pages: they
+    // are shared with A, so dropping B's mappings frees no capacity and
+    // would only charge B re-prefill debt for nothing.
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut engine = ServingEngine::builder(accel)
+        .heads(2)
+        .weight_bytes(1_000_000)
+        .max_batch(3)
+        .max_batch_tokens(192) // 12 pages of 16 tokens
+        .page_size(16)
+        .prefix_cache(true)
+        .policy(PolicyKind::PriorityAging)
+        .preemption(
+            token_picker::accel::PreemptionConfig::enabled()
+                .with_retention(RetentionPolicy::Fraction(0.8)),
+        )
+        .build();
+    engine
+        .enqueue(
+            ServingRequest::new(0, 64, 8)
+                .with_priority(5)
+                .with_shared_prefix(1, 64),
+        )
+        .expect("valid");
+    engine
+        .enqueue(
+            ServingRequest::new(1, 64, 4)
+                .with_priority(1)
+                .with_shared_prefix(1, 64),
+        )
+        .expect("valid");
+    engine.step().expect("step").expect("report"); // A and B run
+                                                   // C needs 7 pages with 6 free: evicts B (lowest priority), which
+                                                   // retains its 4 shared prompt pages in the queue.
+    engine
+        .enqueue(ServingRequest::new(2, 96, 8).with_priority(9))
+        .expect("valid");
+    engine.step().expect("step").expect("report");
+    // D needs 6 pages with 0 free and a slot available: the reclaim path
+    // runs, finds only B's shared retained pages, and must leave them
+    // alone — dropping B's mappings would free nothing (A still maps the
+    // same pages) while charging B re-prefill debt.
+    engine
+        .enqueue(ServingRequest::new(3, 80, 4).with_priority(9))
+        .expect("valid");
+    engine.step().expect("step").expect("report");
+    // A (5 pages), C (7) and queued B (4, all shared with A) all keep
+    // their mappings through D's failed reclaim pressure.
+    assert_eq!(engine.kv_pager().mapped_pages(), 16, "B was stripped");
+    assert_eq!(engine.kv_pager().cached_pages(), 0);
+    engine.kv_pager().validate();
+
+    let report = engine.run_to_completion(64).expect("completes");
+    engine.kv_pager().validate();
+    assert_eq!(report.requests.len(), 4);
+    let b = report.requests.iter().find(|r| r.id == 1).expect("B done");
+    assert_eq!(b.preemptions, 1, "B evicted exactly once");
+    // B's first admission adopted A's whole 64-token shared prefix.
+    assert_eq!(b.prefix_hit_tokens, 64);
+}
+
+#[test]
+fn retention_cannot_keep_kv_that_was_never_prefilled() {
+    // A is admitted and evicted within the same admission round (aging
+    // lets it beat B's effective priority, raw priority lets B evict it)
+    // — before its first decode step ever built any KV. Retention keeps
+    // its pages, but the "retained" KV was never prefilled: the model
+    // must charge the full context as re-prefill debt, or the skipped
+    // prefill would be billed to no one.
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut engine = ServingEngine::builder(accel)
+        .heads(2)
+        .weight_bytes(1_000_000)
+        .max_batch(1)
+        .max_batch_tokens(512)
+        .page_size(16)
+        .prefix_cache(true)
+        .prefill_factor(1.0)
+        .policy(PolicyKind::PriorityAging)
+        .preemption(
+            token_picker::accel::PreemptionConfig::enabled()
+                .with_retention(RetentionPolicy::Fraction(0.75)),
+        )
+        .build();
+    // C holds the only slot through step 16; A queues and ages from
+    // effective priority 2 to 4.
+    engine
+        .enqueue(ServingRequest::new(0, 16, 17).with_priority(9))
+        .expect("valid");
+    engine
+        .enqueue(ServingRequest::new(1, 64, 2).with_priority(2))
+        .expect("valid");
+    // B arrives exactly when C retires: step 17 admits A first (aged
+    // effective 4 beats B's 3), then B evicts it on raw priority (3 > 2).
+    engine
+        .enqueue(
+            ServingRequest::new(2, 16, 2)
+                .with_priority(3)
+                .arriving_at(17),
+        )
+        .expect("valid");
+    let report = engine.run_to_completion(64).expect("completes");
+    engine.kv_pager().validate();
+
+    let a = report.requests.iter().find(|r| r.id == 1).expect("A done");
+    assert_eq!(a.preemptions, 1, "A evicted exactly once");
+    // Nothing of A's KV existed at eviction time, so nothing counts as
+    // retained and the whole 64-token context is re-prefilled...
+    assert_eq!(a.retained_tokens, 0);
+    assert_eq!(a.reprefilled_tokens, 64);
+    assert!(a.reprefill_cycles > 0);
+    // ...through the re-prefill path alone; the folded prefill charge
+    // must not ALSO be billed.
+    assert_eq!(a.prefill_cycles, 0);
+    let evicted_before_first_decode = engine.events().iter().any(|e| {
+        matches!(
+            e,
+            ServeEvent::Preempted {
+                id: 1,
+                generated: 0,
+                retained_tokens: 0,
+                dropped_tokens: 64,
+                ..
+            }
+        )
+    });
+    assert!(
+        evicted_before_first_decode,
+        "scenario must preempt A before its first decode"
+    );
+}
+
+#[test]
+fn reclaim_never_strips_pages_the_candidate_would_adopt() {
+    // Queued victim B retains its 4 registered prompt pages at refcount 1.
+    // A page-starved same-tenant candidate C would adopt exactly those
+    // pages, so reclaiming them gains C nothing (they just move into the
+    // cache C's admission arithmetic already counts) while charging B
+    // re-prefill debt. The reclaim path must leave B alone.
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut engine = ServingEngine::builder(accel)
+        .heads(2)
+        .weight_bytes(1_000_000)
+        .max_batch(2)
+        .max_batch_tokens(160) // 10 pages of 16 tokens
+        .page_size(16)
+        .prefix_cache(true)
+        .policy(PolicyKind::PriorityAging)
+        .preemption(
+            token_picker::accel::PreemptionConfig::enabled()
+                .with_retention(RetentionPolicy::Fraction(0.8)),
+        )
+        .build();
+    // F1 (5 pages) and B (5 pages) fill the budget.
+    engine
+        .enqueue(ServingRequest::new(0, 48, 20).with_priority(9))
+        .expect("valid");
+    engine
+        .enqueue(
+            ServingRequest::new(1, 64, 4)
+                .with_priority(1)
+                .with_shared_prefix(7, 64),
+        )
+        .expect("valid");
+    engine.step().expect("step").expect("report");
+    // F2 evicts B (1-page need, slot shortage): B queues retaining its 4
+    // registered prompt pages, sole holder.
+    engine
+        .enqueue(ServingRequest::new(2, 8, 8).with_priority(9).arriving_at(1))
+        .expect("valid");
+    // C shares B's prompt; its 6-page need exceeds free + its 4 adoptable
+    // hits once F2 retires, so the reclaim path runs while C stays
+    // head-of-line blocked until F1 retires.
+    engine
+        .enqueue(
+            ServingRequest::new(3, 64, 24)
+                .with_priority(9)
+                .with_shared_prefix(7, 64)
+                .arriving_at(2),
+        )
+        .expect("valid");
+    let report = engine.run_to_completion(256).expect("completes");
+    engine.kv_pager().validate();
+
+    let b = report.requests.iter().find(|r| r.id == 1).expect("B done");
+    assert_eq!(b.preemptions, 1, "B evicted exactly once");
+    // B's retained prefix survived C's reclaim pressure untouched; only
+    // the 1-token eviction suffix was ever re-prefilled.
+    assert_eq!(b.retained_tokens, 64);
+    assert_eq!(b.reprefilled_tokens, 1);
+    // And C genuinely adopted B's pages at admission.
+    let c = report.requests.iter().find(|r| r.id == 3).expect("C done");
+    assert_eq!(c.prefix_hit_tokens, 64);
+}
+
+#[test]
+fn retention_cannot_keep_kv_whose_rebuild_was_never_charged() {
+    // The symmetric re-prefill case: A is evicted, re-admitted (its
+    // rebuild debt still uncharged), and evicted AGAIN before the decode
+    // step that would have rebuilt its KV. The second eviction must not
+    // convert the outstanding 64-token debt into "retained" KV.
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut engine = ServingEngine::builder(accel)
+        .heads(2)
+        .weight_bytes(1_000_000)
+        .max_batch(1)
+        .max_batch_tokens(512)
+        .page_size(16)
+        .prefix_cache(true)
+        .prefill_factor(1.0)
+        .policy(PolicyKind::PriorityAging)
+        .preemption(
+            token_picker::accel::PreemptionConfig::enabled()
+                .with_retention(RetentionPolicy::Fraction(0.75)),
+        )
+        .build();
+    // C occupies the slot while A ages; B evicts A the moment it is
+    // first admitted (step 17, before any decode).
+    engine
+        .enqueue(ServingRequest::new(0, 16, 17).with_priority(9))
+        .expect("valid");
+    engine
+        .enqueue(ServingRequest::new(1, 64, 2).with_priority(2))
+        .expect("valid");
+    engine
+        .enqueue(
+            ServingRequest::new(2, 16, 2)
+                .with_priority(3)
+                .arriving_at(17),
+        )
+        .expect("valid");
+    // C2 re-occupies the slot while A ages again; D then evicts A at its
+    // re-admission (step 34), again before any decode.
+    engine
+        .enqueue(
+            ServingRequest::new(3, 16, 15)
+                .with_priority(9)
+                .arriving_at(18),
+        )
+        .expect("valid");
+    engine
+        .enqueue(
+            ServingRequest::new(4, 16, 2)
+                .with_priority(3)
+                .arriving_at(34),
+        )
+        .expect("valid");
+    let report = engine.run_to_completion(64).expect("completes");
+    engine.kv_pager().validate();
+
+    let a = report.requests.iter().find(|r| r.id == 1).expect("A done");
+    assert_eq!(a.preemptions, 2, "A evicted at both admissions");
+    assert_eq!(a.generated, 2);
+    // Neither eviction had any built KV to retain, and the full context
+    // is eventually rebuilt through the re-prefill path exactly once.
+    assert_eq!(a.retained_tokens, 0);
+    assert_eq!(a.reprefilled_tokens, 64);
+    assert!(a.reprefill_cycles > 0);
+    assert_eq!(a.prefill_cycles, 0);
 }
 
 #[test]
