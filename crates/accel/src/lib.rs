@@ -58,8 +58,9 @@ pub use layout::KvLayout;
 pub use prompt::{run_prompt_phase, PromptPhaseResult};
 pub use result::AttentionStepResult;
 pub use serve::{
-    AdmissionConfig, FairRoundRobin, Fifo, KvPager, PendingView, PolicyKind, PreemptionConfig,
-    PriorityAging, RequestStats, RetentionPolicy, RunningView, SchedulerPolicy, ServeError,
-    ServeEvent, ServingConfig, ServingEngine, ServingEngineBuilder, ServingReport, ServingRequest,
-    SessionStats, ShortestJobFirst, StepReport,
+    AdmissionConfig, ClusterEngine, ClusterEngineBuilder, ClusterEvent, ClusterReport,
+    ClusterStepReport, FairRoundRobin, Fifo, KvPager, PendingView, PolicyKind, PreemptionConfig,
+    PriorityAging, RequestStats, RetentionPolicy, RoutingKind, RoutingPolicy, RunningView,
+    SchedulerPolicy, ServeError, ServeEvent, ServingConfig, ServingEngine, ServingEngineBuilder,
+    ServingReport, ServingRequest, SessionStats, ShardView, ShortestJobFirst, StepReport,
 };

@@ -1,0 +1,858 @@
+//! Multi-engine sharded serving: N independent [`ServingEngine`] shards
+//! behind one admission front door.
+//!
+//! A [`ClusterEngine`] owns its shards outright — each shard is a complete
+//! serving engine with its own scheduler, arrival queue, batch and
+//! [`KvPager`](super::KvPager) — and adds exactly two cluster-level
+//! decisions on top:
+//!
+//! 1. **Routing**: every [`enqueue`](ClusterEngine::enqueue) asks the
+//!    configured [`RoutingPolicy`] which shard the request lands on.
+//!    [`RoundRobin`](super::router::RoundRobin) spreads blindly,
+//!    [`LeastLoaded`](super::router::LeastLoaded) follows the backlog, and
+//!    [`PrefixAffinity`](super::router::PrefixAffinity) keys on the
+//!    request's prompt-page hashes so requests sharing a prompt prefix
+//!    land on the shard whose prefix cache already holds those pages —
+//!    per-shard caches are independent, and affinity routing is what
+//!    recovers the sharing a random split would destroy.
+//! 2. **Work stealing** (optional): before each cluster step, queued
+//!    requests that have *never run* migrate from the most-loaded shard to
+//!    idle shards, with deterministic tie-breaking. Running requests are
+//!    never migrated — their KV pages live in one shard's pager and moving
+//!    them would mean a cross-shard KV transfer the model does not price.
+//!
+//! Shards step in **lockstep**: one cluster step steps every shard once
+//! (idle shards record a zero-cycle tick so their clocks stay aligned),
+//! and the cluster's cycle total is the *makespan* — the sum over cluster
+//! steps of the busiest shard's cycles — because shards model engines
+//! running in parallel, not serially.
+
+use super::error::ServeError;
+use super::events::ServeEvent;
+use super::policy::{PolicyKind, PreemptionConfig, RetentionPolicy};
+use super::queue::ServingRequest;
+use super::router::{RoutingKind, RoutingPolicy, ShardView};
+use super::stats::{RequestStats, ServingReport};
+use super::{AdmissionConfig, ServingConfig, ServingEngine};
+
+use crate::config::AccelConfig;
+
+/// One observable cluster-level event: a shard's own [`ServeEvent`] tagged
+/// with the shard it happened on, or a work-steal migration between
+/// shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// A shard recorded a serving event.
+    Shard {
+        /// The shard the event happened on.
+        shard_id: usize,
+        /// The event itself (steps are cluster steps — shards run in
+        /// lockstep).
+        event: ServeEvent,
+    },
+    /// Work stealing migrated a queued, never-admitted request between
+    /// shards (it re-enqueues on `to`, so a second
+    /// [`ServeEvent::Enqueued`] follows there).
+    Stolen {
+        /// The migrated request's id.
+        id: u64,
+        /// The shard it was queued on.
+        from: usize,
+        /// The shard it now queues on.
+        to: usize,
+        /// Cluster step of the migration.
+        step: usize,
+    },
+}
+
+/// What one cluster step did, across all shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterStepReport {
+    /// Cluster step index (0-based; equals every shard's step index).
+    pub index: usize,
+    /// Requests decoded across all shards in this step.
+    pub batch: usize,
+    /// The busiest shard's cycles this step — the step's contribution to
+    /// the cluster makespan, since shards run in parallel.
+    pub critical_cycles: u64,
+}
+
+/// Aggregate outcome of a workload served across shards: every shard's
+/// own [`ServingReport`] plus the cluster-level accounting (makespan,
+/// steal counts, combined prefix-cache effectiveness, load imbalance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Name of the routing policy that placed the requests.
+    pub routing: String,
+    /// Name of the per-shard scheduling policy.
+    pub policy: String,
+    /// Whether work stealing was enabled.
+    pub stealing: bool,
+    /// Queued-request migrations work stealing performed.
+    pub steals: usize,
+    /// Cluster steps executed (shards run in lockstep, so this is also
+    /// every shard's step count).
+    pub cluster_steps: usize,
+    /// Cluster makespan in cycles: the sum over cluster steps of the
+    /// busiest shard's cycles, since shards run in parallel.
+    pub total_cycles: u64,
+    /// Per-shard serving reports, indexed by shard id.
+    pub shards: Vec<ServingReport>,
+}
+
+impl ClusterReport {
+    /// Tokens generated across all shards.
+    #[must_use]
+    pub fn tokens_generated(&self) -> usize {
+        self.shards.iter().map(|s| s.tokens_generated).sum()
+    }
+
+    /// Evictions across all shards.
+    #[must_use]
+    pub fn preemptions(&self) -> usize {
+        self.shards.iter().map(|s| s.preemptions).sum()
+    }
+
+    /// Finished requests across all shards, as `(shard_id, stats)`.
+    pub fn requests(&self) -> impl Iterator<Item = (usize, &RequestStats)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, s)| s.requests.iter().map(move |r| (shard, r)))
+    }
+
+    /// End-to-end cluster throughput in generated tokens per second at
+    /// `clock_hz`, over the parallel makespan — this is the number that
+    /// must *rise* with shard count for sharding to be worth anything.
+    #[must_use]
+    pub fn tokens_per_second(&self, clock_hz: f64) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.tokens_generated() as f64 / (self.total_cycles as f64 / clock_hz)
+    }
+
+    /// Total prompt-prefill cycles charged across all shards.
+    #[must_use]
+    pub fn total_prefill_cycles(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(ServingReport::total_prefill_cycles)
+            .sum()
+    }
+
+    /// Total KV re-prefill cycles charged across all shards.
+    #[must_use]
+    pub fn total_reprefill_cycles(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(ServingReport::total_reprefill_cycles)
+            .sum()
+    }
+
+    /// Total prompt tokens served out of the shards' prefix caches.
+    #[must_use]
+    pub fn total_prefix_hit_tokens(&self) -> usize {
+        self.shards
+            .iter()
+            .map(ServingReport::total_prefix_hit_tokens)
+            .sum()
+    }
+
+    /// Cluster-wide share of prompt-prefill demand the per-shard prefix
+    /// caches served, in `[0, 1]` — the same normalization as
+    /// [`ServingReport::prefix_hit_rate`], summed over shards. Per-shard
+    /// caches are independent, so this is the number prefix-affinity
+    /// routing exists to defend.
+    #[must_use]
+    pub fn prefix_hit_rate(&self) -> f64 {
+        let demanded: usize = self
+            .requests()
+            .map(|(_, r)| r.prompt_len * (r.preemptions as usize + 1))
+            .sum();
+        if demanded == 0 {
+            return 0.0;
+        }
+        self.total_prefix_hit_tokens() as f64 / demanded as f64
+    }
+
+    /// Load imbalance across shards: the busiest shard's total cycles over
+    /// the mean shard's, `≥ 1.0` (1.0 = perfectly balanced; also 1.0 for a
+    /// single shard or an idle cluster). Work stealing exists to push this
+    /// toward 1.
+    #[must_use]
+    pub fn load_imbalance(&self) -> f64 {
+        let cycles: Vec<u64> = self.shards.iter().map(|s| s.total_cycles).collect();
+        let max = cycles.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        let mean = cycles.iter().sum::<u64>() as f64 / cycles.len() as f64;
+        max as f64 / mean
+    }
+}
+
+/// Step-by-step construction of a [`ClusterEngine`]: the per-shard serving
+/// configuration and scheduler, plus the cluster-level knobs (shard count,
+/// routing policy, work stealing).
+///
+/// Every shard is built identically — same limits, same scheduler kind,
+/// same workload seed — so a request costs the same cycles wherever it
+/// lands, and routing/stealing choices change *placement*, never results.
+///
+/// # Examples
+///
+/// ```
+/// use topick_accel::{AccelConfig, AccelMode, ClusterEngine, RoutingKind, ServingRequest};
+///
+/// let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3)?;
+/// let mut cluster = ClusterEngine::builder(accel)
+///     .heads(2)
+///     .max_batch(2)
+///     .shards(2)
+///     .routing(RoutingKind::LeastLoaded)
+///     .stealing(true)
+///     .build();
+/// for id in 0..4 {
+///     cluster.enqueue(ServingRequest::new(id, 24, 2))?;
+/// }
+/// let report = cluster.run_to_completion(64)?;
+/// assert_eq!(report.tokens_generated(), 8);
+/// assert_eq!(report.shards.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ClusterEngineBuilder {
+    cfg: ServingConfig,
+    policy: PolicyKind,
+    shards: usize,
+    routing: Box<dyn RoutingPolicy>,
+    stealing: bool,
+    record_events: bool,
+}
+
+impl ClusterEngineBuilder {
+    /// Starts from paper-flavoured defaults around an accelerator config:
+    /// one shard, FIFO scheduling, round-robin routing, stealing off —
+    /// the configuration whose schedule is bit-identical to a bare
+    /// [`ServingEngine`].
+    #[must_use]
+    pub fn new(accel: AccelConfig) -> Self {
+        Self {
+            cfg: ServingConfig::new(accel),
+            policy: PolicyKind::Fifo,
+            shards: 1,
+            routing: RoutingKind::RoundRobin.build(),
+            stealing: false,
+            record_events: true,
+        }
+    }
+
+    /// Replaces the whole per-shard serving configuration.
+    #[must_use]
+    pub fn config(mut self, cfg: ServingConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the per-shard admission limits.
+    #[must_use]
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Sets each shard's batch slot limit.
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.cfg.admission.max_batch = max_batch;
+        self
+    }
+
+    /// Sets each shard's KV token budget.
+    #[must_use]
+    pub fn max_batch_tokens(mut self, max_batch_tokens: usize) -> Self {
+        self.cfg.admission.max_batch_tokens = max_batch_tokens;
+        self
+    }
+
+    /// Sets the KV page size in tokens.
+    #[must_use]
+    pub fn page_size(mut self, page_size: usize) -> Self {
+        self.cfg.admission.page_size = page_size;
+        self
+    }
+
+    /// Enables per-shard copy-on-write prefix caching.
+    #[must_use]
+    pub fn prefix_cache(mut self, enabled: bool) -> Self {
+        self.cfg.admission.prefix_cache = enabled;
+        self
+    }
+
+    /// Sets the prompt-prefill charge factor.
+    #[must_use]
+    pub fn prefill_factor(mut self, prefill_factor: f64) -> Self {
+        self.cfg.prefill_factor = prefill_factor;
+        self
+    }
+
+    /// Sets the attention head count per request per step.
+    #[must_use]
+    pub fn heads(mut self, heads: usize) -> Self {
+        self.cfg.heads = heads;
+        self
+    }
+
+    /// Sets the FC/FFN weight bytes streamed per step per shard.
+    #[must_use]
+    pub fn weight_bytes(mut self, weight_bytes: u64) -> Self {
+        self.cfg.weight_bytes = weight_bytes;
+        self
+    }
+
+    /// Sets the base seed of the synthetic per-request workloads. Every
+    /// shard shares it, so a request's attention cost is placement-
+    /// independent.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Selects the scheduling policy every shard runs.
+    #[must_use]
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy = kind;
+        self
+    }
+
+    /// Sets the per-shard preemption behavior.
+    #[must_use]
+    pub fn preemption(mut self, preemption: PreemptionConfig) -> Self {
+        self.cfg.preemption = preemption;
+        self
+    }
+
+    /// Enables preemption on every shard.
+    #[must_use]
+    pub fn enable_preemption(mut self) -> Self {
+        self.cfg.preemption.enabled = true;
+        self
+    }
+
+    /// Sets how much of a preemption victim's paged KV survives eviction.
+    #[must_use]
+    pub fn retention(mut self, retention: RetentionPolicy) -> Self {
+        self.cfg.preemption.retention = retention;
+        self
+    }
+
+    /// Sets the shard count (clamped to at least 1).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Selects a built-in routing policy.
+    #[must_use]
+    pub fn routing(mut self, kind: RoutingKind) -> Self {
+        self.routing = kind.build();
+        self
+    }
+
+    /// Installs a custom routing policy.
+    #[must_use]
+    pub fn routing_boxed(mut self, routing: Box<dyn RoutingPolicy>) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Enables or disables work stealing between shards.
+    #[must_use]
+    pub fn stealing(mut self, stealing: bool) -> Self {
+        self.stealing = stealing;
+        self
+    }
+
+    /// Toggles event recording on every shard and the cluster.
+    #[must_use]
+    pub fn record_events(mut self, record: bool) -> Self {
+        self.record_events = record;
+        self
+    }
+
+    /// Builds the cluster.
+    #[must_use]
+    pub fn build(self) -> ClusterEngine {
+        let shards = (0..self.shards)
+            .map(|_| {
+                ServingEngine::from_parts(self.cfg.clone(), self.policy.build(), self.record_events)
+            })
+            .collect();
+        ClusterEngine {
+            shards,
+            router: self.routing,
+            stealing: self.stealing,
+            record_events: self.record_events,
+            step_index: 0,
+            steals: 0,
+            total_cycles: 0,
+            steps: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+}
+
+/// N independent serving engines behind one admission front door, with
+/// pluggable request routing and optional work stealing between shards.
+///
+/// See the [module docs](self) for the model; see
+/// [`ClusterEngineBuilder`] for construction.
+#[derive(Debug)]
+pub struct ClusterEngine {
+    shards: Vec<ServingEngine>,
+    router: Box<dyn RoutingPolicy>,
+    stealing: bool,
+    record_events: bool,
+    step_index: usize,
+    steals: usize,
+    total_cycles: u64,
+    steps: Vec<ClusterStepReport>,
+    events: Vec<ClusterEvent>,
+}
+
+impl ClusterEngine {
+    /// Starts a [`ClusterEngineBuilder`] around an accelerator config.
+    #[must_use]
+    pub fn builder(accel: AccelConfig) -> ClusterEngineBuilder {
+        ClusterEngineBuilder::new(accel)
+    }
+
+    /// The number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shared access to shard `i` (panics if out of range) — per-shard
+    /// observability, e.g. `cluster.shard(0).kv_pager().validate()`.
+    #[must_use]
+    pub fn shard(&self, i: usize) -> &ServingEngine {
+        &self.shards[i]
+    }
+
+    /// The active routing policy's name.
+    #[must_use]
+    pub fn routing_name(&self) -> &'static str {
+        self.router.name()
+    }
+
+    /// Whether work stealing is enabled.
+    #[must_use]
+    pub fn stealing_enabled(&self) -> bool {
+        self.stealing
+    }
+
+    /// Queued-request migrations work stealing has performed so far.
+    #[must_use]
+    pub fn steals(&self) -> usize {
+        self.steals
+    }
+
+    /// Whether every shard has drained (nothing pending or running).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.shards.iter().all(ServingEngine::is_idle)
+    }
+
+    /// Requests waiting across all shards.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(ServingEngine::pending).sum()
+    }
+
+    /// Requests decoding across all shards.
+    #[must_use]
+    pub fn running(&self) -> usize {
+        self.shards.iter().map(ServingEngine::running).sum()
+    }
+
+    /// Cluster events recorded so far, in order: shard events are swept
+    /// into the cluster log (tagged with their shard) after every enqueue
+    /// and step, steal migrations as they happen.
+    #[must_use]
+    pub fn events(&self) -> &[ClusterEvent] {
+        &self.events
+    }
+
+    /// Removes and returns all recorded cluster events.
+    pub fn drain_events(&mut self) -> Vec<ClusterEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Load snapshots of every shard, indexed by shard id — what the
+    /// routing policy (and work stealing) decide from. Occupied KV counts
+    /// only *running* requests' pages: a queued preemption victim's
+    /// retained pages must not bill its shard twice (its backlog already
+    /// counts at full final context in `queued_tokens`).
+    #[must_use]
+    pub fn shard_views(&self) -> Vec<ShardView> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard_id, e)| ShardView {
+                shard_id,
+                pending: e.pending(),
+                running: e.running(),
+                queued_tokens: e.queued_tokens(),
+                occupied_tokens: e.running_kv_tokens(),
+                free_slots: e.config().admission.max_batch.saturating_sub(e.running()),
+            })
+            .collect()
+    }
+
+    /// Routes `req` to a shard and enqueues it there, returning the shard
+    /// id the router chose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] exactly as
+    /// [`ServingEngine::enqueue`] would: zero shapes, or a request no
+    /// shard could ever admit alone (shards are identically configured, so
+    /// one shard's verdict is every shard's).
+    pub fn enqueue(&mut self, req: ServingRequest) -> Result<usize, ServeError> {
+        // Validate before consulting the router: a rejected request must
+        // not advance routing state (round-robin's rotation, an affinity
+        // binding) for work that never enters the cluster.
+        self.shards[0].validate_request(&req)?;
+        let keys = if self.router.wants_page_keys() {
+            req.page_keys(self.shards[0].config().admission.page_size)
+        } else {
+            Vec::new()
+        };
+        let views = self.shard_views();
+        let shard = self.router.route(&req, &keys, &views).min(
+            self.shards.len() - 1, // a routing policy cannot route off the cluster
+        );
+        self.shards[shard].enqueue(req)?;
+        self.sweep_shard_events();
+        Ok(shard)
+    }
+
+    /// Migrates queued, never-admitted requests from the most-loaded shard
+    /// to idle shards (no queue, free slots), one request per idle shard
+    /// per step, youngest first, until no donor is meaningfully more
+    /// loaded than any idle thief. Deterministic throughout: ties break by
+    /// the lowest shard id, and the youngest queued request (largest
+    /// arrival order) migrates — the one its own shard would have served
+    /// last.
+    fn steal(&mut self) {
+        // A shard participates at most once per step (as thief or donor
+        // once it has received): without this, a donor whose last queued
+        // request was just stolen becomes the next thief and — at equal
+        // occupied loads — the same request ping-pongs between two shards
+        // forever within this call.
+        let mut received = vec![false; self.shards.len()];
+        loop {
+            let views = self.shard_views();
+            // A thief is a shard that would otherwise sit idle this step:
+            // nothing queued and at least one free batch slot.
+            let Some(thief) = views
+                .iter()
+                .filter(|v| v.pending == 0 && v.free_slots > 0 && !received[v.shard_id])
+                .min_by_key(|v| (v.load(), v.shard_id))
+                .map(|v| v.shard_id)
+            else {
+                break;
+            };
+            // A donor must have a migratable request AND keep work after
+            // the steal — moving a lone request between two idle shards
+            // rebalances nothing. Fresh recipients never donate back.
+            let Some(donor) = views
+                .iter()
+                .filter(|v| {
+                    v.shard_id != thief
+                        && !received[v.shard_id]
+                        && v.pending + v.running >= 2
+                        && v.load() > views[thief].load()
+                        && self.shards[v.shard_id].has_stealable_queued()
+                })
+                .max_by_key(|v| (v.load(), std::cmp::Reverse(v.shard_id)))
+                .map(|v| v.shard_id)
+            else {
+                break;
+            };
+            received[thief] = true;
+            let Some(req) = self.shards[donor].steal_youngest_unstarted() else {
+                break;
+            };
+            self.shards[thief]
+                .enqueue(req)
+                .expect("a request one shard accepted fits any identically-configured shard");
+            self.steals += 1;
+            if self.record_events {
+                self.events.push(ClusterEvent::Stolen {
+                    id: req.id,
+                    from: donor,
+                    to: thief,
+                    step: self.step_index,
+                });
+            }
+        }
+    }
+
+    /// Runs one cluster step: steals (when enabled), then steps every
+    /// shard once in lockstep. Idle shards record a zero-cycle tick so
+    /// all shard clocks stay equal to the cluster step index.
+    ///
+    /// Returns `Ok(None)` when every shard has drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure ([`ServeError::Core`] or
+    /// [`ServeError::AdmissionStalled`]).
+    pub fn step(&mut self) -> Result<Option<ClusterStepReport>, ServeError> {
+        if self.is_idle() {
+            return Ok(None);
+        }
+        if self.stealing && self.shards.len() > 1 {
+            self.steal();
+        }
+        let mut critical_cycles = 0u64;
+        let mut batch = 0usize;
+        for shard in &mut self.shards {
+            match shard.step()? {
+                Some(r) => {
+                    critical_cycles = critical_cycles.max(r.total_cycles());
+                    batch += r.batch;
+                }
+                None => shard.idle_tick(),
+            }
+        }
+        self.sweep_shard_events();
+        let report = ClusterStepReport {
+            index: self.step_index,
+            batch,
+            critical_cycles,
+        };
+        self.total_cycles += critical_cycles;
+        self.steps.push(report);
+        self.step_index += 1;
+        Ok(Some(report))
+    }
+
+    /// Drives the cluster until every shard drains, bounded by
+    /// `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::StepLimitExceeded`] if work remains after
+    /// `max_steps`, or propagates shard failures.
+    pub fn run_to_completion(&mut self, max_steps: usize) -> Result<ClusterReport, ServeError> {
+        for _ in 0..max_steps {
+            if self.step()?.is_none() {
+                return Ok(self.report());
+            }
+        }
+        if self.is_idle() {
+            return Ok(self.report());
+        }
+        Err(ServeError::StepLimitExceeded {
+            max_steps,
+            unfinished: self.pending() + self.running(),
+        })
+    }
+
+    /// The cluster report accumulated so far (complete once idle).
+    #[must_use]
+    pub fn report(&self) -> ClusterReport {
+        ClusterReport {
+            routing: self.router.name().to_string(),
+            policy: self
+                .shards
+                .first()
+                .map_or_else(String::new, |s| s.policy_name().to_string()),
+            stealing: self.stealing,
+            steals: self.steals,
+            cluster_steps: self.steps.len(),
+            total_cycles: self.total_cycles,
+            shards: self.shards.iter().map(ServingEngine::report).collect(),
+        }
+    }
+
+    /// Pulls every shard's freshly recorded events into the cluster log,
+    /// tagged with their shard, in shard order.
+    fn sweep_shard_events(&mut self) {
+        if !self.record_events {
+            return;
+        }
+        for (shard_id, shard) in self.shards.iter_mut().enumerate() {
+            for event in shard.drain_events() {
+                self.events.push(ClusterEvent::Shard { shard_id, event });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccelMode;
+
+    fn small_builder() -> ClusterEngineBuilder {
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr");
+        ClusterEngine::builder(accel)
+            .heads(2)
+            .weight_bytes(1_000_000)
+            .max_batch(2)
+            .max_batch_tokens(640)
+    }
+
+    #[test]
+    fn round_robin_spreads_requests_across_shards() {
+        let mut cluster = small_builder().shards(3).build();
+        let routed: Vec<usize> = (0..6)
+            .map(|id| cluster.enqueue(ServingRequest::new(id, 16, 1)).unwrap())
+            .collect();
+        assert_eq!(routed, vec![0, 1, 2, 0, 1, 2]);
+        let report = cluster.run_to_completion(16).unwrap();
+        assert_eq!(report.tokens_generated(), 6);
+        for shard in &report.shards {
+            assert_eq!(shard.requests.len(), 2);
+        }
+    }
+
+    #[test]
+    fn least_loaded_follows_the_backlog() {
+        let mut cluster = small_builder()
+            .shards(2)
+            .routing(RoutingKind::LeastLoaded)
+            .build();
+        // A heavy request loads shard 0; the next requests avoid it until
+        // its backlog outweighs theirs.
+        assert_eq!(cluster.enqueue(ServingRequest::new(0, 256, 8)).unwrap(), 0);
+        assert_eq!(cluster.enqueue(ServingRequest::new(1, 16, 1)).unwrap(), 1);
+        assert_eq!(cluster.enqueue(ServingRequest::new(2, 16, 1)).unwrap(), 1);
+        let report = cluster.run_to_completion(64).unwrap();
+        assert_eq!(report.tokens_generated(), 10);
+    }
+
+    #[test]
+    fn shard_clocks_stay_in_lockstep() {
+        let mut cluster = small_builder().shards(2).build();
+        // Only shard 0 gets work; shard 1 must tick along idle.
+        cluster.enqueue(ServingRequest::new(0, 16, 3)).unwrap();
+        while cluster.step().unwrap().is_some() {}
+        let report = cluster.report();
+        assert_eq!(report.cluster_steps, 3);
+        assert_eq!(report.shards[0].steps.len(), 3);
+        assert_eq!(report.shards[1].steps.len(), 3, "idle shard fell behind");
+        assert!(report.shards[1].steps.iter().all(|s| s.total_cycles() == 0));
+        // Makespan equals the busy shard's cycles; imbalance is maximal.
+        assert_eq!(report.total_cycles, report.shards[0].total_cycles);
+        assert!((report.load_imbalance() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stealing_moves_queued_work_to_idle_shards() {
+        // A skew-everything router leaves shard 1 idle; stealing must
+        // migrate queued work over.
+        #[derive(Debug)]
+        struct AlwaysZero;
+        impl RoutingPolicy for AlwaysZero {
+            fn name(&self) -> &'static str {
+                "always-zero"
+            }
+            fn route(&mut self, _r: &ServingRequest, _k: &[u64], _s: &[ShardView]) -> usize {
+                0
+            }
+        }
+        let mut cluster = small_builder()
+            .shards(2)
+            .routing_boxed(Box::new(AlwaysZero))
+            .stealing(true)
+            .build();
+        for id in 0..6 {
+            assert_eq!(cluster.enqueue(ServingRequest::new(id, 32, 2)).unwrap(), 0);
+        }
+        let report = cluster.run_to_completion(64).unwrap();
+        assert!(report.steals > 0, "no work was stolen");
+        assert!(
+            !report.shards[1].requests.is_empty(),
+            "the idle shard never got work"
+        );
+        assert_eq!(report.tokens_generated(), 12);
+        // Steal events and finish locations agree.
+        let stolen: Vec<u64> = cluster
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ClusterEvent::Stolen {
+                    id, from: 0, to: 1, ..
+                } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        for id in &stolen {
+            assert!(report.shards[1].requests.iter().any(|r| r.id == *id));
+        }
+    }
+
+    #[test]
+    fn stealing_never_migrates_admitted_requests() {
+        let mut cluster = small_builder()
+            .shards(2)
+            .stealing(true)
+            .enable_preemption()
+            .retention(RetentionPolicy::Fraction(0.5))
+            .build();
+        for id in 0..8 {
+            cluster
+                .enqueue(ServingRequest::new(id, 48, 3).with_priority((id % 3) as u8))
+                .unwrap();
+        }
+        let report = cluster.run_to_completion(128).unwrap();
+        // Every TokenGenerated event of a request comes from one shard.
+        let mut shard_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for e in cluster.events() {
+            if let ClusterEvent::Shard {
+                shard_id,
+                event: ServeEvent::TokenGenerated { id, .. },
+            } = e
+            {
+                let prev = shard_of.insert(*id, *shard_id);
+                assert!(
+                    prev.is_none() || prev == Some(*shard_id),
+                    "request {id} decoded on two shards"
+                );
+            }
+        }
+        assert_eq!(report.tokens_generated(), 8 * 3);
+    }
+
+    #[test]
+    fn single_shard_cluster_never_steals_and_matches_engine_counts() {
+        let mut cluster = small_builder().stealing(true).build();
+        for id in 0..4 {
+            assert_eq!(cluster.enqueue(ServingRequest::new(id, 24, 2)).unwrap(), 0);
+        }
+        let report = cluster.run_to_completion(32).unwrap();
+        assert_eq!(report.steals, 0);
+        assert_eq!(report.shards.len(), 1);
+        assert_eq!(report.total_cycles, report.shards[0].total_cycles);
+        assert_eq!(report.cluster_steps, report.shards[0].steps.len());
+        assert!((report.load_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_at_the_front_door() {
+        let mut cluster = small_builder().shards(2).build();
+        let err = cluster
+            .enqueue(ServingRequest::new(0, 10_000, 1))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidRequest(_)));
+        assert!(cluster.is_idle());
+    }
+}

@@ -46,15 +46,20 @@
 //! the request's current context, scaled by the model's head count.
 
 pub mod batch_state;
+pub mod cluster;
 pub mod error;
 pub mod events;
 pub mod kv_pager;
 pub mod policy;
 pub mod queue;
+pub mod router;
 pub mod stats;
 pub mod workloads;
 
 pub use batch_state::AdmissionConfig;
+pub use cluster::{
+    ClusterEngine, ClusterEngineBuilder, ClusterEvent, ClusterReport, ClusterStepReport,
+};
 pub use error::ServeError;
 pub use events::ServeEvent;
 pub use kv_pager::KvPager;
@@ -63,6 +68,7 @@ pub use policy::{
     RetentionPolicy, RunningView, SchedulerPolicy, ShortestJobFirst,
 };
 pub use queue::ServingRequest;
+pub use router::{LeastLoaded, PrefixAffinity, RoundRobin, RoutingKind, RoutingPolicy, ShardView};
 pub use stats::{RequestStats, ServingReport, SessionStats, StepReport};
 
 use topick_core::{PruneStats, QVector, QuantBuffer};
@@ -397,6 +403,74 @@ impl ServingEngine {
         self.pending.is_empty() && self.batch.is_empty()
     }
 
+    /// Final-context tokens of everything queued — the engine's backlog in
+    /// KV terms, the load signal cluster routing and work stealing compare
+    /// shards by.
+    #[must_use]
+    pub fn queued_tokens(&self) -> usize {
+        self.pending
+            .entries()
+            .iter()
+            .map(ActiveRequest::final_context)
+            .sum()
+    }
+
+    /// Tokens' worth of KV pages mapped by *running* requests. Retained
+    /// pages of queued preemption victims are deliberately excluded:
+    /// their owners already count toward [`queued_tokens`](Self::queued_tokens)
+    /// at full final context, so including their pages here would
+    /// double-bill exactly the shards where retention paid off.
+    #[must_use]
+    pub fn running_kv_tokens(&self) -> usize {
+        let pager = self.batch.pager();
+        self.batch
+            .slots()
+            .iter()
+            .map(|r| pager.pages_of(r.arrival_seq))
+            .sum::<usize>()
+            * pager.page_size()
+    }
+
+    /// Records a zero-work step so an externally driven engine's clock can
+    /// stay in lockstep with peers: a [`ClusterEngine`](cluster::ClusterEngine)
+    /// ticks idle shards so every shard's step index equals the cluster
+    /// step, keeping `arrival_step` semantics and event timestamps
+    /// cluster-global. Shaped exactly like the engine's own
+    /// waiting-on-future-arrivals idle tick.
+    pub(crate) fn idle_tick(&mut self) {
+        debug_assert!(self.is_idle(), "idle ticks are only for drained engines");
+        self.steps.push(StepReport::idle(self.step_index));
+        self.step_index += 1;
+    }
+
+    /// Whether the queue holds a request work stealing may migrate: one
+    /// that has arrived and has never been admitted (no generated tokens,
+    /// no retained KV pages — nothing that ties it to this engine).
+    #[must_use]
+    pub(crate) fn has_stealable_queued(&self) -> bool {
+        self.pending.entries().iter().any(|e| {
+            e.stats.admitted_at.is_none() && e.req.arrival_step as usize <= self.step_index
+        })
+    }
+
+    /// Removes and returns the youngest queued request that has arrived
+    /// and never been admitted — the request this engine would have served
+    /// last, and the only kind that can move engines without a cross-shard
+    /// KV transfer. Its lifecycle restarts on the thief (fresh enqueue,
+    /// fresh queue age).
+    pub(crate) fn steal_youngest_unstarted(&mut self) -> Option<ServingRequest> {
+        let seq = self
+            .pending
+            .entries()
+            .iter()
+            .rev()
+            .find(|e| {
+                e.stats.admitted_at.is_none() && e.req.arrival_step as usize <= self.step_index
+            })
+            .map(|e| e.arrival_seq)?;
+        Some(self.pending.remove_by_seq(seq).req)
+    }
+
     /// The KV page allocator: page-granular accounting of the batch's KV
     /// budget, including pages retained by preempted requests waiting in
     /// the queue.
@@ -423,14 +497,17 @@ impl ServingEngine {
         }
     }
 
-    /// Adds a request to the arrival queue.
+    /// Checks whether `req` could ever be accepted by this engine — the
+    /// validation [`enqueue`](Self::enqueue) applies before queueing,
+    /// callable without side effects (the cluster front door uses it so a
+    /// doomed request cannot advance routing state).
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidRequest`] if the prompt or token target
     /// is zero, or if the request alone could never satisfy the admission
     /// budget.
-    pub fn enqueue(&mut self, req: ServingRequest) -> Result<(), ServeError> {
+    pub fn validate_request(&self, req: &ServingRequest) -> Result<(), ServeError> {
         if req.prompt_len == 0 {
             return Err(ServeError::InvalidRequest("prompt_len must be positive"));
         }
@@ -439,6 +516,23 @@ impl ServingEngine {
                 "max_new_tokens must be positive",
             ));
         }
+        let pager = self.batch.pager();
+        if pager.pages_needed(req.prompt_len + req.max_new_tokens) > pager.total_pages() {
+            return Err(ServeError::InvalidRequest(
+                "request exceeds the batch KV page budget even alone",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Adds a request to the arrival queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] as
+    /// [`validate_request`](Self::validate_request) would.
+    pub fn enqueue(&mut self, req: ServingRequest) -> Result<(), ServeError> {
+        self.validate_request(&req)?;
         // A request becomes schedulable when it both has been enqueued and
         // has arrived.
         let schedulable_at = self.step_index.max(req.arrival_step as usize);
@@ -480,12 +574,6 @@ impl ServingEngine {
                 prefix_hit_tokens: 0,
             },
         };
-        let pager = self.batch.pager();
-        if pager.pages_needed(active.final_context()) > pager.total_pages() {
-            return Err(ServeError::InvalidRequest(
-                "request exceeds the batch KV page budget even alone",
-            ));
-        }
         self.arrival_seq += 1;
         self.pending.push(active);
         self.emit(ServeEvent::Enqueued {
@@ -787,15 +875,7 @@ impl ServingEngine {
                 });
             }
             // Everything queued arrives later: tick time forward.
-            let report = StepReport {
-                index: self.step_index,
-                batch: 0,
-                context_tokens: 0,
-                weight_cycles: 0,
-                attention_cycles: 0,
-                prefill_cycles: 0,
-                reprefill_cycles: 0,
-            };
+            let report = StepReport::idle(self.step_index);
             self.steps.push(report);
             self.step_index += 1;
             return Ok(Some(report));

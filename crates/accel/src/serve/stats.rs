@@ -118,6 +118,22 @@ pub struct StepReport {
 }
 
 impl StepReport {
+    /// An all-zero idle tick at `index`: the shape of a step in which the
+    /// engine only advanced time (waiting on future arrivals, or kept in
+    /// lockstep by a cluster while its peers work).
+    #[must_use]
+    pub fn idle(index: usize) -> Self {
+        Self {
+            index,
+            batch: 0,
+            context_tokens: 0,
+            weight_cycles: 0,
+            attention_cycles: 0,
+            prefill_cycles: 0,
+            reprefill_cycles: 0,
+        }
+    }
+
     /// Total cycles of the step.
     #[must_use]
     pub fn total_cycles(&self) -> u64 {

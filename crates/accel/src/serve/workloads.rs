@@ -2,8 +2,9 @@
 //! integration tests, so "the skewed workload" means the same thing in
 //! all three places.
 
+use super::cluster::ClusterEngineBuilder;
 use super::queue::{splitmix64, ServingRequest};
-use super::ServingEngineBuilder;
+use super::{ClusterEngine, ServingConfig, ServingEngineBuilder};
 use crate::config::AccelConfig;
 
 /// Draws the next value of a SplitMix64 stream: mixes the advanced state
@@ -28,12 +29,18 @@ fn next_rand(state: &mut u64) -> u64 {
 /// those pages copy-on-write and prefill only their unique suffix.
 ///
 /// Fully deterministic in `seed` (same seed → identical request list,
-/// including ids, shapes and arrivals).
+/// including ids, shapes and arrivals), and **shape-stable**: each tenant
+/// draws from its own seed-derived stream, so tenant `t`'s first `k`
+/// requests are byte-identical no matter how many tenants or requests per
+/// tenant the caller asks for. Request ids depend only on `(tenant, i)` —
+/// never on who consumes the workload — which is what makes multi-shard
+/// golden runs reproducible against single-engine ones.
 #[must_use]
 pub fn shared_prefix_chat(seed: u64, tenants: u64, per_tenant: u64) -> Vec<ServingRequest> {
-    let mut state = seed ^ 0xA076_1D64_78BD_642F;
     let mut reqs = Vec::with_capacity((tenants * per_tenant) as usize);
     for tenant in 0..tenants {
+        let mut state =
+            splitmix64(seed ^ 0xA076_1D64_78BD_642F ^ tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let tag = next_rand(&mut state);
         // 6..=10 pages of 16 tokens: 96, 112, 128, 144 or 160.
         let prefix_len = 96 + 16 * (next_rand(&mut state) % 5) as usize;
@@ -65,15 +72,36 @@ pub fn shared_prefix_chat(seed: u64, tenants: u64, per_tenant: u64) -> Vec<Servi
 /// (e.g. disable event recording) before building.
 #[must_use]
 pub fn shared_prefix_engine(accel: AccelConfig, prefix_cache: bool) -> ServingEngineBuilder {
-    ServingEngineBuilder::new(accel)
-        .heads(4)
-        .weight_bytes(10_000_000)
-        .max_batch(6)
-        .max_batch_tokens(1600)
-        .page_size(16)
-        .seed(7)
-        .prefill_factor(1.0)
-        .prefix_cache(prefix_cache)
+    let cfg = shared_prefix_config(accel, prefix_cache);
+    ServingEngineBuilder::new(cfg.accel.clone()).config(cfg)
+}
+
+/// The cluster counterpart of [`shared_prefix_engine`]: every shard runs
+/// the exact canonical per-shard configuration (both builders derive from
+/// one shared config constructor), so multi-shard runs stay comparable
+/// with the single-engine golden/equivalence tests — one shard of this
+/// builder *is* `shared_prefix_engine`. Callers set shard count, routing
+/// and stealing on the returned builder.
+#[must_use]
+pub fn shared_prefix_cluster(accel: AccelConfig, prefix_cache: bool) -> ClusterEngineBuilder {
+    let cfg = shared_prefix_config(accel, prefix_cache);
+    ClusterEngine::builder(cfg.accel.clone()).config(cfg)
+}
+
+/// The single source of the canonical shared-prefix serving
+/// configuration both builders above derive from, so single-engine and
+/// cluster runs can never drift apart.
+fn shared_prefix_config(accel: AccelConfig, prefix_cache: bool) -> ServingConfig {
+    let mut cfg = ServingConfig::new(accel);
+    cfg.heads = 4;
+    cfg.weight_bytes = 10_000_000;
+    cfg.admission.max_batch = 6;
+    cfg.admission.max_batch_tokens = 1600;
+    cfg.admission.page_size = 16;
+    cfg.admission.prefix_cache = prefix_cache;
+    cfg.seed = 7;
+    cfg.prefill_factor = 1.0;
+    cfg
 }
 
 /// The skewed "elephant/mice" workload: `elephants` long, low-priority
@@ -133,9 +161,47 @@ mod tests {
         let a = shared_prefix_chat(42, 4, 6);
         let b = shared_prefix_chat(42, 4, 6);
         assert_eq!(a, b, "same seed must reproduce the identical workload");
+        // Byte-for-byte, not just structurally: every field of every
+        // request, in order.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
         let c = shared_prefix_chat(43, 4, 6);
         assert_ne!(a, c, "different seeds must differ");
         assert_eq!(a.len(), 24);
+    }
+
+    #[test]
+    fn skewed_elephant_mice_is_deterministic() {
+        let a = skewed_elephant_mice(4, 12);
+        let b = skewed_elephant_mice(4, 12);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn tenant_streams_are_stable_across_workload_shapes() {
+        // A tenant's requests (ids included) must not change when the
+        // caller asks for more tenants or more requests per tenant — the
+        // property that keeps multi-shard goldens reproducible when a
+        // sweep widens the workload.
+        let narrow = shared_prefix_chat(9, 2, 3);
+        let more_tenants = shared_prefix_chat(9, 5, 3);
+        for tenant in 0..2u64 {
+            let a: Vec<_> = narrow.iter().filter(|r| r.client_id == tenant).collect();
+            let b: Vec<_> = more_tenants
+                .iter()
+                .filter(|r| r.client_id == tenant)
+                .collect();
+            assert_eq!(a, b, "tenant {tenant} changed when tenants were added");
+        }
+        let deeper = shared_prefix_chat(9, 2, 7);
+        for tenant in 0..2u64 {
+            let a: Vec<_> = narrow.iter().filter(|r| r.client_id == tenant).collect();
+            let b: Vec<_> = deeper
+                .iter()
+                .filter(|r| r.client_id == tenant)
+                .take(3)
+                .collect();
+            assert_eq!(a, b, "tenant {tenant} changed when the workload deepened");
+        }
     }
 
     #[test]

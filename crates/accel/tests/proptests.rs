@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use topick_accel::{
-    AccelConfig, AccelMode, KvPager, PolicyKind, RetentionPolicy, ServeEvent, ServingEngine,
-    ServingRequest, ToPickAccelerator,
+    AccelConfig, AccelMode, ClusterEngine, ClusterEvent, KvPager, PolicyKind, RetentionPolicy,
+    RoutingKind, ServeEvent, ServingEngine, ServingRequest, ToPickAccelerator,
 };
 use topick_core::{exact_probabilities, PrecisionConfig, QMatrix, QVector, Rows};
 
@@ -354,6 +354,122 @@ proptest! {
         prop_assert_eq!(pager.mapped_pages(), 0);
         if !cache_enabled {
             prop_assert_eq!(pager.free_pages(), pager.total_pages());
+        }
+    }
+
+    /// Cluster conservation: under arbitrary enqueue/step interleavings —
+    /// any shard count, routing policy, scheduler policy, stealing and
+    /// preemption on or off — no request is lost, duplicated, or decoded
+    /// on two shards; every shard's pager satisfies its conservation
+    /// oracle at the end and drains to nothing allocated; shards stay in
+    /// lockstep with the cluster clock; and with stealing off every
+    /// request finishes on the shard it was routed to.
+    #[test]
+    fn cluster_conserves_requests_across_shards(
+        seed in any::<u64>(),
+        shards in 1usize..5,
+        routing_idx in 0usize..3,
+        stealing in any::<bool>(),
+        policy_idx in 0usize..4,
+        preempt in any::<bool>(),
+        ops in prop::collection::vec(0u8..4, 4..28),
+    ) {
+        let routing = RoutingKind::all()[routing_idx];
+        let policy = PolicyKind::all()[policy_idx];
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr");
+        let mut builder = ClusterEngine::builder(accel)
+            .heads(2)
+            .weight_bytes(1_000_000)
+            .max_batch(2)
+            .max_batch_tokens(400)
+            .page_size(16)
+            .seed(seed)
+            .prefix_cache(true)
+            .policy(policy)
+            .shards(shards)
+            .routing(routing)
+            .stealing(stealing);
+        if preempt {
+            builder = builder
+                .enable_preemption()
+                .retention(RetentionPolicy::Fraction(0.5));
+        }
+        let mut cluster = builder.build();
+
+        let mut next_id = 0u64;
+        let mut routed: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            if *op == 0 {
+                let mix = seed.wrapping_mul(31).wrapping_add(i as u64);
+                let req = ServingRequest::new(
+                    next_id,
+                    4 + (mix % 48) as usize,
+                    1 + (mix % 5) as usize,
+                )
+                .with_priority((mix % 7) as u8)
+                .with_client(mix % 3)
+                .with_shared_prefix(mix % 2, 16 * ((mix % 3) as usize))
+                .arriving_at(mix % 6);
+                let shard = cluster.enqueue(req).expect("request fits any shard alone");
+                prop_assert!(shard < shards);
+                routed.insert(next_id, shard);
+                next_id += 1;
+            } else {
+                cluster.step().expect("step succeeds");
+            }
+        }
+        let mut guard = 0;
+        while !cluster.is_idle() {
+            cluster.step().expect("step succeeds");
+            guard += 1;
+            prop_assert!(guard < 4096, "cluster failed to drain");
+        }
+
+        let report = cluster.report();
+        // No request lost or duplicated: the finished ids across all
+        // shards are exactly the enqueued ids, each exactly once.
+        let mut finished: Vec<u64> = report.requests().map(|(_, r)| r.id).collect();
+        finished.sort_unstable();
+        let mut expected: Vec<u64> = (0..next_id).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(finished, expected, "requests lost or duplicated");
+        // No request ever decoded on two shards.
+        let mut decode_shard: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        for e in cluster.events() {
+            if let ClusterEvent::Shard {
+                shard_id,
+                event: ServeEvent::TokenGenerated { id, .. },
+            } = e
+            {
+                let prev = decode_shard.insert(*id, *shard_id);
+                prop_assert!(
+                    prev.is_none() || prev == Some(*shard_id),
+                    "request {} decoded on shards {:?} and {}",
+                    id,
+                    prev,
+                    shard_id
+                );
+            }
+        }
+        // With stealing off, every request finishes on its routed shard.
+        if !stealing {
+            prop_assert_eq!(report.steals, 0);
+            for (shard, r) in report.requests() {
+                prop_assert_eq!(
+                    shard,
+                    routed[&r.id],
+                    "request {} finished off its routed shard",
+                    r.id
+                );
+            }
+        }
+        // Every shard's pager conserves and drains; shards kept lockstep.
+        for i in 0..cluster.shard_count() {
+            let pager = cluster.shard(i).kv_pager();
+            pager.validate();
+            prop_assert_eq!(pager.allocated_pages(), 0);
+            prop_assert_eq!(report.shards[i].steps.len(), report.cluster_steps);
         }
     }
 

@@ -1,4 +1,4 @@
-//! `serving_throughput` — regression bench of the serving engine. Three
+//! `serving_throughput` — regression bench of the serving engine. Four
 //! sweeps, one JSON document on stdout:
 //!
 //! 1. **Throughput sweep** (`points`): batch size × pruning threshold
@@ -9,19 +9,25 @@
 //! 3. **Prefix sweep** (`prefix`): the shared-prefix chat workload with
 //!    prompt prefill priced, cache off vs on, so the re-prefill saving
 //!    and hit rate prefix caching buys are pinned per run.
+//! 4. **Shard sweep** (`shards`): the cluster engine at increasing shard
+//!    counts — round-robin vs least-loaded + stealing on the skewed
+//!    workload (makespan scaling, steal counts, load imbalance) and
+//!    round-robin vs prefix-affinity on the shared-prefix workload (the
+//!    cluster hit rate affinity routing recovers).
 //!
 //! ```sh
 //! cargo run --release -p topick-bench --bin serving_throughput
 //! cargo run --release -p topick-bench --bin serving_throughput -- --requests 32
-//! cargo run --release -p topick-bench --bin serving_throughput -- --quick   # CI mode
+//! cargo run --release -p topick-bench --bin serving_throughput -- --quick            # CI mode
+//! cargo run --release -p topick-bench --bin serving_throughput -- --quick --shards 4
 //! ```
 
 use std::collections::HashMap;
 
 use topick_accel::serve::workloads::{shared_prefix_chat, skewed_elephant_mice};
 use topick_accel::{
-    AccelConfig, AccelMode, PolicyKind, RetentionPolicy, ServingEngine, ServingReport,
-    ServingRequest,
+    AccelConfig, AccelMode, ClusterEngine, ClusterReport, PolicyKind, RetentionPolicy, RoutingKind,
+    ServingEngine, ServingReport, ServingRequest,
 };
 use topick_bench::json::{JsonObject, JsonValue};
 
@@ -171,6 +177,88 @@ fn prefix_record(prefix_cache: bool, tenants: u64, per_tenant: u64) -> JsonValue
         .into()
 }
 
+/// One cluster run: the canonical skewed workload (FIFO per shard) or the
+/// shared-prefix chat workload (prefix cache + priced prefill per shard),
+/// at the given shard count and routing policy.
+fn run_cluster(
+    workload: &str,
+    shards: usize,
+    routing: RoutingKind,
+    stealing: bool,
+    mice: u64,
+    tenants: u64,
+    per_tenant: u64,
+) -> (ClusterReport, f64) {
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    // The skewed branch mirrors the canonical policy-sweep engine; the
+    // shared-prefix branch is the canonical cluster from serve::workloads
+    // so the bench stays comparable with the equivalence tests.
+    let builder = if workload == "skewed" {
+        ClusterEngine::builder(accel)
+            .heads(4)
+            .weight_bytes(10_000_000)
+            .seed(7)
+            .max_batch(4)
+            .max_batch_tokens(2200)
+    } else {
+        topick_accel::serve::workloads::shared_prefix_cluster(accel, true)
+    };
+    let mut cluster = builder
+        .record_events(false)
+        .shards(shards)
+        .routing(routing)
+        .stealing(stealing)
+        .build();
+    let clock_hz = cluster.shard(0).config().clock_hz;
+    let requests = if workload == "skewed" {
+        skewed_elephant_mice(4, mice)
+    } else {
+        shared_prefix_chat(11, tenants, per_tenant)
+    };
+    for r in requests {
+        cluster.enqueue(r).expect("valid request");
+    }
+    (
+        cluster.run_to_completion(100_000).expect("completes"),
+        clock_hz,
+    )
+}
+
+fn shard_record(
+    workload: &str,
+    shards: usize,
+    routing: RoutingKind,
+    stealing: bool,
+    mice: u64,
+    tenants: u64,
+    per_tenant: u64,
+) -> JsonValue {
+    let (report, clock_hz) = run_cluster(
+        workload, shards, routing, stealing, mice, tenants, per_tenant,
+    );
+    JsonObject::new()
+        .field("workload", workload)
+        .field("shards", shards)
+        .field("routing", report.routing.as_str())
+        .field("stealing", stealing)
+        .field("tokens", report.tokens_generated())
+        .field("cluster_steps", report.cluster_steps)
+        .field("makespan_cycles", report.total_cycles)
+        .field(
+            "tokens_per_s",
+            JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
+        )
+        .field("steals", report.steals)
+        .field(
+            "load_imbalance",
+            JsonValue::Prec(report.load_imbalance(), 3),
+        )
+        .field("prefill_cycles", report.total_prefill_cycles())
+        .field("prefix_hit_tokens", report.total_prefix_hit_tokens())
+        .field("hit_rate", JsonValue::Prec(report.prefix_hit_rate(), 3))
+        .into()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut flags: HashMap<String, String> = HashMap::new();
@@ -249,12 +337,69 @@ fn main() {
         prefix_record(true, tenants, per_tenant),
     ];
 
+    // Shard sweep: 1 shard is the golden-pinned identity baseline; each
+    // larger count contrasts load-blind routing against least-loaded +
+    // stealing (skewed workload) and against prefix-affinity
+    // (shared-prefix workload, where per-shard caches make routing the
+    // difference between scattering and recovering the hit rate).
+    // `--shards N` narrows the sweep to [1, N] (the CI invocation).
+    let shard_counts: Vec<usize> = match flags.get("shards").and_then(|v| v.parse().ok()) {
+        Some(n) if n > 1 => vec![1, n],
+        Some(_) => vec![1],
+        None if quick => vec![1, 2],
+        None => vec![1, 2, 4],
+    };
+    let mut shards = Vec::new();
+    for &n in &shard_counts {
+        shards.push(shard_record(
+            "skewed",
+            n,
+            RoutingKind::RoundRobin,
+            false,
+            mice,
+            tenants,
+            per_tenant,
+        ));
+        if n > 1 {
+            shards.push(shard_record(
+                "skewed",
+                n,
+                RoutingKind::LeastLoaded,
+                true,
+                mice,
+                tenants,
+                per_tenant,
+            ));
+        }
+        shards.push(shard_record(
+            "shared-prefix",
+            n,
+            RoutingKind::RoundRobin,
+            false,
+            mice,
+            tenants,
+            per_tenant,
+        ));
+        if n > 1 {
+            shards.push(shard_record(
+                "shared-prefix",
+                n,
+                RoutingKind::PrefixAffinity,
+                false,
+                mice,
+                tenants,
+                per_tenant,
+            ));
+        }
+    }
+
     let doc = JsonObject::new()
         .field("bench", "serving_throughput")
         .field("requests", requests)
         .field("quick", quick)
         .field("points", points)
         .field("policies", policies)
-        .field("prefix", prefix);
+        .field("prefix", prefix)
+        .field("shards", shards);
     println!("{}", doc.render());
 }

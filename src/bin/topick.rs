@@ -9,6 +9,7 @@
 //!                [--policy fifo|priority|sjf|fair|all] [--preemption]
 //!                [--page-size P] [--retention none|<pages>|<fraction>]
 //!                [--prefix-cache] [--prefill-factor F]
+//!                [--shards N] [--routing rr|least|affinity] [--stealing]
 //! topick help
 //! ```
 
@@ -181,13 +182,62 @@ struct ServeOpts {
     retention: token_picker::accel::RetentionPolicy,
     prefix_cache: bool,
     prefill_factor: f64,
+    shards: usize,
+    routing: token_picker::accel::RoutingKind,
+    stealing: bool,
+}
+
+/// The `serve` command's synthetic workload: heterogeneous shapes,
+/// priorities and clients so every policy has something to differentiate
+/// on; arrivals come in waves so later high-priority work can contend
+/// with (and under `--preemption`, evict) earlier long-running requests.
+/// Requests of one client share a page-aligned system prompt, so
+/// `--prefix-cache` (and affinity routing) have real prefixes to hit.
+fn serve_workload(requests: u64) -> Vec<token_picker::accel::ServingRequest> {
+    use token_picker::accel::ServingRequest;
+    (0..requests)
+        .map(|id| {
+            ServingRequest::new(id, 64 + (id as usize % 7) * 32, 4 + (id as usize % 5) * 2)
+                .with_priority((id % 4) as u8)
+                .with_client(id % 3)
+                .with_shared_prefix(id % 3, 64)
+                .arriving_at((id / 4) * 3)
+        })
+        .collect()
+}
+
+fn serve_cluster_once(
+    opts: &ServeOpts,
+    policy: token_picker::accel::PolicyKind,
+) -> Result<(token_picker::accel::ClusterReport, f64), Box<dyn std::error::Error>> {
+    use token_picker::accel::{ClusterEngine, PreemptionConfig};
+
+    let mut builder = ClusterEngine::builder(AccelConfig::paper(opts.mode, opts.threshold)?)
+        .max_batch(opts.batch)
+        .page_size(opts.page_size)
+        .prefix_cache(opts.prefix_cache)
+        .prefill_factor(opts.prefill_factor)
+        .seed(opts.seed)
+        .policy(policy)
+        .shards(opts.shards)
+        .routing(opts.routing)
+        .stealing(opts.stealing);
+    if opts.preemption {
+        builder = builder.preemption(PreemptionConfig::enabled().with_retention(opts.retention));
+    }
+    let mut cluster = builder.build();
+    let clock_hz = cluster.shard(0).config().clock_hz;
+    for req in serve_workload(opts.requests) {
+        cluster.enqueue(req)?;
+    }
+    Ok((cluster.run_to_completion(10_000)?, clock_hz))
 }
 
 fn serve_once(
     opts: &ServeOpts,
     policy: token_picker::accel::PolicyKind,
 ) -> Result<(token_picker::accel::ServingReport, f64), Box<dyn std::error::Error>> {
-    use token_picker::accel::{PreemptionConfig, ServingEngine, ServingRequest};
+    use token_picker::accel::{PreemptionConfig, ServingEngine};
 
     let mut builder = ServingEngine::builder(AccelConfig::paper(opts.mode, opts.threshold)?)
         .max_batch(opts.batch)
@@ -201,26 +251,14 @@ fn serve_once(
     }
     let mut engine = builder.build();
     let clock_hz = engine.config().clock_hz;
-    for id in 0..opts.requests {
-        // Heterogeneous shapes, priorities and clients so every policy has
-        // something to differentiate on; arrivals come in waves so
-        // later high-priority work can actually contend with (and under
-        // --preemption, evict) earlier long-running requests. Requests of
-        // one client share a page-aligned system prompt, so
-        // --prefix-cache has real prefixes to hit.
-        engine.enqueue(
-            ServingRequest::new(id, 64 + (id as usize % 7) * 32, 4 + (id as usize % 5) * 2)
-                .with_priority((id % 4) as u8)
-                .with_client(id % 3)
-                .with_shared_prefix(id % 3, 64)
-                .arriving_at((id / 4) * 3),
-        )?;
+    for req in serve_workload(opts.requests) {
+        engine.enqueue(req)?;
     }
     Ok((engine.run_to_completion(10_000)?, clock_hz))
 }
 
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
-    use token_picker::accel::{PolicyKind, RetentionPolicy};
+    use token_picker::accel::{PolicyKind, RetentionPolicy, RoutingKind};
 
     let baseline_mode = flags.contains_key("baseline");
     let retention: RetentionPolicy = flags
@@ -232,6 +270,16 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         return Err("--retention only takes effect with --preemption".into());
     }
     let prefix_cache = flags.contains_key("prefix-cache");
+    let routing: RoutingKind = flags
+        .get("routing")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(RoutingKind::RoundRobin);
+    let shards = flag(flags, "shards", 1usize).max(1);
+    let stealing = flags.contains_key("stealing");
+    if shards <= 1 && (flags.contains_key("routing") || stealing) {
+        return Err("--routing and --stealing only take effect with --shards > 1".into());
+    }
     let opts = ServeOpts {
         mode: if baseline_mode {
             AccelMode::Baseline
@@ -258,8 +306,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
             "prefill-factor",
             if prefix_cache { 1.0 } else { 0.0 },
         ),
+        shards,
+        routing,
+        stealing,
     };
     let policy_flag = flags.get("policy").map_or("fifo", String::as_str);
+
+    if shards > 1 {
+        return cmd_serve_cluster(&opts, policy_flag);
+    }
 
     if policy_flag == "all" {
         println!(
@@ -328,6 +383,80 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
     Ok(())
 }
 
+/// The multi-shard `serve` output: one combined row per policy under
+/// `--policy all`, or a combined summary plus a per-shard breakdown for a
+/// single policy.
+fn cmd_serve_cluster(
+    opts: &ServeOpts,
+    policy_flag: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use token_picker::accel::PolicyKind;
+
+    if policy_flag == "all" {
+        println!(
+            "{:<20} {:>8} {:>12} {:>8} {:>10} {:>9} {:>9}",
+            "policy", "steps", "tokens/s", "steals", "imbalance", "preempts", "KV hits"
+        );
+        for kind in PolicyKind::all() {
+            let (report, clock_hz) = serve_cluster_once(opts, kind)?;
+            println!(
+                "{:<20} {:>8} {:>12.1} {:>8} {:>10.2} {:>9} {:>9}",
+                report.policy,
+                report.cluster_steps,
+                report.tokens_per_second(clock_hz),
+                report.steals,
+                report.load_imbalance(),
+                report.preemptions(),
+                report.total_prefix_hit_tokens()
+            );
+        }
+        return Ok(());
+    }
+
+    let policy: PolicyKind = policy_flag.parse()?;
+    let (report, clock_hz) = serve_cluster_once(opts, policy)?;
+    println!(
+        "mode {:?}, policy {}, routing {}{}: {} shards, {} requests, {} tokens in {} steps",
+        opts.mode,
+        report.policy,
+        report.routing,
+        if report.stealing { " + stealing" } else { "" },
+        report.shards.len(),
+        report.requests().count(),
+        report.tokens_generated(),
+        report.cluster_steps
+    );
+    println!("makespan       : {} cycles", report.total_cycles);
+    println!(
+        "throughput     : {:.1} tokens/s",
+        report.tokens_per_second(clock_hz)
+    );
+    println!("steals         : {}", report.steals);
+    println!("load imbalance : {:.2}", report.load_imbalance());
+    println!("preemptions    : {}", report.preemptions());
+    println!(
+        "prefix cache   : {} prompt tokens served, {:.0}% hit rate",
+        report.total_prefix_hit_tokens(),
+        100.0 * report.prefix_hit_rate()
+    );
+    println!(
+        "{:>6} {:>9} {:>8} {:>12} {:>11} {:>9}",
+        "shard", "requests", "tokens", "busy cycles", "mean TTFT", "KV hits"
+    );
+    for (i, shard) in report.shards.iter().enumerate() {
+        println!(
+            "{:>6} {:>9} {:>8} {:>12} {:>11.2} {:>9}",
+            i,
+            shard.requests.len(),
+            shard.tokens_generated,
+            shard.total_cycles,
+            shard.mean_ttft_steps(),
+            shard.total_prefix_hit_tokens()
+        );
+    }
+    Ok(())
+}
+
 fn usage() {
     println!("topick — Token-Picker (DAC 2024) reproduction driver");
     println!();
@@ -345,6 +474,7 @@ fn usage() {
     println!("           [--policy fifo|priority|sjf|fair|all] [--preemption]");
     println!("           [--page-size P] [--retention none|<pages>|<fraction>]");
     println!("           [--prefix-cache] [--prefill-factor F]");
+    println!("           [--shards N] [--routing rr|least|affinity] [--stealing]");
 }
 
 fn main() {

@@ -9,8 +9,9 @@
 use std::collections::BTreeSet;
 
 use token_picker::accel::{
-    AccelConfig, AccelMode, AdmissionConfig, PolicyKind, RetentionPolicy, ServeEvent,
-    ServingConfig, ServingEngine, ServingReport, ServingRequest,
+    AccelConfig, AccelMode, AdmissionConfig, ClusterEngine, ClusterReport, PolicyKind,
+    RetentionPolicy, RoutingKind, ServeEvent, ServingConfig, ServingEngine, ServingReport,
+    ServingRequest,
 };
 
 fn mixed_workload() -> Vec<ServingRequest> {
@@ -831,5 +832,211 @@ fn paged_retention_reprefills_strictly_less_than_full_reprefill() {
     for report in [&full, &paged] {
         let by_request: u64 = report.requests.iter().map(|r| r.reprefill_cycles).sum();
         assert_eq!(report.total_reprefill_cycles(), by_request);
+    }
+}
+
+/// The canonical skewed workload served by a [`ClusterEngine`] under the
+/// same per-shard configuration as [`serve_skewed_with_retention`].
+fn serve_skewed_cluster(
+    policy: PolicyKind,
+    preemption: bool,
+    retention: RetentionPolicy,
+    shards: usize,
+    routing: RoutingKind,
+    stealing: bool,
+) -> ClusterReport {
+    use token_picker::accel::serve::workloads::skewed_elephant_mice;
+
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut builder = ClusterEngine::builder(accel)
+        .heads(4)
+        .weight_bytes(10_000_000)
+        .max_batch(4)
+        .max_batch_tokens(2200)
+        .seed(7)
+        .policy(policy)
+        .shards(shards)
+        .routing(routing)
+        .stealing(stealing);
+    if preemption {
+        builder = builder.enable_preemption().retention(retention);
+    }
+    let mut cluster = builder.build();
+    for r in skewed_elephant_mice(4, 12) {
+        cluster.enqueue(r).expect("valid request");
+    }
+    let report = cluster.run_to_completion(2048).expect("workload completes");
+    for i in 0..cluster.shard_count() {
+        cluster.shard(i).kv_pager().validate();
+        assert_eq!(cluster.shard(i).kv_pager().allocated_pages(), 0);
+    }
+    report
+}
+
+#[test]
+fn one_shard_cluster_reproduces_the_bare_engine_bit_for_bit() {
+    // A 1-shard cluster under round-robin routing is the identity wrapper:
+    // for every scheduler policy, with and without preemption + paged
+    // retention, the shard's schedule digest must equal the bare engine's
+    // PR 3 golden — and that must hold with stealing on too (there is no
+    // second shard to steal for).
+    for &(policy, preemption, digest) in &GOLDEN_POLICY_DIGESTS {
+        for stealing in [false, true] {
+            let report = serve_skewed_cluster(
+                policy,
+                preemption,
+                RetentionPolicy::Fraction(0.75),
+                1,
+                RoutingKind::RoundRobin,
+                stealing,
+            );
+            assert_eq!(report.shards.len(), 1);
+            assert_eq!(report.steals, 0, "{policy}: a 1-shard cluster stole");
+            assert_eq!(
+                schedule_digest(&report.shards[0]),
+                digest,
+                "{policy} (preemption: {preemption}, stealing: {stealing}) \
+                 diverged from the bare engine's golden schedule"
+            );
+            // Cluster-level accounting degenerates to the shard's own.
+            assert_eq!(report.total_cycles, report.shards[0].total_cycles);
+            assert_eq!(report.cluster_steps, report.shards[0].steps.len());
+            assert_eq!(report.tokens_generated(), report.shards[0].tokens_generated);
+        }
+    }
+}
+
+#[test]
+fn four_shard_least_loaded_with_stealing_beats_one_shard_throughput() {
+    // The acceptance bar: on the canonical skewed workload, four shards
+    // under least-loaded routing with work stealing must finish the same
+    // tokens in strictly fewer makespan cycles than a single engine.
+    let single = serve_skewed_cluster(
+        PolicyKind::Fifo,
+        false,
+        RetentionPolicy::None,
+        1,
+        RoutingKind::RoundRobin,
+        false,
+    );
+    let four = serve_skewed_cluster(
+        PolicyKind::Fifo,
+        false,
+        RetentionPolicy::None,
+        4,
+        RoutingKind::LeastLoaded,
+        true,
+    );
+    assert_eq!(single.tokens_generated(), four.tokens_generated());
+    assert!(
+        four.total_cycles < single.total_cycles,
+        "4-shard makespan {} must beat 1-shard {}",
+        four.total_cycles,
+        single.total_cycles
+    );
+    let clock_hz = 500e6;
+    assert!(
+        four.tokens_per_second(clock_hz) > single.tokens_per_second(clock_hz),
+        "4 shards {:.1} tok/s must beat 1 shard {:.1} tok/s",
+        four.tokens_per_second(clock_hz),
+        single.tokens_per_second(clock_hz)
+    );
+    // Sharding spread the work: no shard did everything.
+    assert!(four.shards.iter().all(|s| !s.requests.is_empty()));
+}
+
+/// The shared-prefix chat workload served by a cluster under the
+/// canonical shared-prefix engine configuration (prefix cache on, prompt
+/// prefill priced).
+fn serve_shared_prefix_cluster(
+    shards: usize,
+    routing: RoutingKind,
+    stealing: bool,
+) -> ClusterReport {
+    use token_picker::accel::serve::workloads::{shared_prefix_chat, shared_prefix_cluster};
+
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut cluster = shared_prefix_cluster(accel, true)
+        .shards(shards)
+        .routing(routing)
+        .stealing(stealing)
+        .build();
+    for r in shared_prefix_chat(11, 4, 6) {
+        cluster.enqueue(r).expect("valid request");
+    }
+    let report = cluster.run_to_completion(4096).expect("workload completes");
+    for i in 0..cluster.shard_count() {
+        cluster.shard(i).kv_pager().validate();
+        assert_eq!(cluster.shard(i).kv_pager().allocated_pages(), 0);
+    }
+    report
+}
+
+#[test]
+fn routing_policies_agree_on_results_and_affinity_recovers_the_hit_rate() {
+    // Routing changes *placement*, never results: every policy must
+    // generate the same tokens per request on the seeded shared-prefix
+    // workload — and because shards share the engine seed, even each
+    // request's attention bill is placement-independent.
+    let reports: Vec<(RoutingKind, ClusterReport)> = RoutingKind::all()
+        .into_iter()
+        .map(|kind| (kind, serve_shared_prefix_cluster(4, kind, false)))
+        .collect();
+    let baseline: std::collections::HashMap<u64, (usize, u64)> = reports[0]
+        .1
+        .requests()
+        .map(|(_, r)| (r.id, (r.generated, r.attention_cycles)))
+        .collect();
+    for (kind, report) in &reports {
+        assert_eq!(
+            report.requests().count(),
+            baseline.len(),
+            "{kind}: request count diverged"
+        );
+        for (_, r) in report.requests() {
+            let &(generated, attention) = baseline.get(&r.id).expect("same request set");
+            assert_eq!(r.generated, generated, "{kind}: request {} tokens", r.id);
+            assert_eq!(
+                r.attention_cycles, attention,
+                "{kind}: request {} attention bill",
+                r.id
+            );
+        }
+    }
+
+    // Per-shard prefix caches are independent, so round-robin scatters
+    // each tenant's requests across shards and every shard re-prefills the
+    // tenant prefix — while prefix-affinity keeps a tenant on one shard
+    // and recovers (most of) the single-engine hit rate. Pin the margin.
+    let rr = &reports[0].1;
+    let affinity = &reports[2].1;
+    assert_eq!(reports[0].0, RoutingKind::RoundRobin);
+    assert_eq!(reports[2].0, RoutingKind::PrefixAffinity);
+    assert!(
+        affinity.prefix_hit_rate() >= rr.prefix_hit_rate() + 0.15,
+        "affinity hit rate {:.3} must beat round-robin {:.3} by ≥ 0.15",
+        affinity.prefix_hit_rate(),
+        rr.prefix_hit_rate()
+    );
+    // And affinity's cluster prefill bill is accordingly strictly smaller.
+    assert!(affinity.total_prefill_cycles() < rr.total_prefill_cycles());
+}
+
+#[test]
+fn stealing_terminates_and_preserves_results_on_staggered_arrivals() {
+    // Regression: the shared-prefix workload's staggered arrivals can
+    // leave a donor with exactly one queued and one running request while
+    // an equal-occupancy peer idles — the shape where an unbounded steal
+    // loop used to ping-pong the queued request between the two shards
+    // forever. Stealing must terminate and change placement only.
+    let baseline = serve_shared_prefix_cluster(4, RoutingKind::RoundRobin, false);
+    for kind in RoutingKind::all() {
+        let stolen = serve_shared_prefix_cluster(4, kind, true);
+        assert_eq!(
+            stolen.tokens_generated(),
+            baseline.tokens_generated(),
+            "{kind}: stealing changed the work done"
+        );
+        assert_eq!(stolen.requests().count(), baseline.requests().count());
     }
 }
