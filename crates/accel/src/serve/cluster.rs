@@ -26,6 +26,17 @@
 //! and the cluster's cycle total is the *makespan* — the sum over cluster
 //! steps of the busiest shard's cycles — because shards model engines
 //! running in parallel, not serially.
+//!
+//! With [`threads`](ClusterEngineBuilder::threads) `> 1` the lockstep is
+//! *executed* in parallel too: routing, stealing and event sweeping stay
+//! on the coordinator thread, while the per-shard `step()`/`idle_tick()`
+//! calls fan out to scoped OS threads ([`std::thread::scope`]) whose join
+//! is the barrier before the next synchronization point. Each worker owns
+//! a disjoint `&mut` slice of the shard vector and shards never touch
+//! shared state mid-step, so the threaded schedule is digest-identical to
+//! the sequential one — the `threads = 1` path is retained as the
+//! reference. Wall-clock time spent stepping is accumulated alongside the
+//! modeled makespan and surfaces as [`ClusterReport::wall_seconds`].
 
 use super::error::ServeError;
 use super::events::ServeEvent;
@@ -96,6 +107,16 @@ pub struct ClusterReport {
     /// Cluster makespan in cycles: the sum over cluster steps of the
     /// busiest shard's cycles, since shards run in parallel.
     pub total_cycles: u64,
+    /// Worker threads the cluster stepped shards on (1 = the sequential
+    /// reference path).
+    pub threads: usize,
+    /// Measured wall-clock seconds spent inside
+    /// [`step`](ClusterEngine::step) — the host-side cost of actually
+    /// driving the shards, reported next to the *modeled* cycle makespan
+    /// so benches can show measured and modeled performance side by side.
+    /// Unlike every other field, this varies run to run; schedule
+    /// comparisons must ignore it.
+    pub wall_seconds: f64,
     /// Per-shard serving reports, indexed by shard id.
     pub shards: Vec<ServingReport>,
 }
@@ -228,6 +249,7 @@ pub struct ClusterEngineBuilder {
     shards: usize,
     routing: Box<dyn RoutingPolicy>,
     stealing: bool,
+    threads: usize,
     record_events: bool,
 }
 
@@ -244,6 +266,7 @@ impl ClusterEngineBuilder {
             shards: 1,
             routing: RoutingKind::RoundRobin.build(),
             stealing: false,
+            threads: 1,
             record_events: true,
         }
     }
@@ -376,6 +399,20 @@ impl ClusterEngineBuilder {
         self
     }
 
+    /// Sets how many OS threads step the shards each cluster step
+    /// (clamped to at least 1; capped at the shard count when stepping).
+    ///
+    /// The default, 1, is the sequential reference path: shards step one
+    /// after another on the caller's thread. With more threads the
+    /// per-shard `step()` calls fan out to scoped worker threads — same
+    /// schedule, same digests, less wall-clock. See the [module
+    /// docs](self) for the synchronization model.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Toggles event recording on every shard and the cluster.
     #[must_use]
     pub fn record_events(mut self, record: bool) -> Self {
@@ -395,10 +432,12 @@ impl ClusterEngineBuilder {
             shards,
             router: self.routing,
             stealing: self.stealing,
+            threads: self.threads,
             record_events: self.record_events,
             step_index: 0,
             steals: 0,
             total_cycles: 0,
+            wall_nanos: 0,
             steps: Vec::new(),
             events: Vec::new(),
         }
@@ -415,12 +454,35 @@ pub struct ClusterEngine {
     shards: Vec<ServingEngine>,
     router: Box<dyn RoutingPolicy>,
     stealing: bool,
+    threads: usize,
     record_events: bool,
     step_index: usize,
     steals: usize,
     total_cycles: u64,
+    wall_nanos: u64,
     steps: Vec<ClusterStepReport>,
     events: Vec<ClusterEvent>,
+}
+
+/// Steps every shard in `shards` once, idle-ticking drained shards, and
+/// returns the slice's contribution to the cluster step: the busiest
+/// shard's cycles and the decoded-request count. This is the unit of work
+/// a worker thread owns under `threads > 1`, and the whole step under the
+/// sequential path — one body, two execution modes, so the schedules
+/// cannot drift apart.
+fn step_shard_slice(shards: &mut [ServingEngine]) -> Result<(u64, usize), ServeError> {
+    let mut critical_cycles = 0u64;
+    let mut batch = 0usize;
+    for shard in shards {
+        match shard.step()? {
+            Some(r) => {
+                critical_cycles = critical_cycles.max(r.total_cycles());
+                batch += r.batch;
+            }
+            None => shard.idle_tick(),
+        }
+    }
+    Ok((critical_cycles, batch))
 }
 
 impl ClusterEngine {
@@ -453,6 +515,18 @@ impl ClusterEngine {
     #[must_use]
     pub fn stealing_enabled(&self) -> bool {
         self.stealing
+    }
+
+    /// Worker threads shards step on (1 = sequential reference path).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Measured wall-clock seconds spent stepping so far.
+    #[must_use]
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_nanos as f64 / 1e9
     }
 
     /// Queued-request migrations work stealing has performed so far.
@@ -604,34 +678,61 @@ impl ClusterEngine {
     }
 
     /// Runs one cluster step: steals (when enabled), then steps every
-    /// shard once in lockstep. Idle shards record a zero-cycle tick so
-    /// all shard clocks stay equal to the cluster step index.
+    /// shard once in lockstep — sequentially, or fanned out to scoped
+    /// worker threads when built with
+    /// [`threads`](ClusterEngineBuilder::threads) `> 1`. Idle shards
+    /// record a zero-cycle tick so all shard clocks stay equal to the
+    /// cluster step index.
     ///
     /// Returns `Ok(None)` when every shard has drained.
     ///
     /// # Errors
     ///
     /// Propagates the first shard failure ([`ServeError::Core`] or
-    /// [`ServeError::AdmissionStalled`]).
+    /// [`ServeError::AdmissionStalled`]) — under threading, the failure
+    /// on the lowest-numbered shard slice.
     pub fn step(&mut self) -> Result<Option<ClusterStepReport>, ServeError> {
         if self.is_idle() {
             return Ok(None);
         }
+        let start = std::time::Instant::now();
         if self.stealing && self.shards.len() > 1 {
             self.steal();
         }
-        let mut critical_cycles = 0u64;
-        let mut batch = 0usize;
-        for shard in &mut self.shards {
-            match shard.step()? {
-                Some(r) => {
-                    critical_cycles = critical_cycles.max(r.total_cycles());
-                    batch += r.batch;
-                }
-                None => shard.idle_tick(),
+        let (critical_cycles, batch) = if self.threads > 1 && self.shards.len() > 1 {
+            // Coordinator fans the shards out in contiguous slices, one
+            // per worker; the scope's implicit join is the barrier before
+            // the next route/steal/sweep synchronization point. Each
+            // worker holds a disjoint `&mut` slice, so no shard state is
+            // shared while threads run.
+            let workers = self.threads.min(self.shards.len());
+            let per_worker = self.shards.len().div_ceil(workers);
+            let slices = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .chunks_mut(per_worker)
+                    .map(|slice| scope.spawn(move || step_shard_slice(slice)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker thread panicked"))
+                    .collect::<Vec<_>>()
+            });
+            let mut critical_cycles = 0u64;
+            let mut batch = 0usize;
+            for slice in slices {
+                let (cycles, decoded) = slice?;
+                critical_cycles = critical_cycles.max(cycles);
+                batch += decoded;
             }
-        }
+            (critical_cycles, batch)
+        } else {
+            step_shard_slice(&mut self.shards)?
+        };
         self.sweep_shard_events();
+        self.wall_nanos = self
+            .wall_nanos
+            .saturating_add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
         let report = ClusterStepReport {
             index: self.step_index,
             batch,
@@ -678,6 +779,8 @@ impl ClusterEngine {
             steals: self.steals,
             cluster_steps: self.steps.len(),
             total_cycles: self.total_cycles,
+            threads: self.threads,
+            wall_seconds: self.wall_nanos as f64 / 1e9,
             shards: self.shards.iter().map(ServingEngine::report).collect(),
         }
     }
@@ -844,6 +947,54 @@ mod tests {
         assert_eq!(report.total_cycles, report.shards[0].total_cycles);
         assert_eq!(report.cluster_steps, report.shards[0].steps.len());
         assert!((report.load_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn everything_a_worker_thread_touches_is_send() {
+        // The compile-time contract behind `threads > 1`: a worker thread
+        // receives `&mut [ServingEngine]`, so the engine — and everything
+        // it owns transitively, pager and batch and boxed policy included
+        // — must be `Send`. The cluster itself must be too, so callers
+        // can drive whole clusters from spawned threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<ServingEngine>();
+        assert_send::<ClusterEngine>();
+        assert_send::<super::super::KvPager>();
+        assert_send::<super::super::batch_state::BatchState>();
+        assert_send::<Box<dyn super::super::SchedulerPolicy>>();
+        assert_send::<Box<dyn RoutingPolicy>>();
+    }
+
+    #[test]
+    fn threaded_stepping_matches_the_sequential_schedule() {
+        let run = |threads: usize| {
+            let mut cluster = small_builder()
+                .shards(3)
+                .routing(RoutingKind::LeastLoaded)
+                .stealing(true)
+                .enable_preemption()
+                .retention(RetentionPolicy::Fraction(0.75))
+                .threads(threads)
+                .build();
+            for id in 0..9 {
+                cluster
+                    .enqueue(ServingRequest::new(id, 32 + (id as usize % 3) * 16, 3))
+                    .unwrap();
+            }
+            cluster.run_to_completion(256).unwrap()
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 8] {
+            let threaded = run(threads);
+            assert_eq!(threaded.threads, threads);
+            // Everything but the measured wall-clock must be identical.
+            assert_eq!(threaded.shards, sequential.shards, "threads={threads}");
+            assert_eq!(threaded.steals, sequential.steals);
+            assert_eq!(threaded.total_cycles, sequential.total_cycles);
+            assert_eq!(threaded.cluster_steps, sequential.cluster_steps);
+        }
+        assert_eq!(sequential.threads, 1);
+        assert!(sequential.wall_seconds > 0.0);
     }
 
     #[test]

@@ -55,10 +55,17 @@ pub struct RunningView {
 /// budget, and a candidate that still does not fit ends admission for the
 /// step — so a policy cannot corrupt the batch, only order it badly.
 ///
+/// Policies must be [`Send`]: a [`ClusterEngine`](super::ClusterEngine)
+/// steps its shards on scoped worker threads, and each shard's policy
+/// travels with it. Policies only ever run on one thread at a time (the
+/// engine holds them by `&mut`), so `Send` — not `Sync` — is the bound,
+/// and any policy made of owned data satisfies it automatically.
+///
 /// # Example
 ///
-/// A custom policy is any `Debug` type implementing this trait; install it
-/// with [`ServingEngineBuilder::policy_boxed`](super::ServingEngineBuilder::policy_boxed).
+/// A custom policy is any `Debug + Send` type implementing this trait;
+/// install it with
+/// [`ServingEngineBuilder::policy_boxed`](super::ServingEngineBuilder::policy_boxed).
 /// Longest-job-first, in full:
 ///
 /// ```
@@ -102,7 +109,7 @@ pub struct RunningView {
 /// assert_eq!(report.requests[0].id, 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub trait SchedulerPolicy: fmt::Debug {
+pub trait SchedulerPolicy: fmt::Debug + Send {
     /// Stable, human-readable policy name (used in reports and benches).
     fn name(&self) -> &'static str;
 

@@ -51,7 +51,13 @@ impl ShardView {
 /// route badly. Routing is the *only* placement decision a policy makes —
 /// work stealing, when enabled, is the cluster's own deterministic
 /// rebalancing and never consults the router.
-pub trait RoutingPolicy: fmt::Debug {
+///
+/// Routers must be [`Send`] so a whole
+/// [`ClusterEngine`](super::ClusterEngine) (which steps its shards on
+/// scoped worker threads) can move between threads. Routing itself always
+/// runs on the coordinator thread, between shard steps — the router never
+/// crosses a thread boundary mid-decision.
+pub trait RoutingPolicy: fmt::Debug + Send {
     /// Stable, human-readable policy name (used in reports and benches).
     fn name(&self) -> &'static str;
 

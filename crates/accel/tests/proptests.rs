@@ -358,8 +358,9 @@ proptest! {
     }
 
     /// Cluster conservation: under arbitrary enqueue/step interleavings —
-    /// any shard count, routing policy, scheduler policy, stealing and
-    /// preemption on or off — no request is lost, duplicated, or decoded
+    /// any shard count, worker thread count (1 = sequential through more
+    /// threads than shards), routing policy, scheduler policy, stealing
+    /// and preemption on or off — no request is lost, duplicated, or decoded
     /// on two shards; every shard's pager satisfies its conservation
     /// oracle at the end and drains to nothing allocated; shards stay in
     /// lockstep with the cluster clock; and with stealing off every
@@ -372,6 +373,7 @@ proptest! {
         stealing in any::<bool>(),
         policy_idx in 0usize..4,
         preempt in any::<bool>(),
+        threads in 1usize..6,
         ops in prop::collection::vec(0u8..4, 4..28),
     ) {
         let routing = RoutingKind::all()[routing_idx];
@@ -388,7 +390,8 @@ proptest! {
             .policy(policy)
             .shards(shards)
             .routing(routing)
-            .stealing(stealing);
+            .stealing(stealing)
+            .threads(threads);
         if preempt {
             builder = builder
                 .enable_preemption()

@@ -13,16 +13,29 @@
 //!    counts — round-robin vs least-loaded + stealing on the skewed
 //!    workload (makespan scaling, steal counts, load imbalance) and
 //!    round-robin vs prefix-affinity on the shared-prefix workload (the
-//!    cluster hit rate affinity routing recovers).
+//!    cluster hit rate affinity routing recovers). With `--threads N`,
+//!    every multi-shard point gains a threaded twin stepping shards on
+//!    `N` OS threads.
+//!
+//! Every record carries both the *modeled* cycle count and the *measured*
+//! wall-clock milliseconds of the run, side by side.
+//!
+//! `--threads-sweep` replaces all of the above with the dedicated
+//! threading document checked in as `BENCH_serving_threads.json`:
+//! shards ∈ {1, 2, 4, 8} on the skewed workload, sequential vs threaded
+//! (one worker per shard), best-of-3 wall times, with the
+//! threaded-over-sequential speedup computed per shard count.
 //!
 //! ```sh
 //! cargo run --release -p topick-bench --bin serving_throughput
 //! cargo run --release -p topick-bench --bin serving_throughput -- --requests 32
 //! cargo run --release -p topick-bench --bin serving_throughput -- --quick            # CI mode
-//! cargo run --release -p topick-bench --bin serving_throughput -- --quick --shards 4
+//! cargo run --release -p topick-bench --bin serving_throughput -- --quick --shards 4 --threads 4
+//! cargo run --release -p topick-bench --bin serving_throughput -- --threads-sweep > BENCH_serving_threads.json
 //! ```
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use topick_accel::serve::workloads::{shared_prefix_chat, skewed_elephant_mice};
 use topick_accel::{
@@ -57,7 +70,9 @@ fn run_point(
             ))
             .expect("valid request");
     }
+    let start = Instant::now();
     let report = engine.run_to_completion(100_000).expect("completes");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     JsonObject::new()
         .field("mode", mode_name)
         .field("threshold", JsonValue::Sci(threshold))
@@ -65,6 +80,7 @@ fn run_point(
         .field("tokens", report.tokens_generated)
         .field("steps", report.steps.len())
         .field("total_cycles", report.total_cycles)
+        .field("wall_ms", JsonValue::Prec(wall_ms, 3))
         .field(
             "tokens_per_s",
             JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
@@ -85,7 +101,7 @@ fn run_policy(
     preemption: bool,
     retention: RetentionPolicy,
     mice: u64,
-) -> (ServingReport, f64) {
+) -> (ServingReport, f64, f64) {
     let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
     let mut builder = ServingEngine::builder(accel)
         .heads(4)
@@ -103,10 +119,9 @@ fn run_policy(
     for r in skewed_elephant_mice(4, mice) {
         engine.enqueue(r).expect("valid request");
     }
-    (
-        engine.run_to_completion(100_000).expect("completes"),
-        clock_hz,
-    )
+    let start = Instant::now();
+    let report = engine.run_to_completion(100_000).expect("completes");
+    (report, clock_hz, start.elapsed().as_secs_f64() * 1e3)
 }
 
 fn policy_record(
@@ -115,7 +130,7 @@ fn policy_record(
     retention: RetentionPolicy,
     mice: u64,
 ) -> JsonValue {
-    let (report, clock_hz) = run_policy(policy, preemption, retention, mice);
+    let (report, clock_hz, wall_ms) = run_policy(policy, preemption, retention, mice);
     let retention_label = match (preemption, retention) {
         (false, _) => "off",
         (true, RetentionPolicy::None) => "full-reprefill",
@@ -128,6 +143,7 @@ fn policy_record(
         .field("tokens", report.tokens_generated)
         .field("steps", report.steps.len())
         .field("total_cycles", report.total_cycles)
+        .field("wall_ms", JsonValue::Prec(wall_ms, 3))
         .field(
             "tokens_per_s",
             JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
@@ -159,13 +175,16 @@ fn prefix_record(prefix_cache: bool, tenants: u64, per_tenant: u64) -> JsonValue
     for r in shared_prefix_chat(11, tenants, per_tenant) {
         engine.enqueue(r).expect("valid request");
     }
+    let start = Instant::now();
     let report = engine.run_to_completion(100_000).expect("completes");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     JsonObject::new()
         .field("policy", report.policy.as_str())
         .field("prefix_cache", prefix_cache)
         .field("tokens", report.tokens_generated)
         .field("steps", report.steps.len())
         .field("total_cycles", report.total_cycles)
+        .field("wall_ms", JsonValue::Prec(wall_ms, 3))
         .field(
             "tokens_per_s",
             JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
@@ -177,17 +196,24 @@ fn prefix_record(prefix_cache: bool, tenants: u64, per_tenant: u64) -> JsonValue
         .into()
 }
 
+/// Sizing of the two cluster workloads, shared across the shard sweep.
+#[derive(Clone, Copy)]
+struct WorkloadSize {
+    mice: u64,
+    tenants: u64,
+    per_tenant: u64,
+}
+
 /// One cluster run: the canonical skewed workload (FIFO per shard) or the
 /// shared-prefix chat workload (prefix cache + priced prefill per shard),
-/// at the given shard count and routing policy.
+/// at the given shard count, routing policy and worker thread count.
 fn run_cluster(
     workload: &str,
     shards: usize,
     routing: RoutingKind,
     stealing: bool,
-    mice: u64,
-    tenants: u64,
-    per_tenant: u64,
+    threads: usize,
+    size: WorkloadSize,
 ) -> (ClusterReport, f64) {
     let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
     // The skewed branch mirrors the canonical policy-sweep engine; the
@@ -208,12 +234,13 @@ fn run_cluster(
         .shards(shards)
         .routing(routing)
         .stealing(stealing)
+        .threads(threads)
         .build();
     let clock_hz = cluster.shard(0).config().clock_hz;
     let requests = if workload == "skewed" {
-        skewed_elephant_mice(4, mice)
+        skewed_elephant_mice(4, size.mice)
     } else {
-        shared_prefix_chat(11, tenants, per_tenant)
+        shared_prefix_chat(11, size.tenants, size.per_tenant)
     };
     for r in requests {
         cluster.enqueue(r).expect("valid request");
@@ -229,21 +256,20 @@ fn shard_record(
     shards: usize,
     routing: RoutingKind,
     stealing: bool,
-    mice: u64,
-    tenants: u64,
-    per_tenant: u64,
+    threads: usize,
+    size: WorkloadSize,
 ) -> JsonValue {
-    let (report, clock_hz) = run_cluster(
-        workload, shards, routing, stealing, mice, tenants, per_tenant,
-    );
+    let (report, clock_hz) = run_cluster(workload, shards, routing, stealing, threads, size);
     JsonObject::new()
         .field("workload", workload)
         .field("shards", shards)
         .field("routing", report.routing.as_str())
         .field("stealing", stealing)
+        .field("threads", report.threads)
         .field("tokens", report.tokens_generated())
         .field("cluster_steps", report.cluster_steps)
         .field("makespan_cycles", report.total_cycles)
+        .field("wall_ms", JsonValue::Prec(report.wall_seconds * 1e3, 3))
         .field(
             "tokens_per_s",
             JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
@@ -256,6 +282,106 @@ fn shard_record(
         .field("prefill_cycles", report.total_prefill_cycles())
         .field("prefix_hit_tokens", report.total_prefix_hit_tokens())
         .field("hit_rate", JsonValue::Prec(report.prefix_hit_rate(), 3))
+        .into()
+}
+
+/// One point of the dedicated threading sweep: the canonical skewed
+/// cluster configuration (least-loaded + stealing) at a shard and thread
+/// count, run `runs` times. The schedule — and with it every modeled
+/// field — is identical across runs and thread counts (that is the
+/// tentpole guarantee the digest tests pin), so only the *measured* wall
+/// clock varies; the best of the runs is reported to damp scheduler
+/// noise.
+fn run_threads_point(
+    shards: usize,
+    threads: usize,
+    elephants: u64,
+    mice: u64,
+    runs: usize,
+) -> (ClusterReport, f64) {
+    let mut best_wall = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs.max(1) {
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+        let mut cluster = ClusterEngine::builder(accel)
+            .heads(4)
+            .weight_bytes(10_000_000)
+            .seed(7)
+            .max_batch(4)
+            .max_batch_tokens(2200)
+            .record_events(false)
+            .shards(shards)
+            .routing(RoutingKind::LeastLoaded)
+            .stealing(true)
+            .threads(threads)
+            .build();
+        for r in skewed_elephant_mice(elephants, mice) {
+            cluster.enqueue(r).expect("valid request");
+        }
+        let report = cluster.run_to_completion(1_000_000).expect("completes");
+        best_wall = best_wall.min(report.wall_seconds);
+        last = Some(report);
+    }
+    (last.expect("at least one run"), best_wall)
+}
+
+/// The `--threads-sweep` document (checked in as
+/// `BENCH_serving_threads.json`): shards ∈ {1, 2, 4, 8}, sequential vs
+/// threaded (one worker thread per shard), on a skewed workload scaled so
+/// eight shards stay busy. Modeled makespan and measured wall clock sit
+/// side by side; each threaded record carries its wall-clock speedup over
+/// the sequential run at the same shard count.
+///
+/// The document records `host_parallelism`
+/// ([`std::thread::available_parallelism`]) because the speedup column is
+/// only meaningful relative to it: threaded stepping cannot beat
+/// sequential on a single-core host, however many worker threads fan out
+/// — expect ~1.0× there and up to ~min(shards, cores)× on real CI
+/// hardware.
+fn threads_sweep(elephants: u64, mice: u64, runs: usize) -> JsonValue {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let clock_hz = 500e6;
+    let mut records = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let (seq_report, seq_wall) = run_threads_point(shards, 1, elephants, mice, runs);
+        let record = |report: &ClusterReport, threads: usize, wall: f64| {
+            JsonObject::new()
+                .field("shards", shards)
+                .field("threads", threads)
+                .field("tokens", report.tokens_generated())
+                .field("cluster_steps", report.cluster_steps)
+                .field("makespan_cycles", report.total_cycles)
+                .field(
+                    "tokens_per_s",
+                    JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
+                )
+                .field("steals", report.steals)
+                .field("wall_ms", JsonValue::Prec(wall * 1e3, 3))
+        };
+        records.push(record(&seq_report, 1, seq_wall).into());
+        if shards > 1 {
+            let (thr_report, thr_wall) = run_threads_point(shards, shards, elephants, mice, runs);
+            assert_eq!(
+                thr_report.total_cycles, seq_report.total_cycles,
+                "threaded schedule diverged from sequential at {shards} shards"
+            );
+            records.push(
+                record(&thr_report, shards, thr_wall)
+                    .field("speedup", JsonValue::Prec(seq_wall / thr_wall, 3))
+                    .into(),
+            );
+        }
+    }
+    JsonObject::new()
+        .field("bench", "serving_threads")
+        .field("workload", "skewed-elephant-mice")
+        .field("elephants", elephants)
+        .field("mice", mice)
+        .field("routing", "least-loaded")
+        .field("stealing", true)
+        .field("runs_per_point", runs)
+        .field("host_parallelism", host_parallelism)
+        .field("records", records)
         .into()
 }
 
@@ -277,6 +403,18 @@ fn main() {
         }
     }
     let quick = flags.contains_key("quick");
+    let threads_flag: usize = flags
+        .get("threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    if flags.contains_key("threads-sweep") {
+        let runs = if quick { 1 } else { 3 };
+        let (elephants, mice) = if quick { (4, 12) } else { (8, 40) };
+        let doc = threads_sweep(elephants, mice, runs);
+        println!("{}", doc.render());
+        return;
+    }
     let requests: u64 = flags
         .get("requests")
         .and_then(|v| v.parse().ok())
@@ -336,6 +474,11 @@ fn main() {
         prefix_record(false, tenants, per_tenant),
         prefix_record(true, tenants, per_tenant),
     ];
+    let size = WorkloadSize {
+        mice,
+        tenants,
+        per_tenant,
+    };
 
     // Shard sweep: 1 shard is the golden-pinned identity baseline; each
     // larger count contrasts load-blind routing against least-loaded +
@@ -356,9 +499,8 @@ fn main() {
             n,
             RoutingKind::RoundRobin,
             false,
-            mice,
-            tenants,
-            per_tenant,
+            1,
+            size,
         ));
         if n > 1 {
             shards.push(shard_record(
@@ -366,19 +508,30 @@ fn main() {
                 n,
                 RoutingKind::LeastLoaded,
                 true,
-                mice,
-                tenants,
-                per_tenant,
+                1,
+                size,
             ));
+            if threads_flag > 1 {
+                // Threaded twin of the least-loaded + stealing point:
+                // same schedule by construction, wall_ms is the column
+                // that moves.
+                shards.push(shard_record(
+                    "skewed",
+                    n,
+                    RoutingKind::LeastLoaded,
+                    true,
+                    threads_flag,
+                    size,
+                ));
+            }
         }
         shards.push(shard_record(
             "shared-prefix",
             n,
             RoutingKind::RoundRobin,
             false,
-            mice,
-            tenants,
-            per_tenant,
+            1,
+            size,
         ));
         if n > 1 {
             shards.push(shard_record(
@@ -386,10 +539,19 @@ fn main() {
                 n,
                 RoutingKind::PrefixAffinity,
                 false,
-                mice,
-                tenants,
-                per_tenant,
+                1,
+                size,
             ));
+            if threads_flag > 1 {
+                shards.push(shard_record(
+                    "shared-prefix",
+                    n,
+                    RoutingKind::PrefixAffinity,
+                    false,
+                    threads_flag,
+                    size,
+                ));
+            }
         }
     }
 

@@ -9,7 +9,7 @@
 //!                [--policy fifo|priority|sjf|fair|all] [--preemption]
 //!                [--page-size P] [--retention none|<pages>|<fraction>]
 //!                [--prefix-cache] [--prefill-factor F]
-//!                [--shards N] [--routing rr|least|affinity] [--stealing]
+//!                [--shards N] [--routing rr|least|affinity] [--stealing] [--threads N]
 //! topick help
 //! ```
 
@@ -185,6 +185,7 @@ struct ServeOpts {
     shards: usize,
     routing: token_picker::accel::RoutingKind,
     stealing: bool,
+    threads: usize,
 }
 
 /// The `serve` command's synthetic workload: heterogeneous shapes,
@@ -221,7 +222,8 @@ fn serve_cluster_once(
         .policy(policy)
         .shards(opts.shards)
         .routing(opts.routing)
-        .stealing(opts.stealing);
+        .stealing(opts.stealing)
+        .threads(opts.threads);
     if opts.preemption {
         builder = builder.preemption(PreemptionConfig::enabled().with_retention(opts.retention));
     }
@@ -277,8 +279,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         .unwrap_or(RoutingKind::RoundRobin);
     let shards = flag(flags, "shards", 1usize).max(1);
     let stealing = flags.contains_key("stealing");
-    if shards <= 1 && (flags.contains_key("routing") || stealing) {
-        return Err("--routing and --stealing only take effect with --shards > 1".into());
+    let threads = flag(flags, "threads", 1usize).max(1);
+    if shards <= 1 && (flags.contains_key("routing") || stealing || flags.contains_key("threads")) {
+        return Err(
+            "--routing, --stealing and --threads only take effect with --shards > 1".into(),
+        );
     }
     let opts = ServeOpts {
         mode: if baseline_mode {
@@ -309,6 +314,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         shards,
         routing,
         stealing,
+        threads,
     };
     let policy_flag = flags.get("policy").map_or("fifo", String::as_str);
 
@@ -416,17 +422,25 @@ fn cmd_serve_cluster(
     let policy: PolicyKind = policy_flag.parse()?;
     let (report, clock_hz) = serve_cluster_once(opts, policy)?;
     println!(
-        "mode {:?}, policy {}, routing {}{}: {} shards, {} requests, {} tokens in {} steps",
+        "mode {:?}, policy {}, routing {}{}: {} shards on {} thread{}, {} requests, {} tokens in {} steps",
         opts.mode,
         report.policy,
         report.routing,
         if report.stealing { " + stealing" } else { "" },
         report.shards.len(),
+        report.threads,
+        if report.threads == 1 { "" } else { "s" },
         report.requests().count(),
         report.tokens_generated(),
         report.cluster_steps
     );
-    println!("makespan       : {} cycles", report.total_cycles);
+    println!("makespan       : {} cycles (modeled)", report.total_cycles);
+    println!(
+        "wall clock     : {:.1} ms (measured, {} thread{})",
+        report.wall_seconds * 1e3,
+        report.threads,
+        if report.threads == 1 { "" } else { "s" }
+    );
     println!(
         "throughput     : {:.1} tokens/s",
         report.tokens_per_second(clock_hz)
@@ -474,7 +488,7 @@ fn usage() {
     println!("           [--policy fifo|priority|sjf|fair|all] [--preemption]");
     println!("           [--page-size P] [--retention none|<pages>|<fraction>]");
     println!("           [--prefix-cache] [--prefill-factor F]");
-    println!("           [--shards N] [--routing rr|least|affinity] [--stealing]");
+    println!("           [--shards N] [--routing rr|least|affinity] [--stealing] [--threads N]");
 }
 
 fn main() {

@@ -844,6 +844,7 @@ fn serve_skewed_cluster(
     shards: usize,
     routing: RoutingKind,
     stealing: bool,
+    threads: usize,
 ) -> ClusterReport {
     use token_picker::accel::serve::workloads::skewed_elephant_mice;
 
@@ -857,7 +858,8 @@ fn serve_skewed_cluster(
         .policy(policy)
         .shards(shards)
         .routing(routing)
-        .stealing(stealing);
+        .stealing(stealing)
+        .threads(threads);
     if preemption {
         builder = builder.enable_preemption().retention(retention);
     }
@@ -889,6 +891,7 @@ fn one_shard_cluster_reproduces_the_bare_engine_bit_for_bit() {
                 1,
                 RoutingKind::RoundRobin,
                 stealing,
+                1,
             );
             assert_eq!(report.shards.len(), 1);
             assert_eq!(report.steals, 0, "{policy}: a 1-shard cluster stole");
@@ -918,6 +921,7 @@ fn four_shard_least_loaded_with_stealing_beats_one_shard_throughput() {
         1,
         RoutingKind::RoundRobin,
         false,
+        1,
     );
     let four = serve_skewed_cluster(
         PolicyKind::Fifo,
@@ -926,6 +930,7 @@ fn four_shard_least_loaded_with_stealing_beats_one_shard_throughput() {
         4,
         RoutingKind::LeastLoaded,
         true,
+        1,
     );
     assert_eq!(single.tokens_generated(), four.tokens_generated());
     assert!(
@@ -943,6 +948,108 @@ fn four_shard_least_loaded_with_stealing_beats_one_shard_throughput() {
     );
     // Sharding spread the work: no shard did everything.
     assert!(four.shards.iter().all(|s| !s.requests.is_empty()));
+}
+
+/// Asserts two cluster runs produced the same schedule: per-shard
+/// digests, makespan, step count and steal count all equal. Wall-clock
+/// (`wall_seconds`) is deliberately *not* compared — it is the one
+/// measured, run-varying field.
+fn assert_same_schedule(threaded: &ClusterReport, sequential: &ClusterReport, label: &str) {
+    assert_eq!(
+        threaded.shards.len(),
+        sequential.shards.len(),
+        "{label}: shard count diverged"
+    );
+    for (shard, (t, s)) in threaded
+        .shards
+        .iter()
+        .zip(sequential.shards.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            schedule_digest(t),
+            schedule_digest(s),
+            "{label}: shard {shard} schedule diverged under threading"
+        );
+    }
+    assert_eq!(threaded.steals, sequential.steals, "{label}: steals");
+    assert_eq!(
+        threaded.total_cycles, sequential.total_cycles,
+        "{label}: makespan"
+    );
+    assert_eq!(
+        threaded.cluster_steps, sequential.cluster_steps,
+        "{label}: step count"
+    );
+    assert_eq!(
+        threaded.tokens_generated(),
+        sequential.tokens_generated(),
+        "{label}: tokens"
+    );
+}
+
+#[test]
+fn threaded_cluster_is_digest_identical_to_sequential() {
+    // The tentpole guarantee: stepping shards on scoped worker threads
+    // changes wall-clock only, never the schedule. Sweep the full golden
+    // matrix — every scheduler policy × preemption (with 0.75 paged
+    // retention) × stealing on/off — on a 4-shard least-loaded cluster,
+    // comparing per-shard digests between threads = 1 and threads = 4.
+    // The sequential side of this comparison is itself pinned against the
+    // PR 3 goldens by `one_shard_cluster_reproduces_the_bare_engine…`.
+    for &(policy, preemption, _) in &GOLDEN_POLICY_DIGESTS {
+        for stealing in [false, true] {
+            let run = |threads: usize| {
+                serve_skewed_cluster(
+                    policy,
+                    preemption,
+                    RetentionPolicy::Fraction(0.75),
+                    4,
+                    RoutingKind::LeastLoaded,
+                    stealing,
+                    threads,
+                )
+            };
+            let sequential = run(1);
+            let threaded = run(4);
+            assert_eq!(threaded.threads, 4);
+            assert_same_schedule(
+                &threaded,
+                &sequential,
+                &format!("{policy} (preemption: {preemption}, stealing: {stealing})"),
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_cluster_is_digest_identical_across_routers() {
+    // Same guarantee along the routing axis: for every routing policy
+    // (including prefix-affinity, whose bindings live on the coordinator
+    // thread), a threaded 4-shard run under preemption + stealing matches
+    // its sequential twin shard for shard. Threads beyond the shard count
+    // must also change nothing — workers are capped at one slice each.
+    for routing in RoutingKind::all() {
+        let run = |threads: usize| {
+            serve_skewed_cluster(
+                PolicyKind::PriorityAging,
+                true,
+                RetentionPolicy::Fraction(0.75),
+                4,
+                routing,
+                true,
+                threads,
+            )
+        };
+        let sequential = run(1);
+        for threads in [2, 4, 16] {
+            assert_same_schedule(
+                &run(threads),
+                &sequential,
+                &format!("{routing} with {threads} threads"),
+            );
+        }
+    }
 }
 
 /// The shared-prefix chat workload served by a cluster under the
