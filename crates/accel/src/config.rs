@@ -3,6 +3,9 @@
 use topick_core::{PrecisionConfig, ScanOrder};
 use topick_dram::DramConfig;
 
+use std::fmt;
+use std::str::FromStr;
+
 /// Which pipeline the simulator models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccelMode {
@@ -20,6 +23,42 @@ pub enum AccelMode {
     /// its token's next chunk instead of processing other arrivals.
     /// Same traffic as [`OutOfOrder`](Self::OutOfOrder), lower utilization.
     Blocking,
+}
+
+impl AccelMode {
+    /// Stable, human-readable mode name — the token serve traces and CLI
+    /// flags round-trip the mode through.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Baseline => "baseline",
+            Self::EstimateOnly => "estimate-only",
+            Self::OutOfOrder => "out-of-order",
+            Self::Blocking => "blocking",
+        }
+    }
+}
+
+impl fmt::Display for AccelMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for AccelMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "baseline" => Ok(Self::Baseline),
+            "estimate" | "estimate-only" => Ok(Self::EstimateOnly),
+            "ooo" | "out-of-order" => Ok(Self::OutOfOrder),
+            "blocking" => Ok(Self::Blocking),
+            other => Err(format!(
+                "unknown accel mode '{other}' (expected baseline | estimate-only | out-of-order | blocking)"
+            )),
+        }
+    }
 }
 
 /// Full configuration of the ToPick accelerator simulator.
@@ -121,5 +160,20 @@ mod tests {
     fn invalid_threshold_rejected() {
         assert!(AccelConfig::paper(AccelMode::OutOfOrder, 0.0).is_err());
         assert!(AccelConfig::paper(AccelMode::OutOfOrder, 1.0).is_err());
+    }
+
+    #[test]
+    fn accel_mode_round_trips_through_names() {
+        for mode in [
+            AccelMode::Baseline,
+            AccelMode::EstimateOnly,
+            AccelMode::OutOfOrder,
+            AccelMode::Blocking,
+        ] {
+            assert_eq!(mode.name().parse::<AccelMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert!("nope".parse::<AccelMode>().is_err());
+        assert_eq!("ooo".parse::<AccelMode>(), Ok(AccelMode::OutOfOrder));
     }
 }

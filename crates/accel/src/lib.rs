@@ -60,7 +60,8 @@ pub use result::AttentionStepResult;
 pub use serve::{
     AdmissionConfig, ClusterEngine, ClusterEngineBuilder, ClusterEvent, ClusterReport,
     ClusterStepReport, FairRoundRobin, Fifo, KvPager, PendingView, PolicyKind, PreemptionConfig,
-    PriorityAging, RequestStats, RetentionPolicy, RoutingKind, RoutingPolicy, RunningView,
-    SchedulerPolicy, ServeError, ServeEvent, ServingConfig, ServingEngine, ServingEngineBuilder,
-    ServingReport, ServingRequest, SessionStats, ShardView, ShortestJobFirst, StepReport,
+    PriorityAging, RequestStats, RetentionPolicy, RoutingKind, RoutingPolicy, RunReport,
+    RunningView, Scenario, ScenarioKind, SchedulerPolicy, ServeError, ServeEvent, ServingConfig,
+    ServingEngine, ServingEngineBuilder, ServingReport, ServingRequest, SessionStats, ShardView,
+    ShortestJobFirst, StepReport, Trace, TraceError, TraceMeta, TraceRecorder, TraceReplay,
 };

@@ -53,7 +53,9 @@ pub mod kv_pager;
 pub mod policy;
 pub mod queue;
 pub mod router;
+pub mod scenario;
 pub mod stats;
+pub mod trace;
 pub mod workloads;
 
 pub use batch_state::AdmissionConfig;
@@ -69,7 +71,9 @@ pub use policy::{
 };
 pub use queue::ServingRequest;
 pub use router::{LeastLoaded, PrefixAffinity, RoundRobin, RoutingKind, RoutingPolicy, ShardView};
+pub use scenario::{Scenario, ScenarioKind};
 pub use stats::{RequestStats, ServingReport, SessionStats, StepReport};
+pub use trace::{RunReport, Trace, TraceError, TraceMeta, TraceRecorder, TraceReplay};
 
 use topick_core::{PruneStats, QVector, QuantBuffer};
 use topick_model::{SynthInstance, SynthProfile};

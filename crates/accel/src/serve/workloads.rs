@@ -3,17 +3,10 @@
 //! all three places.
 
 use super::cluster::ClusterEngineBuilder;
-use super::queue::{splitmix64, ServingRequest};
+use super::queue::ServingRequest;
+use super::scenario::{Scenario, SharedPrefixChat, SkewedElephantMice};
 use super::{ClusterEngine, ServingConfig, ServingEngineBuilder};
 use crate::config::AccelConfig;
-
-/// Draws the next value of a SplitMix64 stream: mixes the advanced state
-/// through the shared [`splitmix64`] and steps the counter.
-fn next_rand(state: &mut u64) -> u64 {
-    let out = splitmix64(*state);
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    out
-}
 
 /// The shared-prefix "chat" workload: `tenants` tenants, each with its own
 /// system prompt (a shared prefix of 96–160 tokens, full-page-aligned at
@@ -35,32 +28,16 @@ fn next_rand(state: &mut u64) -> u64 {
 /// tenant the caller asks for. Request ids depend only on `(tenant, i)` —
 /// never on who consumes the workload — which is what makes multi-shard
 /// golden runs reproducible against single-engine ones.
+///
+/// A thin wrapper over the [`SharedPrefixChat`] scenario — same bytes,
+/// pinned by the tests below and the schedule-digest goldens.
 #[must_use]
 pub fn shared_prefix_chat(seed: u64, tenants: u64, per_tenant: u64) -> Vec<ServingRequest> {
-    let mut reqs = Vec::with_capacity((tenants * per_tenant) as usize);
-    for tenant in 0..tenants {
-        let mut state =
-            splitmix64(seed ^ 0xA076_1D64_78BD_642F ^ tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let tag = next_rand(&mut state);
-        // 6..=10 pages of 16 tokens: 96, 112, 128, 144 or 160.
-        let prefix_len = 96 + 16 * (next_rand(&mut state) % 5) as usize;
-        for i in 0..per_tenant {
-            let mix = next_rand(&mut state);
-            let suffix = 8 + (mix % 56) as usize;
-            reqs.push(
-                ServingRequest::new(
-                    tenant * 1000 + i,
-                    prefix_len + suffix,
-                    2 + (mix % 7) as usize,
-                )
-                .with_priority((mix >> 8) as u8 % 4)
-                .with_client(tenant)
-                .with_shared_prefix(tag, prefix_len)
-                .arriving_at(i / 2 + (mix >> 16) % 3),
-            );
-        }
+    SharedPrefixChat {
+        tenants,
+        per_tenant,
     }
-    reqs
+    .generate(seed)
 }
 
 /// The canonical engine configuration for serving [`shared_prefix_chat`]:
@@ -118,18 +95,12 @@ fn shared_prefix_config(accel: AccelConfig, prefix_cache: bool) -> ServingConfig
 /// 2200`: four elephants provision 2020 final-context tokens, saturating
 /// both slots and most of the budget, the regime where policy and
 /// preemption visibly bend the time-to-first-token profile.
+///
+/// A thin wrapper over the [`SkewedElephantMice`] scenario (the stream is
+/// seed-independent by design) — same bytes, pinned by the goldens.
 #[must_use]
 pub fn skewed_elephant_mice(elephants: u64, mice: u64) -> Vec<ServingRequest> {
-    let mut reqs: Vec<ServingRequest> = (0..elephants)
-        .map(|id| ServingRequest::new(id, 480, 16 + id as usize * 6).with_client(0))
-        .collect();
-    reqs.extend((0..mice).map(|i| {
-        ServingRequest::new(100 + i, 48 + (i as usize % 3) * 16, 2 + (i as usize % 5))
-            .with_priority(3 + (i % 3) as u8 * 3)
-            .with_client(1 + i % 3)
-            .arriving_at(2 + i % 4)
-    }));
-    reqs
+    SkewedElephantMice { elephants, mice }.generate(0)
 }
 
 #[cfg(test)]

@@ -3,9 +3,11 @@
 //! the serving engine's admission invariants under any scheduling policy.
 
 use proptest::prelude::*;
+use topick_accel::serve::trace::run_recorded;
 use topick_accel::{
     AccelConfig, AccelMode, ClusterEngine, ClusterEvent, KvPager, PolicyKind, RetentionPolicy,
-    RoutingKind, ServeEvent, ServingEngine, ServingRequest, ToPickAccelerator,
+    RoutingKind, ScenarioKind, ServeEvent, ServingEngine, ServingRequest, ToPickAccelerator,
+    TraceMeta,
 };
 use topick_core::{exact_probabilities, PrecisionConfig, QMatrix, QVector, Rows};
 
@@ -477,6 +479,30 @@ proptest! {
     }
 
     /// Baseline output equals exact attention for any workload.
+    #[test]
+    fn scenario_record_replay_is_a_fixed_point_at_any_seed(
+        kind_idx in 0usize..ScenarioKind::all().len(),
+        scenario_seed in any::<u64>(),
+        policy_idx in 0usize..PolicyKind::all().len(),
+    ) {
+        // Every scenario at an arbitrary seed, on a 2-shard cluster with
+        // least-loaded routing and stealing (the placement machinery most
+        // sensitive to event ordering): record → replay → record must
+        // reproduce the trace exactly.
+        let kind = ScenarioKind::all()[kind_idx];
+        let policy = PolicyKind::all()[policy_idx];
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+        let cfg = kind.build().serving_config(accel);
+        let meta = TraceMeta::new(&cfg, policy.name())
+            .for_scenario(kind.name(), scenario_seed)
+            .for_cluster(2, RoutingKind::LeastLoaded.name(), true, 1);
+        let requests = kind.build().generate(scenario_seed);
+        let (first, _) = run_recorded(&meta, &requests).expect("record");
+        let (second, _) = first.replay().expect("replay");
+        prop_assert_eq!(first.digest, second.digest, "{}/{}", kind, policy);
+        prop_assert_eq!(&first.events, &second.events, "{}/{}", kind, policy);
+    }
+
     #[test]
     fn baseline_always_exact(seed in any::<u64>(), n in 1usize..64) {
         let dim = 64;

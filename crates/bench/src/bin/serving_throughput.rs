@@ -26,21 +26,31 @@
 //! (one worker per shard), best-of-3 wall times, with the
 //! threaded-over-sequential speedup computed per shard count.
 //!
+//! `--scenario-sweep` likewise replaces everything with the scenario
+//! document checked in as `BENCH_serving_scenarios.json`: every scenario
+//! in the registry on a single engine plus a 4-shard cluster contrast of
+//! round-robin vs prefix-affinity routing, each record carrying tokens/s,
+//! prefix hit rate, a TTFT-bounded goodput proxy, measured wall_ms and
+//! the run's schedule digest — with the agentic scenario's
+//! affinity-over-round-robin hit-rate margin pinned at the top level.
+//!
 //! ```sh
 //! cargo run --release -p topick-bench --bin serving_throughput
 //! cargo run --release -p topick-bench --bin serving_throughput -- --requests 32
 //! cargo run --release -p topick-bench --bin serving_throughput -- --quick            # CI mode
 //! cargo run --release -p topick-bench --bin serving_throughput -- --quick --shards 4 --threads 4
 //! cargo run --release -p topick-bench --bin serving_throughput -- --threads-sweep > BENCH_serving_threads.json
+//! cargo run --release -p topick-bench --bin serving_throughput -- --scenario-sweep > BENCH_serving_scenarios.json
 //! ```
 
 use std::collections::HashMap;
 use std::time::Instant;
 
+use topick_accel::serve::trace::{run_recorded, RunReport, TraceMeta};
 use topick_accel::serve::workloads::{shared_prefix_chat, skewed_elephant_mice};
 use topick_accel::{
-    AccelConfig, AccelMode, ClusterEngine, ClusterReport, PolicyKind, RetentionPolicy, RoutingKind,
-    ServingEngine, ServingReport, ServingRequest,
+    AccelConfig, AccelMode, ClusterEngine, ClusterReport, PolicyKind, RequestStats,
+    RetentionPolicy, RoutingKind, ScenarioKind, ServingEngine, ServingReport, ServingRequest,
 };
 use topick_bench::json::{JsonObject, JsonValue};
 
@@ -385,6 +395,169 @@ fn threads_sweep(elephants: u64, mice: u64, runs: usize) -> JsonValue {
         .into()
 }
 
+/// TTFT bound (in steps) under which a request's decode tokens count as
+/// "good" for the goodput proxy: tokens served promptly enough to matter,
+/// per modeled second — the serving-quality number raw tokens/s hides.
+const GOODPUT_TTFT_BOUND_STEPS: usize = 8;
+
+/// Decode tokens of requests whose time-to-first-token stayed within
+/// [`GOODPUT_TTFT_BOUND_STEPS`], per modeled second.
+fn goodput_tokens_per_s<'a>(
+    requests: impl Iterator<Item = &'a RequestStats>,
+    total_cycles: u64,
+    clock_hz: f64,
+) -> f64 {
+    let good: usize = requests
+        .filter(|r| {
+            matches!(r.first_token_at, Some(t)
+                if t.saturating_sub(r.enqueued_at) <= GOODPUT_TTFT_BOUND_STEPS)
+        })
+        .map(|r| r.generated)
+        .sum();
+    if total_cycles == 0 {
+        0.0
+    } else {
+        good as f64 / (total_cycles as f64 / clock_hz)
+    }
+}
+
+/// The meta describing a scenario run in the sweep: the scenario's own
+/// canonical engine shape, FIFO scheduling (the sweep contrasts
+/// *workloads* and *routing*, not policies).
+fn scenario_meta(kind: ScenarioKind, seed: u64) -> TraceMeta {
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let cfg = kind.build().serving_config(accel);
+    TraceMeta::new(&cfg, PolicyKind::Fifo.name())
+        .for_scenario(kind.name(), seed)
+        .with_max_steps(100_000)
+}
+
+/// The `--scenario-sweep` document (checked in as
+/// `BENCH_serving_scenarios.json`): one engine record per scenario, plus
+/// a 4-shard cluster pair (round-robin vs prefix-affinity) — for every
+/// scenario in full mode, for the agentic scenario only under `--quick`.
+/// Records carry the schedule digest so a bench diff doubles as a
+/// schedule-regression signal, and `host_parallelism` keeps wall_ms
+/// honest about the hardware it was measured on.
+fn scenario_sweep(seed: u64, quick: bool) -> JsonValue {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut records = Vec::new();
+    let mut agentic_hit_rates = None;
+    for kind in ScenarioKind::all() {
+        let requests = kind.build().generate(seed);
+        let meta = scenario_meta(kind, seed);
+        let clock_hz = meta.clock_hz;
+        let start = Instant::now();
+        let (trace, report) = run_recorded(&meta, &requests).expect("scenario run completes");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let RunReport::Engine(report) = report else {
+            unreachable!("shards <= 1 runs a bare engine");
+        };
+        records.push(
+            JsonObject::new()
+                .field("scenario", kind.name())
+                .field("flavor", "engine")
+                .field("requests", requests.len())
+                .field("tokens", report.tokens_generated)
+                .field("steps", report.steps.len())
+                .field("total_cycles", report.total_cycles)
+                .field("wall_ms", JsonValue::Prec(wall_ms, 3))
+                .field(
+                    "tokens_per_s",
+                    JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
+                )
+                .field(
+                    "prefix_hit_rate",
+                    JsonValue::Prec(report.prefix_hit_rate(), 3),
+                )
+                .field(
+                    "goodput_tokens_per_s",
+                    JsonValue::Prec(
+                        goodput_tokens_per_s(report.requests.iter(), report.total_cycles, clock_hz),
+                        1,
+                    ),
+                )
+                .field("digest", trace.digest)
+                .into(),
+        );
+        // The cluster contrast is where routing earns (or scatters) the
+        // per-shard caches' hit rate; the agentic pair always runs
+        // because the affinity margin is pinned from it.
+        if !quick || kind == ScenarioKind::AgenticToolLoops {
+            let mut hit_rates = [0.0f64; 2];
+            for (i, routing) in [RoutingKind::RoundRobin, RoutingKind::PrefixAffinity]
+                .into_iter()
+                .enumerate()
+            {
+                let meta = scenario_meta(kind, seed).for_cluster(4, routing.name(), false, 1);
+                let start = Instant::now();
+                let (trace, report) =
+                    run_recorded(&meta, &requests).expect("scenario cluster run completes");
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let RunReport::Cluster(report) = report else {
+                    unreachable!("shards > 1 runs a cluster");
+                };
+                hit_rates[i] = report.prefix_hit_rate();
+                records.push(
+                    JsonObject::new()
+                        .field("scenario", kind.name())
+                        .field("flavor", "cluster")
+                        .field("shards", 4usize)
+                        .field("routing", routing.name())
+                        .field("requests", requests.len())
+                        .field("tokens", report.tokens_generated())
+                        .field("cluster_steps", report.cluster_steps)
+                        .field("total_cycles", report.total_cycles)
+                        .field("wall_ms", JsonValue::Prec(wall_ms, 3))
+                        .field(
+                            "tokens_per_s",
+                            JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
+                        )
+                        .field(
+                            "prefix_hit_rate",
+                            JsonValue::Prec(report.prefix_hit_rate(), 3),
+                        )
+                        .field(
+                            "goodput_tokens_per_s",
+                            JsonValue::Prec(
+                                goodput_tokens_per_s(
+                                    report.requests().map(|(_, r)| r),
+                                    report.total_cycles,
+                                    clock_hz,
+                                ),
+                                1,
+                            ),
+                        )
+                        .field("digest", trace.digest)
+                        .into(),
+                );
+            }
+            if kind == ScenarioKind::AgenticToolLoops {
+                agentic_hit_rates = Some(hit_rates);
+            }
+        }
+    }
+    let [rr, affinity] = agentic_hit_rates.expect("the agentic cluster pair always runs");
+    JsonObject::new()
+        .field("bench", "serving_scenarios")
+        .field("scenario_seed", seed)
+        .field("quick", quick)
+        .field("policy", "fifo")
+        .field("goodput_ttft_bound_steps", GOODPUT_TTFT_BOUND_STEPS)
+        .field("host_parallelism", host_parallelism)
+        .field("records", records)
+        .field(
+            "agentic_affinity",
+            JsonObject::new()
+                .field("scenario", ScenarioKind::AgenticToolLoops.name())
+                .field("shards", 4usize)
+                .field("round_robin_hit_rate", JsonValue::Prec(rr, 3))
+                .field("affinity_hit_rate", JsonValue::Prec(affinity, 3))
+                .field("margin", JsonValue::Prec(affinity - rr, 3)),
+        )
+        .into()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut flags: HashMap<String, String> = HashMap::new();
@@ -408,6 +581,15 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1);
+    if flags.contains_key("scenario-sweep") {
+        let seed: u64 = flags
+            .get("scenario-seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(11);
+        let doc = scenario_sweep(seed, quick);
+        println!("{}", doc.render());
+        return;
+    }
     if flags.contains_key("threads-sweep") {
         let runs = if quick { 1 } else { 3 };
         let (elephants, mice) = if quick { (4, 12) } else { (8, 40) };

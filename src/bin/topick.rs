@@ -10,6 +10,8 @@
 //!                [--page-size P] [--retention none|<pages>|<fraction>]
 //!                [--prefix-cache] [--prefill-factor F]
 //!                [--shards N] [--routing rr|least|affinity] [--stealing] [--threads N]
+//!                [--scenario NAME [--scenario-seed S]] [--list-scenarios]
+//!                [--record PATH | --replay PATH]
 //! topick help
 //! ```
 
@@ -186,6 +188,9 @@ struct ServeOpts {
     routing: token_picker::accel::RoutingKind,
     stealing: bool,
     threads: usize,
+    scenario: Option<token_picker::accel::ScenarioKind>,
+    scenario_seed: u64,
+    record: Option<String>,
 }
 
 /// The `serve` command's synthetic workload: heterogeneous shapes,
@@ -207,60 +212,200 @@ fn serve_workload(requests: u64) -> Vec<token_picker::accel::ServingRequest> {
         .collect()
 }
 
-fn serve_cluster_once(
-    opts: &ServeOpts,
-    policy: token_picker::accel::PolicyKind,
-) -> Result<(token_picker::accel::ClusterReport, f64), Box<dyn std::error::Error>> {
-    use token_picker::accel::{ClusterEngine, PreemptionConfig};
-
-    let mut builder = ClusterEngine::builder(AccelConfig::paper(opts.mode, opts.threshold)?)
-        .max_batch(opts.batch)
-        .page_size(opts.page_size)
-        .prefix_cache(opts.prefix_cache)
-        .prefill_factor(opts.prefill_factor)
-        .seed(opts.seed)
-        .policy(policy)
-        .shards(opts.shards)
-        .routing(opts.routing)
-        .stealing(opts.stealing)
-        .threads(opts.threads);
-    if opts.preemption {
-        builder = builder.preemption(PreemptionConfig::enabled().with_retention(opts.retention));
+/// The open-loop workload a `serve` invocation runs: the selected
+/// scenario's seed-derived stream, or the classic hardcoded mix.
+fn serve_requests(opts: &ServeOpts) -> Vec<token_picker::accel::ServingRequest> {
+    match opts.scenario {
+        Some(kind) => kind.build().generate(opts.scenario_seed),
+        None => serve_workload(opts.requests),
     }
-    let mut cluster = builder.build();
-    let clock_hz = cluster.shard(0).config().clock_hz;
-    for req in serve_workload(opts.requests) {
-        cluster.enqueue(req)?;
-    }
-    Ok((cluster.run_to_completion(10_000)?, clock_hz))
 }
 
-fn serve_once(
+/// Builds the trace meta describing the run the flags ask for — the
+/// single source both the live run and any `--record`/`--replay` of it
+/// execute through.
+fn serve_meta(
     opts: &ServeOpts,
     policy: token_picker::accel::PolicyKind,
-) -> Result<(token_picker::accel::ServingReport, f64), Box<dyn std::error::Error>> {
-    use token_picker::accel::{PreemptionConfig, ServingEngine};
+) -> Result<token_picker::accel::TraceMeta, Box<dyn std::error::Error>> {
+    use token_picker::accel::{PreemptionConfig, ServingConfig, TraceMeta};
 
-    let mut builder = ServingEngine::builder(AccelConfig::paper(opts.mode, opts.threshold)?)
-        .max_batch(opts.batch)
-        .page_size(opts.page_size)
-        .prefix_cache(opts.prefix_cache)
-        .prefill_factor(opts.prefill_factor)
-        .seed(opts.seed)
-        .policy(policy);
+    let accel = AccelConfig::paper(opts.mode, opts.threshold)?;
+    let mut cfg = match opts.scenario {
+        Some(kind) => kind.build().serving_config(accel),
+        None => {
+            let mut cfg = ServingConfig::new(accel);
+            cfg.admission.max_batch = opts.batch;
+            cfg.admission.page_size = opts.page_size;
+            cfg.admission.prefix_cache = opts.prefix_cache;
+            cfg.prefill_factor = opts.prefill_factor;
+            cfg.seed = opts.seed;
+            cfg
+        }
+    };
     if opts.preemption {
-        builder = builder.preemption(PreemptionConfig::enabled().with_retention(opts.retention));
+        cfg.preemption = PreemptionConfig::enabled().with_retention(opts.retention);
     }
-    let mut engine = builder.build();
-    let clock_hz = engine.config().clock_hz;
-    for req in serve_workload(opts.requests) {
-        engine.enqueue(req)?;
+    let mut meta = TraceMeta::new(&cfg, policy.name());
+    if opts.shards > 1 {
+        meta = meta.for_cluster(
+            opts.shards,
+            opts.routing.name(),
+            opts.stealing,
+            opts.threads,
+        );
     }
-    Ok((engine.run_to_completion(10_000)?, clock_hz))
+    if let Some(kind) = opts.scenario {
+        meta = meta.for_scenario(kind.name(), opts.scenario_seed);
+    }
+    Ok(meta)
+}
+
+/// One recorded run — engine or cluster per the meta — driven through the
+/// trace subsystem, so `--record` is just "save what already happened".
+fn serve_run(
+    opts: &ServeOpts,
+    policy: token_picker::accel::PolicyKind,
+) -> Result<
+    (
+        token_picker::accel::Trace,
+        token_picker::accel::RunReport,
+        f64,
+    ),
+    Box<dyn std::error::Error>,
+> {
+    let meta = serve_meta(opts, policy)?;
+    let clock_hz = meta.clock_hz;
+    let requests = serve_requests(opts);
+    let (trace, report) = token_picker::accel::serve::trace::run_recorded(&meta, &requests)?;
+    Ok((trace, report, clock_hz))
+}
+
+/// Saves the trace when `--record` asked for it.
+fn save_trace(
+    trace: &token_picker::accel::Trace,
+    record: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = record {
+        trace.save(path)?;
+        println!(
+            "recorded       : {} requests, {} events -> {path} (digest {:#018x})",
+            trace.requests.len(),
+            trace.events.len(),
+            trace.digest
+        );
+    }
+    Ok(())
+}
+
+/// Replays a recorded trace: rebuilds the run from the trace's meta,
+/// re-enqueues the recorded requests, and verifies the replayed schedule
+/// digest against the recording (a mismatch is an error).
+fn cmd_serve_replay(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    use token_picker::accel::{RunReport, TraceReplay};
+
+    let replay = TraceReplay::load(path)?;
+    let meta = replay.meta().clone();
+    let (trace, report) = replay.run()?;
+    println!(
+        "replayed {path}: scenario {}, policy {}, {} shard{} ({} thread{}), {} requests, {} events",
+        meta.scenario.as_deref().unwrap_or("ad-hoc"),
+        meta.policy,
+        meta.shards,
+        if meta.shards == 1 { "" } else { "s" },
+        meta.threads,
+        if meta.threads == 1 { "" } else { "s" },
+        trace.requests.len(),
+        trace.events.len()
+    );
+    println!(
+        "digest         : {:#018x} (matches the recording)",
+        trace.digest
+    );
+    match report {
+        RunReport::Engine(r) => println!(
+            "throughput     : {:.1} tokens/s, {} tokens in {} steps",
+            r.tokens_per_second(meta.clock_hz),
+            r.tokens_generated,
+            r.steps.len()
+        ),
+        RunReport::Cluster(r) => println!(
+            "throughput     : {:.1} tokens/s, {} tokens in {} cluster steps ({} steals)",
+            r.tokens_per_second(meta.clock_hz),
+            r.tokens_generated(),
+            r.cluster_steps,
+            r.steals
+        ),
+    }
+    Ok(())
 }
 
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
-    use token_picker::accel::{PolicyKind, RetentionPolicy, RoutingKind};
+    use token_picker::accel::{PolicyKind, RetentionPolicy, RoutingKind, ScenarioKind};
+
+    if flags.contains_key("list-scenarios") {
+        println!("{:<22} description", "scenario");
+        for kind in ScenarioKind::all() {
+            println!("{:<22} {}", kind.name(), kind.build().description());
+        }
+        return Ok(());
+    }
+
+    if let Some(path) = flags.get("replay") {
+        if flags.contains_key("scenario") || flags.contains_key("record") {
+            return Err("--replay is mutually exclusive with --scenario and --record".into());
+        }
+        for shaped in [
+            "policy",
+            "baseline",
+            "threshold",
+            "batch",
+            "seed",
+            "requests",
+            "preemption",
+            "page-size",
+            "retention",
+            "prefix-cache",
+            "prefill-factor",
+            "shards",
+            "routing",
+            "stealing",
+            "threads",
+            "scenario-seed",
+        ] {
+            if flags.contains_key(shaped) {
+                return Err(format!(
+                    "--{shaped} cannot be combined with --replay (the trace fixes the whole run)"
+                )
+                .into());
+            }
+        }
+        return cmd_serve_replay(path);
+    }
+
+    let scenario: Option<ScenarioKind> = flags.get("scenario").map(|v| v.parse()).transpose()?;
+    if scenario.is_some() {
+        // A scenario fixes the engine shape it was designed against;
+        // scheduling flags (--policy/--preemption/--retention/--shards/
+        // --routing/--stealing/--threads) still compose with it.
+        for sized in [
+            "batch",
+            "page-size",
+            "prefix-cache",
+            "prefill-factor",
+            "seed",
+            "requests",
+        ] {
+            if flags.contains_key(sized) {
+                return Err(format!(
+                    "--{sized} cannot be combined with --scenario (the scenario fixes the engine shape)"
+                )
+                .into());
+            }
+        }
+    } else if flags.contains_key("scenario-seed") {
+        return Err("--scenario-seed only takes effect with --scenario".into());
+    }
 
     let baseline_mode = flags.contains_key("baseline");
     let retention: RetentionPolicy = flags
@@ -315,8 +460,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         routing,
         stealing,
         threads,
+        scenario,
+        scenario_seed: flag(flags, "scenario-seed", 7u64),
+        record: flags.get("record").cloned(),
     };
     let policy_flag = flags.get("policy").map_or("fifo", String::as_str);
+    if opts.record.is_some() && policy_flag == "all" {
+        return Err("--record requires a single --policy (not 'all')".into());
+    }
 
     if shards > 1 {
         return cmd_serve_cluster(&opts, policy_flag);
@@ -335,7 +486,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
             "KV hits"
         );
         for kind in PolicyKind::all() {
-            let (report, clock_hz) = serve_once(&opts, kind)?;
+            let (_, report, clock_hz) = serve_run(&opts, kind)?;
+            let token_picker::accel::RunReport::Engine(report) = report else {
+                unreachable!("shards <= 1 runs a bare engine");
+            };
             println!(
                 "{:<20} {:>8} {:>12.1} {:>11.2} {:>10.2} {:>9} {:>11} {:>9}",
                 report.policy,
@@ -352,7 +506,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
     }
 
     let policy: PolicyKind = policy_flag.parse()?;
-    let (report, clock_hz) = serve_once(&opts, policy)?;
+    let (trace, report, clock_hz) = serve_run(&opts, policy)?;
+    let token_picker::accel::RunReport::Engine(report) = report else {
+        unreachable!("shards <= 1 runs a bare engine");
+    };
+    if let Some(kind) = opts.scenario {
+        println!("scenario {} (seed {})", kind.name(), opts.scenario_seed);
+    }
     println!(
         "mode {:?}, policy {}: {} requests, {} tokens in {} steps",
         opts.mode,
@@ -386,6 +546,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         100.0 * report.prefix_hit_rate()
     );
     println!("V reduction    : {:.2}x", report.prune.v_reduction());
+    save_trace(&trace, opts.record.as_deref())?;
     Ok(())
 }
 
@@ -404,7 +565,10 @@ fn cmd_serve_cluster(
             "policy", "steps", "tokens/s", "steals", "imbalance", "preempts", "KV hits"
         );
         for kind in PolicyKind::all() {
-            let (report, clock_hz) = serve_cluster_once(opts, kind)?;
+            let (_, report, clock_hz) = serve_run(opts, kind)?;
+            let token_picker::accel::RunReport::Cluster(report) = report else {
+                unreachable!("shards > 1 runs a cluster");
+            };
             println!(
                 "{:<20} {:>8} {:>12.1} {:>8} {:>10.2} {:>9} {:>9}",
                 report.policy,
@@ -420,7 +584,13 @@ fn cmd_serve_cluster(
     }
 
     let policy: PolicyKind = policy_flag.parse()?;
-    let (report, clock_hz) = serve_cluster_once(opts, policy)?;
+    let (trace, report, clock_hz) = serve_run(opts, policy)?;
+    let token_picker::accel::RunReport::Cluster(report) = report else {
+        unreachable!("shards > 1 runs a cluster");
+    };
+    if let Some(kind) = opts.scenario {
+        println!("scenario {} (seed {})", kind.name(), opts.scenario_seed);
+    }
     println!(
         "mode {:?}, policy {}, routing {}{}: {} shards on {} thread{}, {} requests, {} tokens in {} steps",
         opts.mode,
@@ -468,6 +638,7 @@ fn cmd_serve_cluster(
             shard.total_prefix_hit_tokens()
         );
     }
+    save_trace(&trace, opts.record.as_deref())?;
     Ok(())
 }
 
@@ -489,6 +660,8 @@ fn usage() {
     println!("           [--page-size P] [--retention none|<pages>|<fraction>]");
     println!("           [--prefix-cache] [--prefill-factor F]");
     println!("           [--shards N] [--routing rr|least|affinity] [--stealing] [--threads N]");
+    println!("           [--scenario NAME [--scenario-seed S]] [--list-scenarios]");
+    println!("           [--record PATH | --replay PATH]");
 }
 
 fn main() {
