@@ -63,5 +63,6 @@ pub use serve::{
     PriorityAging, RequestStats, RetentionPolicy, RoutingKind, RoutingPolicy, RunReport,
     RunningView, Scenario, ScenarioKind, SchedulerPolicy, ServeError, ServeEvent, ServingConfig,
     ServingEngine, ServingEngineBuilder, ServingReport, ServingRequest, SessionStats, ShardView,
-    ShortestJobFirst, StepReport, Trace, TraceError, TraceMeta, TraceRecorder, TraceReplay,
+    ShortestJobFirst, SloAware, StepReport, Trace, TraceError, TraceMeta, TraceRecorder,
+    TraceReplay,
 };

@@ -67,14 +67,22 @@ pub(crate) struct ActiveRequest {
     /// re-prefill; less when pages were retained; grows back to the whole
     /// context if retained pages are reclaimed while queued).
     pub(crate) dropped_tokens: usize,
-    /// Whether the first decode step must charge prompt prefill (set at
-    /// enqueue when the engine prices prefill; cleared once charged, or
-    /// folded into the re-prefill debt if the request is evicted before
-    /// its first decode step).
+    /// Whether decode steps still owe prompt prefill (set at enqueue when
+    /// the engine prices prefill; cleared once the whole prompt is built —
+    /// in one lump, or chunk by chunk under
+    /// [`prefill_chunk_pages`](super::ServingConfig::prefill_chunk_pages)
+    /// — or folded into the re-prefill debt if the request is evicted
+    /// mid-prefill).
     pub(crate) needs_prefill: bool,
-    /// Prompt tokens the first decode step must prefill — the whole
-    /// prompt, minus whatever admission adopted from the prefix cache.
+    /// Prompt tokens still to prefill — the whole prompt minus whatever
+    /// admission adopted from the prefix cache, shrinking chunk by chunk
+    /// as the prefill frontier advances. While `needs_prefill` holds, the
+    /// frontier (tokens of prompt KV that exist) is
+    /// `context - prefill_tokens`.
     pub(crate) prefill_tokens: usize,
+    /// Step of the most recent generated token, if any — the baseline the
+    /// inter-token SLO races against.
+    pub(crate) last_token_at: Option<usize>,
     /// Position-chained content hashes of the request's full prompt pages
     /// (empty while prefix caching is disabled).
     pub(crate) page_keys: Vec<u64>,
@@ -85,6 +93,21 @@ impl ActiveRequest {
     /// Context length when the request will retire (bounds its KV budget).
     pub(crate) fn final_context(&self) -> usize {
         self.req.prompt_len + self.req.max_new_tokens
+    }
+
+    /// Context tokens whose KV genuinely exists right now: the full
+    /// context minus any outstanding prefill or re-prefill debt. This is
+    /// the prefill frontier while chunked prefill is in flight, the cap on
+    /// what retention may keep across an eviction, and the bound on what
+    /// the prefix cache may publish.
+    pub(crate) fn built_tokens(&self) -> usize {
+        if self.needs_prefill {
+            self.context - self.prefill_tokens
+        } else if self.needs_reprefill {
+            self.context - self.dropped_tokens
+        } else {
+            self.context
+        }
     }
 }
 
@@ -180,17 +203,21 @@ impl BatchState {
         cached_tokens
     }
 
-    /// Publishes the full prompt pages of the request at `slot` in the
-    /// prefix index — called right after the decode step that charged its
-    /// pending prefill or re-prefill, i.e. the moment the pages' KV
-    /// genuinely exists. Idempotent: already-labelled pages are left
-    /// untouched.
+    /// Publishes the prompt pages of the request at `slot` whose KV
+    /// genuinely exists in the prefix index — called right after a decode
+    /// step that charged prefill or re-prefill work. Publication follows
+    /// the prefill frontier: mid-chunked-prefill only the frontier-covered
+    /// full pages are registered (the chained hashes make any truncated
+    /// chain a valid prefix), and once the debt clears the whole chain
+    /// publishes. Idempotent: already-labelled pages are left untouched.
     pub(crate) fn publish_prefix(&mut self, slot: usize) {
         if !self.limits.prefix_cache {
             return;
         }
         let r = &self.running[slot];
-        self.pager.register_prefix(r.arrival_seq, &r.page_keys);
+        let covered = (r.built_tokens() / self.pager.page_size()).min(r.page_keys.len());
+        self.pager
+            .register_prefix(r.arrival_seq, &r.page_keys[..covered]);
     }
 
     /// Removes the request at `slot` (policy-selected victim). The caller
@@ -234,6 +261,10 @@ impl BatchState {
                 remaining_tokens: r.req.max_new_tokens - r.stats.generated,
                 context: r.context,
                 final_context: r.final_context(),
+                enqueued_at: r.stats.enqueued_at,
+                last_token_at: r.last_token_at,
+                ttft_deadline: r.req.ttft_deadline,
+                itl_deadline: r.req.itl_deadline,
             })
             .collect()
     }

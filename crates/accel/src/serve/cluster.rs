@@ -134,6 +134,45 @@ impl ClusterReport {
         self.shards.iter().map(|s| s.preemptions).sum()
     }
 
+    /// Tokens generated while their request was still inside its SLO,
+    /// across all shards (see [`RequestStats::good_tokens`]).
+    #[must_use]
+    pub fn total_good_tokens(&self) -> usize {
+        self.requests().map(|(_, r)| r.good_tokens).sum()
+    }
+
+    /// Cluster goodput in SLO-attaining tokens per second at `clock_hz`,
+    /// over the parallel makespan (the SLO-aware counterpart of
+    /// [`tokens_per_second`](Self::tokens_per_second)).
+    #[must_use]
+    pub fn goodput_tokens_per_second(&self, clock_hz: f64) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.total_good_tokens() as f64 * clock_hz / self.total_cycles as f64
+    }
+
+    /// Fraction of deadline-carrying finished requests that met every
+    /// deadline they declared, across all shards. `1.0` when no finished
+    /// request declared a deadline.
+    #[must_use]
+    pub fn deadline_attainment(&self) -> f64 {
+        let mut carrying = 0usize;
+        let mut attained = 0usize;
+        for (_, r) in self.requests() {
+            if r.has_deadline() {
+                carrying += 1;
+                if r.slo_attained() {
+                    attained += 1;
+                }
+            }
+        }
+        if carrying == 0 {
+            return 1.0;
+        }
+        attained as f64 / carrying as f64
+    }
+
     /// Finished requests across all shards, as `(shard_id, stats)`.
     pub fn requests(&self) -> impl Iterator<Item = (usize, &RequestStats)> {
         self.shards
@@ -317,6 +356,15 @@ impl ClusterEngineBuilder {
     #[must_use]
     pub fn prefill_factor(mut self, prefill_factor: f64) -> Self {
         self.cfg.prefill_factor = prefill_factor;
+        self
+    }
+
+    /// Sets the per-shard chunked-prefill budget in KV pages per step
+    /// (see [`ServingConfig::prefill_chunk_pages`]; `0` keeps prefill
+    /// unchunked).
+    #[must_use]
+    pub fn prefill_chunk_pages(mut self, pages: usize) -> Self {
+        self.cfg.prefill_chunk_pages = pages;
         self
     }
 

@@ -29,6 +29,22 @@ pub enum ServeEvent {
         /// allocated and prefilled (0 with prefix caching disabled).
         cached_tokens: usize,
     },
+    /// A step advanced a request's chunked-prefill frontier without
+    /// producing a token. Only emitted while a finite
+    /// [`prefill_chunk_pages`](super::ServingConfig::prefill_chunk_pages)
+    /// budget splits a prompt across steps — the step that *completes* the
+    /// prompt emits its [`TokenGenerated`](Self::TokenGenerated) instead,
+    /// so unlimited chunking (the default) never emits this.
+    PrefillChunk {
+        /// The request's id.
+        id: u64,
+        /// Engine step that built the chunk.
+        step: usize,
+        /// Prompt tokens whose KV exists after this chunk (the frontier).
+        built_tokens: usize,
+        /// Prompt tokens still to prefill after this chunk.
+        remaining_tokens: usize,
+    },
     /// A decode step produced one token for a request.
     TokenGenerated {
         /// The request's id.
@@ -76,6 +92,7 @@ impl ServeEvent {
         match *self {
             Self::Enqueued { id, .. }
             | Self::Admitted { id, .. }
+            | Self::PrefillChunk { id, .. }
             | Self::TokenGenerated { id, .. }
             | Self::Preempted { id, .. }
             | Self::Finished { id, .. } => id,
@@ -88,6 +105,7 @@ impl ServeEvent {
         match *self {
             Self::Enqueued { step, .. }
             | Self::Admitted { step, .. }
+            | Self::PrefillChunk { step, .. }
             | Self::TokenGenerated { step, .. }
             | Self::Preempted { step, .. }
             | Self::Finished { step, .. } => step,

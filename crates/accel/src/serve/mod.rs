@@ -67,7 +67,7 @@ pub use events::ServeEvent;
 pub use kv_pager::KvPager;
 pub use policy::{
     FairRoundRobin, Fifo, PendingView, PolicyKind, PreemptionConfig, PriorityAging,
-    RetentionPolicy, RunningView, SchedulerPolicy, ShortestJobFirst,
+    RetentionPolicy, RunningView, SchedulerPolicy, ShortestJobFirst, SloAware,
 };
 pub use queue::ServingRequest;
 pub use router::{LeastLoaded, PrefixAffinity, RoundRobin, RoutingKind, RoutingPolicy, ShardView};
@@ -101,6 +101,17 @@ pub struct ServingConfig {
     /// *not* serve. `0` (the default) prices prompts as free — the
     /// pre-prefill-model behavior, bit-identical to earlier engines.
     pub prefill_factor: f64,
+    /// Chunked prefill: the KV pages' worth of prompt tokens the whole
+    /// batch may prefill per step, consumed in slot order. A slot whose
+    /// prompt is not fully built spends its step advancing the prefill
+    /// frontier instead of decoding, so one long prompt no longer lands
+    /// its entire prefill charge in a single step and stalls every
+    /// co-resident decode (Sarathi-style chunked interleaving). The step
+    /// that completes a prompt also decodes its first token, and the
+    /// chunk charges telescope to exactly the one-lump charge. `0` (the
+    /// default) means unlimited — whole-prompt prefill in one step,
+    /// bit-identical to the lump engine.
+    pub prefill_chunk_pages: usize,
     /// FC/FFN weight bytes streamed once per decode step.
     pub weight_bytes: u64,
     /// Attention heads per request per step (layers × heads of the model;
@@ -122,6 +133,7 @@ impl ServingConfig {
             admission: AdmissionConfig::default(),
             preemption: PreemptionConfig::default(),
             prefill_factor: 0.0,
+            prefill_chunk_pages: 0,
             weight_bytes: 50_000_000,
             heads: 16,
             clock_hz: 500e6,
@@ -220,6 +232,15 @@ impl ServingEngineBuilder {
     #[must_use]
     pub fn prefill_factor(mut self, prefill_factor: f64) -> Self {
         self.cfg.prefill_factor = prefill_factor;
+        self
+    }
+
+    /// Sets the chunked-prefill budget in KV pages per step (see
+    /// [`ServingConfig::prefill_chunk_pages`]; `0` keeps prefill
+    /// unchunked — whole prompts build in one step).
+    #[must_use]
+    pub fn prefill_chunk_pages(mut self, pages: usize) -> Self {
+        self.cfg.prefill_chunk_pages = pages;
         self
     }
 
@@ -558,6 +579,7 @@ impl ServingEngine {
             dropped_tokens: 0,
             needs_prefill: self.cfg.prefill_factor > 0.0,
             prefill_tokens: req.prompt_len,
+            last_token_at: None,
             page_keys,
             stats: RequestStats {
                 id: req.id,
@@ -576,6 +598,10 @@ impl ServingEngine {
                 retained_tokens: 0,
                 reprefilled_tokens: 0,
                 prefix_hit_tokens: 0,
+                ttft_deadline: req.ttft_deadline,
+                itl_deadline: req.itl_deadline,
+                good_tokens: 0,
+                slo_violated: false,
             },
         };
         self.arrival_seq += 1;
@@ -890,14 +916,75 @@ impl ServingEngine {
         let mut prefill_cycles = 0u64;
         let mut reprefill_cycles = 0u64;
         let mut context_tokens = 0usize;
+        let mut decoded = 0usize;
         let step = self.step_index;
+        // Chunked prefill: the step's prompt-building allowance in tokens,
+        // shared by every slot still owing prefill and consumed in slot
+        // order (admissions append, so head slots — the oldest work —
+        // always drain the budget first and no frontier can starve).
+        // 0 configured pages = unlimited, the one-lump path.
+        let mut chunk_budget = if self.cfg.prefill_chunk_pages == 0 {
+            usize::MAX
+        } else {
+            self.cfg.prefill_chunk_pages * self.batch.pager().page_size()
+        };
 
         for slot in 0..self.batch.len() {
-            let (ctx, req_id) = {
+            let (ctx, req_id, prefill_debt) = {
                 let r = &self.batch.slots()[slot];
-                (r.context, r.req.id)
+                let debt = if r.needs_prefill { r.prefill_tokens } else { 0 };
+                (r.context, r.req.id, debt)
             };
+            if prefill_debt > chunk_budget {
+                // The prompt cannot finish building this step: advance the
+                // frontier by the remaining allowance instead of decoding.
+                // No token, no attention charge — the chunk's prefill
+                // charge *is* this slot's compute for the step.
+                let allowance = chunk_budget;
+                if allowance == 0 {
+                    // Earlier slots drained the budget; the frontier holds.
+                    context_tokens += ctx - prefill_debt;
+                    continue;
+                }
+                chunk_budget = 0;
+                let result = self.simulate_attention(req_id, ctx)?;
+                let request_cycles = result.0 * self.cfg.heads as u64;
+                let (built, remaining, charge) = {
+                    let r = &mut self.batch.slots_mut()[slot];
+                    // Telescoping ceil pricing on the *remaining* debt:
+                    // each chunk charges ceil(cost × rem_before/prompt) −
+                    // ceil(cost × rem_after/prompt), so the chunk charges
+                    // sum to exactly the one-lump charge of the initial
+                    // debt — chunking moves prefill work across steps
+                    // without ever repricing it.
+                    let factor = self.cfg.prefill_factor.max(0.0);
+                    let denom = r.context as f64;
+                    let cum = |remaining: usize| -> u64 {
+                        let frac = remaining as f64 / denom;
+                        (request_cycles as f64 * factor * frac).ceil() as u64
+                    };
+                    let after = r.prefill_tokens - allowance;
+                    let charge = cum(r.prefill_tokens) - cum(after);
+                    r.prefill_tokens = after;
+                    r.stats.prefill_cycles += charge;
+                    (r.context - after, after, charge)
+                };
+                // The chunk's pages now hold real KV: publish the covered
+                // full prompt pages for prefix sharing right away.
+                self.batch.publish_prefix(slot);
+                prefill_cycles += charge;
+                context_tokens += built;
+                self.emit(ServeEvent::PrefillChunk {
+                    id: req_id,
+                    step,
+                    built_tokens: built,
+                    remaining_tokens: remaining,
+                });
+                continue;
+            }
+            chunk_budget -= prefill_debt;
             context_tokens += ctx;
+            decoded += 1;
             let result = self.simulate_attention(req_id, ctx)?;
             let request_cycles = result.0 * self.cfg.heads as u64;
             self.prune.merge(&result.1);
@@ -935,6 +1022,10 @@ impl ServingEngine {
                     // share of the prompt the prefix cache did not serve.
                     // A full cache hit genuinely prefills nothing and
                     // costs nothing — sharing is strictly beneficial.
+                    // Under chunking this is the *final* chunk (whatever
+                    // debt fits the step's budget), and the one-cycle
+                    // floor applies to the whole prompt's total so the
+                    // chunk charges still sum to exactly the lump.
                     r.needs_prefill = false;
                     let frac = if r.context == 0 {
                         1.0
@@ -944,9 +1035,15 @@ impl ServingEngine {
                     let charge = if r.prefill_tokens == 0 {
                         0
                     } else {
-                        ((request_cycles as f64 * self.cfg.prefill_factor.max(0.0) * frac).ceil()
-                            as u64)
-                            .max(1)
+                        let marginal = (request_cycles as f64
+                            * self.cfg.prefill_factor.max(0.0)
+                            * frac)
+                            .ceil() as u64;
+                        if r.stats.prefill_cycles + marginal == 0 {
+                            1
+                        } else {
+                            marginal
+                        }
                     };
                     r.prefill_tokens = 0;
                     charge
@@ -959,6 +1056,25 @@ impl ServingEngine {
                 if r.stats.first_token_at.is_none() {
                     r.stats.first_token_at = Some(step);
                 }
+                // SLO accounting: this token races TTFT (if it is the
+                // first) or the inter-token deadline since the previous
+                // one — queue time after a preemption counts against ITL,
+                // which is exactly what SLO-aware eviction must weigh. A
+                // blown deadline ends the good-token count for good.
+                let on_time = match r.last_token_at {
+                    None => r
+                        .req
+                        .ttft_deadline
+                        .is_none_or(|d| (step - r.stats.enqueued_at + 1) as u64 <= d),
+                    Some(t) => r.req.itl_deadline.is_none_or(|d| (step - t) as u64 <= d),
+                };
+                if !on_time {
+                    r.stats.slo_violated = true;
+                }
+                if !r.stats.slo_violated {
+                    r.stats.good_tokens += 1;
+                }
+                r.last_token_at = Some(step);
                 r.stats.generated += 1;
                 r.context += 1;
                 (r.req.id, r.stats.generated, rebuild, prefill, built_kv)
@@ -980,6 +1096,7 @@ impl ServingEngine {
         let report = StepReport {
             index: step,
             batch: self.batch.len(),
+            decoded,
             context_tokens,
             weight_cycles,
             attention_cycles,
@@ -987,7 +1104,7 @@ impl ServingEngine {
             reprefill_cycles,
         };
         self.total_cycles += report.total_cycles();
-        self.tokens_generated += report.batch;
+        self.tokens_generated += report.decoded;
         self.steps.push(report);
         self.step_index += 1;
 

@@ -21,6 +21,20 @@ pub struct PendingView {
     pub remaining_tokens: usize,
     /// Context length at retirement — what admission must budget for.
     pub final_context: usize,
+    /// Step the request first became schedulable. Unlike
+    /// [`waited_steps`](Self::waited_steps) (which resets on eviction so
+    /// aging never credits time spent running), this is the fixed origin
+    /// SLO deadlines are measured from.
+    pub enqueued_at: usize,
+    /// Step of the request's most recent generated token, if any (a
+    /// preempted request re-queues with its decode history intact).
+    pub last_token_at: Option<usize>,
+    /// Time-to-first-token deadline in steps from
+    /// [`enqueued_at`](Self::enqueued_at), if the request carries one.
+    pub ttft_deadline: Option<u64>,
+    /// Inter-token deadline: maximum steps between consecutive generated
+    /// tokens, if the request carries one.
+    pub itl_deadline: Option<u64>,
 }
 
 /// Snapshot of one running request, handed to policies when choosing
@@ -43,6 +57,67 @@ pub struct RunningView {
     pub context: usize,
     /// Context length at retirement.
     pub final_context: usize,
+    /// Step the request first became schedulable — the origin SLO
+    /// deadlines are measured from.
+    pub enqueued_at: usize,
+    /// Step of the request's most recent generated token, if any.
+    pub last_token_at: Option<usize>,
+    /// Time-to-first-token deadline in steps from
+    /// [`enqueued_at`](Self::enqueued_at), if the request carries one.
+    pub ttft_deadline: Option<u64>,
+    /// Inter-token deadline: maximum steps between consecutive generated
+    /// tokens, if the request carries one.
+    pub itl_deadline: Option<u64>,
+}
+
+/// The deadline a request is currently racing, as an absolute engine step:
+/// first-token requests race `enqueued_at + ttft − 1` (TTFT counts the
+/// enqueue step itself), decoding requests race `last_token + itl`.
+/// `None` means no applicable deadline — the request can wait forever.
+///
+/// Shared by both view types so pending and running requests compare on
+/// one urgency scale; [`SloAware`] subtracts the current step to get
+/// slack.
+fn due_step(
+    enqueued_at: usize,
+    last_token_at: Option<usize>,
+    ttft: Option<u64>,
+    itl: Option<u64>,
+) -> Option<i64> {
+    match last_token_at {
+        None => ttft.map(|d| enqueued_at as i64 + d as i64 - 1),
+        Some(t) => itl.map(|d| t as i64 + d as i64),
+    }
+}
+
+impl PendingView {
+    /// Steps of slack until this request's next applicable deadline at
+    /// `step` (negative once blown); `i64::MAX` when no deadline applies.
+    #[must_use]
+    pub fn slo_slack(&self, step: u64) -> i64 {
+        due_step(
+            self.enqueued_at,
+            self.last_token_at,
+            self.ttft_deadline,
+            self.itl_deadline,
+        )
+        .map_or(i64::MAX, |due| due - step as i64)
+    }
+}
+
+impl RunningView {
+    /// Steps of slack until this request's next applicable deadline at
+    /// `step` (negative once blown); `i64::MAX` when no deadline applies.
+    #[must_use]
+    pub fn slo_slack(&self, step: u64) -> i64 {
+        due_step(
+            self.enqueued_at,
+            self.last_token_at,
+            self.ttft_deadline,
+            self.itl_deadline,
+        )
+        .map_or(i64::MAX, |due| due - step as i64)
+    }
 }
 
 /// A scheduling policy: the ordering brain of the serving engine.
@@ -317,6 +392,54 @@ impl SchedulerPolicy for FairRoundRobin {
     }
 }
 
+/// Earliest-deadline-first admission with slack-based preemption: the
+/// SLO-aware scheduler the deadline layer exists for.
+///
+/// Every request is placed on one urgency scale — steps of *slack* until
+/// its next applicable deadline (TTFT before the first token, ITL after;
+/// see [`PendingView::slo_slack`]). Admission picks the least-slack
+/// queued request (oldest arrival among equals), so deadline-less
+/// requests (infinite slack) degrade to FIFO and a mixed workload is
+/// served EDF-first, FIFO-second. Eviction targets the *most*-slack
+/// running request (most remaining work, then youngest, among equals) and
+/// only fires when the victim has **strictly** more slack than the
+/// candidate — a workload with no deadlines anywhere never preempts, and
+/// two equally late requests never thrash by evicting each other.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SloAware;
+
+impl SchedulerPolicy for SloAware {
+    fn name(&self) -> &'static str {
+        "slo-aware"
+    }
+
+    fn pick_next(
+        &mut self,
+        pending: &[PendingView],
+        _running: &[RunningView],
+        step: u64,
+    ) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| (p.slo_slack(step), p.arrival_seq))
+            .map(|(i, _)| i)
+    }
+
+    fn pick_victim(
+        &mut self,
+        candidate: &PendingView,
+        running: &[RunningView],
+        step: u64,
+    ) -> Option<usize> {
+        let (slot, victim) = running
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| (r.slo_slack(step), r.remaining_tokens, r.arrival_seq))?;
+        (victim.slo_slack(step) > candidate.slo_slack(step)).then_some(slot)
+    }
+}
+
 /// The built-in policies, nameable from CLI flags and bench configs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
@@ -328,17 +451,20 @@ pub enum PolicyKind {
     ShortestJobFirst,
     /// [`FairRoundRobin`].
     FairRoundRobin,
+    /// [`SloAware`].
+    SloAware,
 }
 
 impl PolicyKind {
     /// Every built-in policy, in presentation order.
     #[must_use]
-    pub fn all() -> [Self; 4] {
+    pub fn all() -> [Self; 5] {
         [
             Self::Fifo,
             Self::PriorityAging,
             Self::ShortestJobFirst,
             Self::FairRoundRobin,
+            Self::SloAware,
         ]
     }
 
@@ -350,6 +476,7 @@ impl PolicyKind {
             Self::PriorityAging => "priority-aging",
             Self::ShortestJobFirst => "shortest-job-first",
             Self::FairRoundRobin => "fair-round-robin",
+            Self::SloAware => "slo-aware",
         }
     }
 
@@ -361,6 +488,7 @@ impl PolicyKind {
             Self::PriorityAging => Box::new(PriorityAging::default()),
             Self::ShortestJobFirst => Box::new(ShortestJobFirst),
             Self::FairRoundRobin => Box::new(FairRoundRobin),
+            Self::SloAware => Box::new(SloAware),
         }
     }
 }
@@ -380,8 +508,9 @@ impl FromStr for PolicyKind {
             "priority" | "priority-aging" => Ok(Self::PriorityAging),
             "sjf" | "shortest-job-first" => Ok(Self::ShortestJobFirst),
             "fair" | "fair-round-robin" => Ok(Self::FairRoundRobin),
+            "slo" | "slo-aware" => Ok(Self::SloAware),
             other => Err(format!(
-                "unknown policy '{other}' (expected fifo | priority | sjf | fair)"
+                "unknown policy '{other}' (expected fifo | priority | sjf | fair | slo)"
             )),
         }
     }

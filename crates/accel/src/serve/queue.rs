@@ -35,6 +35,18 @@ pub struct ServingRequest {
     /// unique to the request. `0` (the default) makes the whole prompt
     /// private.
     pub prefix_len: usize,
+    /// Time-to-first-token SLO in engine steps, measured from the step the
+    /// request became schedulable (enqueue step itself included, matching
+    /// [`SessionStats::time_to_first_token_steps`]). `None` (the default)
+    /// means no TTFT deadline.
+    ///
+    /// [`SessionStats::time_to_first_token_steps`]:
+    ///     super::stats::SessionStats::time_to_first_token_steps
+    pub ttft_deadline: Option<u64>,
+    /// Inter-token-latency SLO: the maximum steps allowed between
+    /// consecutive generated tokens. `None` (the default) means no ITL
+    /// deadline.
+    pub itl_deadline: Option<u64>,
 }
 
 /// SplitMix64 — the deterministic mix behind the synthetic token content
@@ -60,6 +72,8 @@ impl ServingRequest {
             arrival_step: 0,
             prefix_tag: 0,
             prefix_len: 0,
+            ttft_deadline: None,
+            itl_deadline: None,
         }
     }
 
@@ -94,6 +108,29 @@ impl ServingRequest {
         self.prefix_tag = tag;
         self.prefix_len = len;
         self
+    }
+
+    /// Attaches a time-to-first-token deadline of `steps` engine steps
+    /// (must be positive — the enqueue step itself already counts as one).
+    #[must_use]
+    pub fn with_ttft_deadline(mut self, steps: u64) -> Self {
+        self.ttft_deadline = Some(steps.max(1));
+        self
+    }
+
+    /// Attaches an inter-token deadline: consecutive generated tokens may
+    /// be at most `steps` engine steps apart (clamped to at least 1).
+    #[must_use]
+    pub fn with_itl_deadline(mut self, steps: u64) -> Self {
+        self.itl_deadline = Some(steps.max(1));
+        self
+    }
+
+    /// Whether the request carries any SLO deadline — the denominator of
+    /// deadline-attainment accounting.
+    #[must_use]
+    pub fn has_deadline(&self) -> bool {
+        self.ttft_deadline.is_some() || self.itl_deadline.is_some()
     }
 
     /// The synthetic token id at prompt position `i`: drawn from the
@@ -184,6 +221,10 @@ impl PendingQueue {
                 waited_steps: (step as u64).saturating_sub(e.wait_since as u64),
                 remaining_tokens: e.req.max_new_tokens - e.stats.generated,
                 final_context: e.final_context(),
+                enqueued_at: e.stats.enqueued_at,
+                last_token_at: e.last_token_at,
+                ttft_deadline: e.req.ttft_deadline,
+                itl_deadline: e.req.itl_deadline,
             })
             .collect()
     }

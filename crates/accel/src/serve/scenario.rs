@@ -215,7 +215,9 @@ const DIURNAL_PHASE_STEPS: u64 = 4;
 /// envelope (trough → ramp → peak → tail), so the engine sees genuine
 /// load swings — idle ticks at night, admission pressure at the peak —
 /// instead of a flat arrival rate. Each request belongs to one of
-/// `clients` "apps", every app with its own shared system prompt.
+/// `clients` "apps", every app with its own shared system prompt, and
+/// carries interactive TTFT/inter-token deadlines that only get contended
+/// during the peak phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiurnalArrivals {
     /// Distinct apps, each with its own shared system prompt (canonically 3).
@@ -276,7 +278,11 @@ impl Scenario for DiurnalArrivals {
                         .with_priority((mix >> 24) as u8 % 4)
                         .with_client(client)
                         .with_shared_prefix(tag, prefix_len)
-                        .arriving_at(base + (mix >> 32) % DIURNAL_PHASE_STEPS),
+                        .arriving_at(base + (mix >> 32) % DIURNAL_PHASE_STEPS)
+                        // Day-curve traffic carries interactive SLOs; the
+                        // peak phases are where they get contended.
+                        .with_ttft_deadline(8 + (mix >> 40) % 8)
+                        .with_itl_deadline(3 + (mix >> 48) % 4),
                     );
                     id += 1;
                 }
@@ -443,7 +449,9 @@ impl Scenario for AgenticToolLoops {
 /// Long-document summarization: prompts of 384–816 tokens with tiny token
 /// targets and no shared prefixes — the prefill-dominated regime where
 /// throughput is bounded by prompt processing, not decode, and the prefix
-/// cache has nothing to adopt.
+/// cache has nothing to adopt. Every request carries interactive TTFT and
+/// inter-token deadlines, making this the canonical workload for chunked
+/// prefill and the SLO-aware scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LongDocSummarize {
     /// Documents to summarize (canonically 8).
@@ -475,6 +483,12 @@ impl Scenario for LongDocSummarize {
                     .with_priority((mix >> 16) as u8 % 2)
                     .with_client(d % 2)
                     .arriving_at(d * 3 + (mix >> 24) % 3)
+                    // Interactive summarization SLOs: first tokens are due
+                    // within a handful of steps despite the 384-816 token
+                    // prefill bill — the regime chunked prefill and
+                    // SLO-aware scheduling exist for.
+                    .with_ttft_deadline(6 + (mix >> 32) % 6)
+                    .with_itl_deadline(2 + (mix >> 40) % 3)
             })
             .collect()
     }

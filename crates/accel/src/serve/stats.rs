@@ -48,9 +48,37 @@ pub struct RequestStats {
     /// evicted contexts under full re-prefill; only the dropped suffixes
     /// under paged retention).
     pub reprefilled_tokens: usize,
+    /// The TTFT deadline the request carried, if any (steps from
+    /// [`enqueued_at`](Self::enqueued_at), first-token step inclusive).
+    pub ttft_deadline: Option<u64>,
+    /// The inter-token deadline the request carried, if any (maximum steps
+    /// between consecutive generated tokens).
+    pub itl_deadline: Option<u64>,
+    /// Tokens generated before any deadline was blown — the request's
+    /// contribution to goodput-under-SLO. A missed TTFT leaves this at 0
+    /// (even the first token was already late); a missed inter-token
+    /// deadline stops the count at the tokens delivered on time.
+    pub good_tokens: usize,
+    /// Whether the request has blown any of its deadlines. Never set for
+    /// deadline-free requests.
+    pub slo_violated: bool,
 }
 
 impl RequestStats {
+    /// Whether the request carried any SLO deadline — the denominator of
+    /// deadline-attainment accounting.
+    #[must_use]
+    pub fn has_deadline(&self) -> bool {
+        self.ttft_deadline.is_some() || self.itl_deadline.is_some()
+    }
+
+    /// Whether the request met every deadline it carried (trivially true
+    /// for deadline-free requests).
+    #[must_use]
+    pub fn slo_attained(&self) -> bool {
+        !self.slo_violated
+    }
+
     /// The session-level summary of this request, once it has produced at
     /// least one token (`None` before that).
     #[must_use]
@@ -65,6 +93,8 @@ impl RequestStats {
             retained_tokens: self.retained_tokens,
             reprefilled_tokens: self.reprefilled_tokens,
             prefix_hit_tokens: self.prefix_hit_tokens,
+            good_tokens: self.good_tokens,
+            slo_attained: self.slo_attained(),
         })
     }
 }
@@ -89,6 +119,12 @@ pub struct SessionStats {
     pub reprefilled_tokens: usize,
     /// Prompt tokens the shared-prefix cache served at its admissions.
     pub prefix_hit_tokens: usize,
+    /// Tokens delivered before any deadline was blown (all of them for a
+    /// request that attained its SLO, or carried none).
+    pub good_tokens: usize,
+    /// Whether every deadline the request carried was met (trivially true
+    /// without deadlines).
+    pub slo_attained: bool,
 }
 
 /// What one engine step did.
@@ -99,8 +135,13 @@ pub struct StepReport {
     /// Requests decoding in this step (0 for an idle tick while the
     /// engine waits on future arrivals).
     pub batch: usize,
+    /// Tokens generated in this step. Equals [`batch`](Self::batch) except
+    /// while chunked prefill is in flight: a slot still building its
+    /// prompt contributes prefill work but no token.
+    pub decoded: usize,
     /// Total context tokens attended over in this step — the step's
-    /// attention work.
+    /// attention work. Slots mid-chunked-prefill contribute their built
+    /// frontier.
     pub context_tokens: usize,
     /// Cycles streaming the shared weights.
     pub weight_cycles: u64,
@@ -126,6 +167,7 @@ impl StepReport {
         Self {
             index,
             batch: 0,
+            decoded: 0,
             context_tokens: 0,
             weight_cycles: 0,
             attention_cycles: 0,
@@ -264,6 +306,68 @@ impl ServingReport {
         } else {
             sum as f64 / n as f64
         }
+    }
+
+    /// Tokens delivered within SLO across all finished requests (every
+    /// token of a deadline-free request counts).
+    #[must_use]
+    pub fn total_good_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.good_tokens).sum()
+    }
+
+    /// Goodput under SLO in tokens per second at `clock_hz`: like
+    /// [`tokens_per_second`](Self::tokens_per_second) but counting only
+    /// tokens delivered before their request blew a deadline.
+    #[must_use]
+    pub fn goodput_tokens_per_second(&self, clock_hz: f64) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.total_good_tokens() as f64 / (self.total_cycles as f64 / clock_hz)
+    }
+
+    /// Share of deadline-carrying requests that met every deadline, in
+    /// `[0, 1]` (1 when no request carried a deadline — nothing was
+    /// promised, nothing was missed).
+    #[must_use]
+    pub fn deadline_attainment(&self) -> f64 {
+        let carrying: Vec<&RequestStats> =
+            self.requests.iter().filter(|r| r.has_deadline()).collect();
+        if carrying.is_empty() {
+            return 1.0;
+        }
+        carrying.iter().filter(|r| r.slo_attained()).count() as f64 / carrying.len() as f64
+    }
+
+    /// The p99 time-to-first-token across finished requests, in steps
+    /// (nearest-rank percentile; 0 when nothing produced a token). The
+    /// tail-latency number chunked prefill exists to protect.
+    #[must_use]
+    pub fn ttft_p99_steps(&self) -> usize {
+        let mut ttfts: Vec<usize> = self
+            .requests
+            .iter()
+            .filter_map(|r| Some(r.first_token_at? - r.enqueued_at + 1))
+            .collect();
+        if ttfts.is_empty() {
+            return 0;
+        }
+        ttfts.sort_unstable();
+        let rank = (ttfts.len() as f64 * 0.99).ceil() as usize;
+        ttfts[rank.clamp(1, ttfts.len()) - 1]
+    }
+
+    /// The largest prefill charge any single step carried, in cycles —
+    /// the worst-case decode stall co-resident requests suffered while a
+    /// prompt was being built. One lump prefill makes this the whole
+    /// prompt's charge; chunking caps it near one chunk's worth.
+    #[must_use]
+    pub fn max_prefill_stall_cycles(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.prefill_cycles)
+            .max()
+            .unwrap_or(0)
     }
 
     fn mean_session(&self, f: impl Fn(&SessionStats) -> f64) -> f64 {

@@ -106,6 +106,9 @@ pub struct TraceMeta {
     pub retention: String,
     /// Prompt-prefill charge factor.
     pub prefill_factor: f64,
+    /// Per-step chunked-prefill budget in pages (`0` = unlimited, the
+    /// pre-chunking lump behavior).
+    pub prefill_chunk_pages: usize,
     /// Attention heads per request per step.
     pub heads: usize,
     /// FC/FFN weight bytes streamed per step.
@@ -155,6 +158,7 @@ impl TraceMeta {
             max_evictions_per_step: cfg.preemption.max_evictions_per_step,
             retention: cfg.preemption.retention.to_string(),
             prefill_factor: cfg.prefill_factor,
+            prefill_chunk_pages: cfg.prefill_chunk_pages,
             heads: cfg.heads,
             weight_bytes: cfg.weight_bytes,
             seed: cfg.seed,
@@ -225,6 +229,7 @@ impl TraceMeta {
             retention,
         };
         cfg.prefill_factor = self.prefill_factor;
+        cfg.prefill_chunk_pages = self.prefill_chunk_pages;
         cfg.heads = self.heads;
         cfg.weight_bytes = self.weight_bytes;
         cfg.seed = self.seed;
@@ -304,6 +309,18 @@ pub fn digest_events(events: &[ClusterEvent]) -> u64 {
                         h = fnv(h, id);
                         h = fnv(h, step as u64);
                         h = fnv(h, generated as u64);
+                    }
+                    ServeEvent::PrefillChunk {
+                        id,
+                        step,
+                        built_tokens,
+                        remaining_tokens,
+                    } => {
+                        h = fnv(h, 6);
+                        h = fnv(h, id);
+                        h = fnv(h, step as u64);
+                        h = fnv(h, built_tokens as u64);
+                        h = fnv(h, remaining_tokens as u64);
                     }
                 }
             }
@@ -608,7 +625,7 @@ impl Trace {
                 .str_field("scenario", scenario)
                 .u64_field("scenario_seed", m.scenario_seed);
         }
-        let mut out = meta_line
+        meta_line = meta_line
             .str_field("mode", m.mode.name())
             .f64_field("threshold", m.threshold)
             .str_field("policy", &m.policy)
@@ -620,7 +637,13 @@ impl Trace {
             .f64_field("reprefill_factor", m.reprefill_factor)
             .u64_field("max_evictions_per_step", m.max_evictions_per_step as u64)
             .str_field("retention", &m.retention)
-            .f64_field("prefill_factor", m.prefill_factor)
+            .f64_field("prefill_factor", m.prefill_factor);
+        // Rendered only when finite, so pre-chunking traces (and the
+        // checked-in goldens) keep their exact bytes.
+        if m.prefill_chunk_pages != 0 {
+            meta_line = meta_line.u64_field("prefill_chunk_pages", m.prefill_chunk_pages as u64);
+        }
+        let mut out = meta_line
             .u64_field("heads", m.heads as u64)
             .u64_field("weight_bytes", m.weight_bytes)
             .u64_field("seed", m.seed)
@@ -633,18 +656,24 @@ impl Trace {
             .finish();
         out.push('\n');
         for r in &self.requests {
-            out.push_str(
-                &JsonLine::new("request")
-                    .u64_field("id", r.id)
-                    .u64_field("prompt_len", r.prompt_len as u64)
-                    .u64_field("max_new_tokens", r.max_new_tokens as u64)
-                    .u64_field("priority", u64::from(r.priority))
-                    .u64_field("client_id", r.client_id)
-                    .u64_field("arrival_step", r.arrival_step)
-                    .u64_field("prefix_tag", r.prefix_tag)
-                    .u64_field("prefix_len", r.prefix_len as u64)
-                    .finish(),
-            );
+            let mut line = JsonLine::new("request")
+                .u64_field("id", r.id)
+                .u64_field("prompt_len", r.prompt_len as u64)
+                .u64_field("max_new_tokens", r.max_new_tokens as u64)
+                .u64_field("priority", u64::from(r.priority))
+                .u64_field("client_id", r.client_id)
+                .u64_field("arrival_step", r.arrival_step)
+                .u64_field("prefix_tag", r.prefix_tag)
+                .u64_field("prefix_len", r.prefix_len as u64);
+            // Deadlines render only when declared, keeping deadline-free
+            // traces byte-identical to the pre-SLO format.
+            if let Some(d) = r.ttft_deadline {
+                line = line.u64_field("ttft_deadline", d);
+            }
+            if let Some(d) = r.itl_deadline {
+                line = line.u64_field("itl_deadline", d);
+            }
+            out.push_str(&line.finish());
             out.push('\n');
         }
         for event in &self.events {
@@ -775,6 +804,60 @@ impl Trace {
     pub fn replay(&self) -> Result<(Trace, RunReport), TraceError> {
         run_recorded(&self.meta, &self.requests)
     }
+
+    /// Localizes the first schedule divergence between two traces:
+    /// `None` when the event streams are identical, otherwise a
+    /// human-readable report quoting the first differing event with a few
+    /// events of leading context. This is what `topick trace diff` prints
+    /// and what digest-mismatch failure messages embed, so a bare "digests
+    /// differ" names the exact scheduling decision that moved.
+    #[must_use]
+    pub fn diff(&self, other: &Trace) -> Option<String> {
+        if self.events == other.events {
+            return None;
+        }
+        let mut out = String::new();
+        if self.meta != other.meta {
+            out.push_str("note: trace metas differ — the runs were configured differently\n");
+        }
+        if self.requests.len() != other.requests.len() {
+            out.push_str(&format!(
+                "note: request counts differ ({} vs {})\n",
+                self.requests.len(),
+                other.requests.len()
+            ));
+        }
+        let idx = self
+            .events
+            .iter()
+            .zip(&other.events)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| self.events.len().min(other.events.len()));
+        out.push_str(&format!(
+            "event streams diverge at event {idx} ({} vs {} events total)\n",
+            self.events.len(),
+            other.events.len()
+        ));
+        const CONTEXT: usize = 3;
+        for (i, event) in self
+            .events
+            .iter()
+            .enumerate()
+            .take(idx)
+            .skip(idx.saturating_sub(CONTEXT))
+        {
+            out.push_str(&format!("  = [{i}] {}\n", render_event(*event)));
+        }
+        match self.events.get(idx) {
+            Some(event) => out.push_str(&format!("  < [{idx}] {}\n", render_event(*event))),
+            None => out.push_str(&format!("  < [{idx}] (stream ends)\n")),
+        }
+        match other.events.get(idx) {
+            Some(event) => out.push_str(&format!("  > [{idx}] {}\n", render_event(*event))),
+            None => out.push_str(&format!("  > [{idx}] (stream ends)\n")),
+        }
+        Some(out)
+    }
 }
 
 fn render_event(event: ClusterEvent) -> String {
@@ -825,6 +908,15 @@ fn render_event(event: ClusterEvent) -> String {
                 } => base("finished", id, step)
                     .u64_field("generated", generated as u64)
                     .finish(),
+                ServeEvent::PrefillChunk {
+                    id,
+                    step,
+                    built_tokens,
+                    remaining_tokens,
+                } => base("prefill_chunk", id, step)
+                    .u64_field("built_tokens", built_tokens as u64)
+                    .u64_field("remaining_tokens", remaining_tokens as u64)
+                    .finish(),
             }
         }
         ClusterEvent::Stolen { id, from, to, step } => JsonLine::new("event")
@@ -861,6 +953,10 @@ fn parse_meta(f: &Fields) -> Result<TraceMeta, TraceError> {
         max_evictions_per_step: f.parse_field("max_evictions_per_step")?,
         retention: f.str_field("retention")?.to_string(),
         prefill_factor: f.parse_field("prefill_factor")?,
+        prefill_chunk_pages: match f.get("prefill_chunk_pages") {
+            Some(_) => f.parse_field("prefill_chunk_pages")?,
+            None => 0,
+        },
         heads: f.parse_field("heads")?,
         weight_bytes: f.parse_field("weight_bytes")?,
         seed: f.parse_field("seed")?,
@@ -883,6 +979,14 @@ fn parse_request(f: &Fields) -> Result<ServingRequest, TraceError> {
         arrival_step: f.parse_field("arrival_step")?,
         prefix_tag: f.parse_field("prefix_tag")?,
         prefix_len: f.parse_field("prefix_len")?,
+        ttft_deadline: match f.get("ttft_deadline") {
+            Some(_) => Some(f.parse_field("ttft_deadline")?),
+            None => None,
+        },
+        itl_deadline: match f.get("itl_deadline") {
+            Some(_) => Some(f.parse_field("itl_deadline")?),
+            None => None,
+        },
     })
 }
 
@@ -924,6 +1028,12 @@ fn parse_event(f: &Fields) -> Result<ClusterEvent, TraceError> {
             id,
             step,
             generated: f.parse_field("generated")?,
+        },
+        "prefill_chunk" => ServeEvent::PrefillChunk {
+            id,
+            step,
+            built_tokens: f.parse_field("built_tokens")?,
+            remaining_tokens: f.parse_field("remaining_tokens")?,
         },
         other => return Err(f.err(format!("unknown event kind '{other}'"))),
     };
@@ -984,8 +1094,12 @@ impl TraceReplay {
     pub fn run(&self) -> Result<(Trace, RunReport), TraceError> {
         let (trace, report) = self.trace.replay()?;
         if trace.digest != self.trace.digest {
+            let detail = self
+                .trace
+                .diff(&trace)
+                .unwrap_or_else(|| "(event streams compare equal; digest scheme drift?)".into());
             return Err(TraceError::Parse(format!(
-                "replay diverged from the recording: recorded digest {}, replayed {}",
+                "replay diverged from the recording: recorded digest {}, replayed {}\n{detail}",
                 self.trace.digest, trace.digest
             )));
         }
@@ -1018,6 +1132,15 @@ mod tests {
                     step: 2,
                     context: 128,
                     cached_tokens: 96,
+                },
+            },
+            ClusterEvent::Shard {
+                shard_id: 1,
+                event: ServeEvent::PrefillChunk {
+                    id: 7,
+                    step: 2,
+                    built_tokens: 64,
+                    remaining_tokens: 64,
                 },
             },
             ClusterEvent::Shard {
@@ -1064,7 +1187,9 @@ mod tests {
                 .with_priority(3)
                 .with_client(2)
                 .with_shared_prefix(0xDEAD_BEEF, 96)
-                .arriving_at(4),
+                .arriving_at(4)
+                .with_ttft_deadline(20)
+                .with_itl_deadline(4),
         );
         recorder.events(one_of_each_event());
         let trace = recorder.finish();
@@ -1082,6 +1207,7 @@ mod tests {
         let mut cfg = SharedPrefixChat::default().serving_config(accel);
         cfg.preemption =
             PreemptionConfig::enabled().with_retention(RetentionPolicy::Fraction(0.75));
+        cfg.prefill_chunk_pages = 2;
         let meta = TraceMeta::new(&cfg, "priority-aging")
             .for_cluster(4, "prefix-affinity", true, 4)
             .with_max_steps(2048);
@@ -1090,6 +1216,42 @@ mod tests {
         assert_eq!(parsed.meta, meta);
         // The rebuilt serving config matches the one we snapshotted.
         assert_eq!(parsed.meta.serving_config().unwrap(), cfg);
+    }
+
+    #[test]
+    fn diff_localizes_the_first_diverging_event() {
+        let mut recorder = TraceRecorder::new(sample_meta());
+        recorder.events(one_of_each_event());
+        let a = recorder.finish();
+        // Identical streams: no diff.
+        assert_eq!(a.diff(&a), None);
+        // Perturb one event mid-stream.
+        let mut events = one_of_each_event();
+        let ClusterEvent::Shard {
+            event: ServeEvent::TokenGenerated { context, .. },
+            ..
+        } = &mut events[3]
+        else {
+            panic!("event 3 should be the token generation");
+        };
+        *context += 1;
+        let mut recorder = TraceRecorder::new(sample_meta());
+        recorder.events(events);
+        let b = recorder.finish();
+        assert_ne!(a.digest, b.digest);
+        let report = a.diff(&b).unwrap();
+        assert!(report.contains("diverge at event 3"), "{report}");
+        assert!(report.contains("< [3]"), "{report}");
+        assert!(report.contains("> [3]"), "{report}");
+        assert!(report.contains("\"context\":129"), "{report}");
+        assert!(report.contains("\"context\":130"), "{report}");
+        // A strict prefix diverges where the shorter stream ends.
+        let mut recorder = TraceRecorder::new(sample_meta());
+        recorder.events(one_of_each_event().into_iter().take(2));
+        let short = recorder.finish();
+        let report = a.diff(&short).unwrap();
+        assert!(report.contains("diverge at event 2"), "{report}");
+        assert!(report.contains("> [2] (stream ends)"), "{report}");
     }
 
     #[test]

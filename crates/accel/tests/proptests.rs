@@ -107,17 +107,23 @@ proptest! {
         }
     }
 
-    /// Under any interleaving of enqueue and step, any policy, and
+    /// Under any interleaving of enqueue and step, any policy (the
+    /// SLO-aware one included), any chunked-prefill budget, and
     /// preemption on or off, the batch never exceeds its slot limit or
-    /// its provisioned-token budget — and with preemption off, no
-    /// admitted request ever leaves the batch before finishing.
+    /// its provisioned-token budget; every request — even one stuck
+    /// behind chunked long prompts — finishes (no starvation); goodput
+    /// never exceeds generation and deadline-free requests never
+    /// violate. With preemption off, no admitted request ever leaves
+    /// the batch before finishing.
     #[test]
     fn serving_invariants_hold_under_any_interleaving(
         seed in any::<u64>(),
         max_batch in 1usize..5,
         budget in 400usize..1200,
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..PolicyKind::all().len(),
         preempt in any::<bool>(),
+        prefill_chunk in 0usize..6,
+        priced in any::<bool>(),
         ops in prop::collection::vec(0u8..4, 4..32),
     ) {
         let policy = PolicyKind::all()[policy_idx];
@@ -127,6 +133,8 @@ proptest! {
             .weight_bytes(1_000_000)
             .max_batch(max_batch)
             .max_batch_tokens(budget)
+            .prefill_factor(if priced { 1.0 } else { 0.0 })
+            .prefill_chunk_pages(prefill_chunk)
             .seed(seed)
             .policy(policy);
         if preempt {
@@ -147,11 +155,12 @@ proptest! {
             }
         };
         // Random interleaving: op 0 enqueues (with randomized shape,
-        // priority, client and arrival), anything else steps once.
+        // priority, client, arrival and — on half the requests — SLO
+        // deadlines), anything else steps once.
         for (i, op) in ops.iter().enumerate() {
             if *op == 0 {
                 let mix = seed.wrapping_mul(31).wrapping_add(i as u64);
-                let req = ServingRequest::new(
+                let mut req = ServingRequest::new(
                     next_id,
                     4 + (mix % 48) as usize,
                     1 + (mix % 5) as usize,
@@ -159,6 +168,11 @@ proptest! {
                 .with_priority((mix % 7) as u8)
                 .with_client(mix % 3)
                 .arriving_at(mix % 6);
+                if mix.is_multiple_of(2) {
+                    req = req
+                        .with_ttft_deadline(1 + mix % 9)
+                        .with_itl_deadline(1 + mix % 4);
+                }
                 engine.enqueue(req).expect("request fits the budget alone");
                 next_id += 1;
             } else {
@@ -192,8 +206,20 @@ proptest! {
             }
         }
         for r in &report.requests {
+            // No starvation: whatever the chunk budget did to scheduling,
+            // every request ran to completion.
             prop_assert!(r.generated >= 1);
             prop_assert!(r.finished_at.is_some());
+            // SLO accounting: goodput never exceeds generation, a blown
+            // deadline implies a deadline existed, and deadline-free
+            // requests count every token as good.
+            prop_assert!(r.good_tokens <= r.generated);
+            if r.has_deadline() {
+                prop_assert!(r.slo_violated || r.good_tokens == r.generated);
+            } else {
+                prop_assert!(!r.slo_violated, "deadline-free request violated");
+                prop_assert_eq!(r.good_tokens, r.generated);
+            }
         }
     }
 
@@ -204,15 +230,19 @@ proptest! {
     /// pages and the free list exactly partition the pager's capacity
     /// (with every refcount equal to its table mappings, per
     /// `KvPager::validate`), and a drained engine unmaps every page.
+    /// Finite chunk budgets put requests mid-prefill across many steps —
+    /// and under eviction with partially built prompts — so the oracle
+    /// also covers the prefill frontier's page accounting.
     #[test]
     fn kv_page_accounting_never_leaks(
         seed in any::<u64>(),
         max_batch in 1usize..5,
         budget in 400usize..1200,
         page_size in 1usize..48,
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..PolicyKind::all().len(),
         retention_idx in 0usize..4,
         prefix_cache in any::<bool>(),
+        prefill_chunk in 0usize..4,
         ops in prop::collection::vec(0u8..4, 4..32),
     ) {
         let policy = PolicyKind::all()[policy_idx];
@@ -232,6 +262,7 @@ proptest! {
             .seed(seed)
             .prefix_cache(prefix_cache)
             .prefill_factor(if prefix_cache { 1.0 } else { 0.0 })
+            .prefill_chunk_pages(prefill_chunk)
             .policy(policy)
             .enable_preemption()
             .retention(retention)
@@ -361,8 +392,9 @@ proptest! {
 
     /// Cluster conservation: under arbitrary enqueue/step interleavings —
     /// any shard count, worker thread count (1 = sequential through more
-    /// threads than shards), routing policy, scheduler policy, stealing
-    /// and preemption on or off — no request is lost, duplicated, or decoded
+    /// threads than shards), routing policy, scheduler policy, chunked-
+    /// prefill budget, stealing and preemption on or off — no request is
+    /// lost, duplicated, or decoded
     /// on two shards; every shard's pager satisfies its conservation
     /// oracle at the end and drains to nothing allocated; shards stay in
     /// lockstep with the cluster clock; and with stealing off every
@@ -373,8 +405,9 @@ proptest! {
         shards in 1usize..5,
         routing_idx in 0usize..3,
         stealing in any::<bool>(),
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..PolicyKind::all().len(),
         preempt in any::<bool>(),
+        prefill_chunk in 0usize..3,
         threads in 1usize..6,
         ops in prop::collection::vec(0u8..4, 4..28),
     ) {
@@ -389,6 +422,8 @@ proptest! {
             .page_size(16)
             .seed(seed)
             .prefix_cache(true)
+            .prefill_factor(1.0)
+            .prefill_chunk_pages(prefill_chunk)
             .policy(policy)
             .shards(shards)
             .routing(routing)
@@ -475,6 +510,90 @@ proptest! {
             pager.validate();
             prop_assert_eq!(pager.allocated_pages(), 0);
             prop_assert_eq!(report.shards[i].steps.len(), report.cluster_steps);
+        }
+    }
+
+    /// Chunk charges telescope exactly: for any workload of priced
+    /// prompts, any policy and any finite chunk budget, splitting
+    /// prefill across steps leaves every request's generated tokens,
+    /// total prefill bill and decode attention identical to the one-lump
+    /// run — and the chunk events walk each prompt's frontier
+    /// monotonically without ever reaching the boundary (the completing
+    /// step decodes instead).
+    #[test]
+    fn chunked_prefill_telescopes_to_the_lump_bill(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        max_batch in 1usize..4,
+        chunk in 1usize..8,
+        policy_idx in 0usize..PolicyKind::all().len(),
+    ) {
+        let policy = PolicyKind::all()[policy_idx];
+        let requests: Vec<ServingRequest> = (0..n as u64)
+            .map(|id| {
+                let mix = seed.wrapping_mul(0x9E37_79B9).wrapping_add(id * 0x85EB_CA6B);
+                ServingRequest::new(id, 16 + (mix % 200) as usize, 1 + (mix % 4) as usize)
+                    .arriving_at(mix % 5)
+            })
+            .collect();
+        let run = |chunk_pages: usize| {
+            let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr");
+            let mut engine = ServingEngine::builder(accel)
+                .heads(2)
+                .weight_bytes(1_000_000)
+                .max_batch(max_batch)
+                .max_batch_tokens(2048)
+                .page_size(16)
+                .prefill_factor(1.0)
+                .prefill_chunk_pages(chunk_pages)
+                .seed(seed)
+                .policy(policy)
+                .build();
+            for r in &requests {
+                engine.enqueue(*r).expect("request fits the budget alone");
+            }
+            let report = engine.run_to_completion(8192).expect("completes");
+            let events = engine.drain_events();
+            (report, events)
+        };
+        let (lump, _) = run(0);
+        let (split, events) = run(chunk);
+        prop_assert_eq!(lump.tokens_generated, split.tokens_generated);
+        for a in &lump.requests {
+            let b = split
+                .requests
+                .iter()
+                .find(|r| r.id == a.id)
+                .expect("request finished under chunking");
+            prop_assert_eq!(a.generated, b.generated, "request {} tokens", a.id);
+            prop_assert_eq!(
+                a.prefill_cycles,
+                b.prefill_cycles,
+                "request {} chunk charges must telescope to the lump",
+                a.id
+            );
+            prop_assert_eq!(
+                a.attention_cycles,
+                b.attention_cycles,
+                "request {} decode attention",
+                a.id
+            );
+        }
+        let mut frontier: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        for e in &events {
+            if let ServeEvent::PrefillChunk { id, built_tokens, remaining_tokens, .. } = e {
+                let prompt = requests[*id as usize].prompt_len;
+                prop_assert_eq!(
+                    built_tokens + remaining_tokens,
+                    prompt,
+                    "request {} frontier must tile the prompt",
+                    id
+                );
+                let prev = frontier.insert(*id, *built_tokens).unwrap_or(0);
+                prop_assert!(*built_tokens > prev, "request {} frontier stalled", id);
+                prop_assert!(*built_tokens < prompt, "a completing chunk decodes instead");
+            }
         }
     }
 

@@ -34,6 +34,12 @@
 //! the run's schedule digest — with the agentic scenario's
 //! affinity-over-round-robin hit-rate margin pinned at the top level.
 //!
+//! `--slo-sweep` emits the SLO document checked in as
+//! `BENCH_serving_slo.json`: goodput and deadline attainment vs load on
+//! the two deadline-carrying scenarios (`long-doc-summarize`, `diurnal`),
+//! chunk budgets {unlimited, 4, 16 pages/step} × {fifo, sjf, slo-aware},
+//! each record carrying TTFT p99 and the worst per-step prefill stall.
+//!
 //! ```sh
 //! cargo run --release -p topick-bench --bin serving_throughput
 //! cargo run --release -p topick-bench --bin serving_throughput -- --requests 32
@@ -41,6 +47,7 @@
 //! cargo run --release -p topick-bench --bin serving_throughput -- --quick --shards 4 --threads 4
 //! cargo run --release -p topick-bench --bin serving_throughput -- --threads-sweep > BENCH_serving_threads.json
 //! cargo run --release -p topick-bench --bin serving_throughput -- --scenario-sweep > BENCH_serving_scenarios.json
+//! cargo run --release -p topick-bench --bin serving_throughput -- --slo-sweep > BENCH_serving_slo.json
 //! ```
 
 use std::collections::HashMap;
@@ -558,6 +565,125 @@ fn scenario_sweep(seed: u64, quick: bool) -> JsonValue {
         .into()
 }
 
+/// The deadline-carrying scenario at a load multiplier: `load`× the
+/// canonical document count (long-doc) or `load` day cycles (diurnal) —
+/// the x-axis goodput is plotted against.
+fn slo_workload(kind: ScenarioKind, load: u64, seed: u64) -> Vec<ServingRequest> {
+    use topick_accel::serve::scenario::{DiurnalArrivals, LongDocSummarize, Scenario};
+    match kind {
+        ScenarioKind::LongDocSummarize => LongDocSummarize { docs: 8 * load }.generate(seed),
+        ScenarioKind::DiurnalArrivals => DiurnalArrivals {
+            clients: 3,
+            days: load,
+        }
+        .generate(seed),
+        _ => unreachable!("the SLO sweep runs the deadline-carrying scenarios"),
+    }
+}
+
+/// One SLO-sweep record: the scenario's canonical engine under `policy`,
+/// with `chunk_pages` of per-step chunked-prefill budget (0 = the
+/// unchunked lump).
+fn slo_record(
+    kind: ScenarioKind,
+    requests: &[ServingRequest],
+    load: u64,
+    policy: PolicyKind,
+    chunk_pages: usize,
+    seed: u64,
+) -> JsonValue {
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut cfg = kind.build().serving_config(accel);
+    cfg.prefill_chunk_pages = chunk_pages;
+    let meta = TraceMeta::new(&cfg, policy.name())
+        .for_scenario(kind.name(), seed)
+        .with_max_steps(200_000);
+    let clock_hz = meta.clock_hz;
+    let start = Instant::now();
+    let (trace, report) = run_recorded(&meta, requests).expect("slo run completes");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let RunReport::Engine(report) = report else {
+        unreachable!("shards <= 1 runs a bare engine");
+    };
+    JsonObject::new()
+        .field("scenario", kind.name())
+        .field("load", load)
+        .field("policy", policy.name())
+        .field("prefill_chunk_pages", chunk_pages)
+        .field("requests", requests.len())
+        .field("tokens", report.tokens_generated)
+        .field("good_tokens", report.total_good_tokens())
+        .field("steps", report.steps.len())
+        .field("total_cycles", report.total_cycles)
+        .field("wall_ms", JsonValue::Prec(wall_ms, 3))
+        .field(
+            "tokens_per_s",
+            JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
+        )
+        .field(
+            "goodput_tokens_per_s",
+            JsonValue::Prec(report.goodput_tokens_per_second(clock_hz), 1),
+        )
+        .field(
+            "deadline_attainment",
+            JsonValue::Prec(report.deadline_attainment(), 3),
+        )
+        .field("ttft_p99_steps", report.ttft_p99_steps())
+        .field(
+            "max_prefill_stall_cycles",
+            report.max_prefill_stall_cycles(),
+        )
+        .field("digest", trace.digest)
+        .into()
+}
+
+/// The `--slo-sweep` document (checked in as `BENCH_serving_slo.json`):
+/// goodput-under-SLO vs load on the deadline-carrying scenarios, chunk
+/// budgets {unlimited, 4, 16 pages/step} × {fifo, sjf, slo-aware}. The
+/// modeled columns (cycles, goodput, attainment, TTFT p99, stall) are
+/// host-independent; `wall_ms` is measured and only comparable at equal
+/// `host_parallelism` — on a single-core runner expect it to track total
+/// work, not scheduling quality.
+fn slo_sweep(seed: u64, quick: bool) -> JsonValue {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let loads: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3] };
+    let policies = [
+        PolicyKind::Fifo,
+        PolicyKind::ShortestJobFirst,
+        PolicyKind::SloAware,
+    ];
+    let mut records = Vec::new();
+    for kind in [
+        ScenarioKind::LongDocSummarize,
+        ScenarioKind::DiurnalArrivals,
+    ] {
+        for &load in loads {
+            let requests = slo_workload(kind, load, seed);
+            for policy in policies {
+                for chunk_pages in [0usize, 4, 16] {
+                    records.push(slo_record(kind, &requests, load, policy, chunk_pages, seed));
+                }
+            }
+        }
+    }
+    JsonObject::new()
+        .field("bench", "serving_slo")
+        .field("scenario_seed", seed)
+        .field("quick", quick)
+        .field(
+            "chunk_budgets_pages",
+            vec![JsonValue::from(0u64), 4u64.into(), 16u64.into()],
+        )
+        .field("host_parallelism", host_parallelism)
+        .field(
+            "wall_clock_note",
+            "wall_ms is measured on this host (host_parallelism above); the modeled \
+             cycle/goodput/attainment columns are the comparable numbers on single-core CI",
+        )
+        .field("records", records)
+        .into()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut flags: HashMap<String, String> = HashMap::new();
@@ -581,6 +707,15 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1);
+    if flags.contains_key("slo-sweep") {
+        let seed: u64 = flags
+            .get("scenario-seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(11);
+        let doc = slo_sweep(seed, quick);
+        println!("{}", doc.render());
+        return;
+    }
     if flags.contains_key("scenario-sweep") {
         let seed: u64 = flags
             .get("scenario-seed")

@@ -6,12 +6,14 @@
 //! topick accel   [--context N] [--threshold T] [--seed S]
 //! topick traffic [--model NAME] [--context N]
 //! topick serve   [--requests N] [--batch B] [--threshold T] [--seed S] [--baseline]
-//!                [--policy fifo|priority|sjf|fair|all] [--preemption]
+//!                [--policy fifo|priority|sjf|fair|slo|all] [--preemption]
 //!                [--page-size P] [--retention none|<pages>|<fraction>]
-//!                [--prefix-cache] [--prefill-factor F]
+//!                [--prefix-cache] [--prefill-factor F] [--prefill-chunk PAGES]
+//!                [--slo-ttft STEPS] [--slo-itl STEPS]
 //!                [--shards N] [--routing rr|least|affinity] [--stealing] [--threads N]
 //!                [--scenario NAME [--scenario-seed S]] [--list-scenarios]
 //!                [--record PATH | --replay PATH]
+//! topick trace   diff A B
 //! topick help
 //! ```
 
@@ -184,6 +186,9 @@ struct ServeOpts {
     retention: token_picker::accel::RetentionPolicy,
     prefix_cache: bool,
     prefill_factor: f64,
+    prefill_chunk: usize,
+    slo_ttft: Option<u64>,
+    slo_itl: Option<u64>,
     shards: usize,
     routing: token_picker::accel::RoutingKind,
     stealing: bool,
@@ -214,11 +219,24 @@ fn serve_workload(requests: u64) -> Vec<token_picker::accel::ServingRequest> {
 
 /// The open-loop workload a `serve` invocation runs: the selected
 /// scenario's seed-derived stream, or the classic hardcoded mix.
+/// `--slo-ttft`/`--slo-itl` stamp a uniform deadline onto every request,
+/// overriding whatever the scenario attached.
 fn serve_requests(opts: &ServeOpts) -> Vec<token_picker::accel::ServingRequest> {
-    match opts.scenario {
+    let mut reqs = match opts.scenario {
         Some(kind) => kind.build().generate(opts.scenario_seed),
         None => serve_workload(opts.requests),
+    };
+    if let Some(d) = opts.slo_ttft {
+        for r in &mut reqs {
+            *r = r.with_ttft_deadline(d);
+        }
     }
+    if let Some(d) = opts.slo_itl {
+        for r in &mut reqs {
+            *r = r.with_itl_deadline(d);
+        }
+    }
+    reqs
 }
 
 /// Builds the trace meta describing the run the flags ask for — the
@@ -246,6 +264,7 @@ fn serve_meta(
     if opts.preemption {
         cfg.preemption = PreemptionConfig::enabled().with_retention(opts.retention);
     }
+    cfg.prefill_chunk_pages = opts.prefill_chunk;
     let mut meta = TraceMeta::new(&cfg, policy.name());
     if opts.shards > 1 {
         meta = meta.for_cluster(
@@ -372,6 +391,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
             "stealing",
             "threads",
             "scenario-seed",
+            "prefill-chunk",
+            "slo-ttft",
+            "slo-itl",
         ] {
             if flags.contains_key(shaped) {
                 return Err(format!(
@@ -459,6 +481,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         shards,
         routing,
         stealing,
+        prefill_chunk: flag(flags, "prefill-chunk", 0usize),
+        slo_ttft: flags.get("slo-ttft").map(|v| v.parse()).transpose()?,
+        slo_itl: flags.get("slo-itl").map(|v| v.parse()).transpose()?,
         threads,
         scenario,
         scenario_seed: flag(flags, "scenario-seed", 7u64),
@@ -475,7 +500,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
 
     if policy_flag == "all" {
         println!(
-            "{:<20} {:>8} {:>12} {:>11} {:>10} {:>9} {:>11} {:>9}",
+            "{:<20} {:>8} {:>12} {:>11} {:>10} {:>9} {:>11} {:>9} {:>8} {:>11}",
             "policy",
             "steps",
             "tokens/s",
@@ -483,7 +508,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
             "mean wait",
             "preempts",
             "reprefill",
-            "KV hits"
+            "KV hits",
+            "attain",
+            "goodput"
         );
         for kind in PolicyKind::all() {
             let (_, report, clock_hz) = serve_run(&opts, kind)?;
@@ -491,7 +518,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
                 unreachable!("shards <= 1 runs a bare engine");
             };
             println!(
-                "{:<20} {:>8} {:>12.1} {:>11.2} {:>10.2} {:>9} {:>11} {:>9}",
+                "{:<20} {:>8} {:>12.1} {:>11.2} {:>10.2} {:>9} {:>11} {:>9} {:>7.0}% {:>11.1}",
                 report.policy,
                 report.steps.len(),
                 report.tokens_per_second(clock_hz),
@@ -499,7 +526,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
                 report.mean_queue_wait_steps(),
                 report.preemptions,
                 report.total_reprefill_cycles(),
-                report.total_prefix_hit_tokens()
+                report.total_prefix_hit_tokens(),
+                100.0 * report.deadline_attainment(),
+                report.goodput_tokens_per_second(clock_hz)
             );
         }
         return Ok(());
@@ -545,6 +574,19 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         report.total_prefix_hit_tokens(),
         100.0 * report.prefix_hit_rate()
     );
+    if report.requests.iter().any(|r| r.has_deadline()) {
+        println!(
+            "SLO            : {:.0}% deadline attainment, {:.1} good tokens/s ({} good tokens)",
+            100.0 * report.deadline_attainment(),
+            report.goodput_tokens_per_second(clock_hz),
+            report.total_good_tokens()
+        );
+        println!(
+            "TTFT p99       : {} steps (max prefill stall {} cycles/step)",
+            report.ttft_p99_steps(),
+            report.max_prefill_stall_cycles()
+        );
+    }
     println!("V reduction    : {:.2}x", report.prune.v_reduction());
     save_trace(&trace, opts.record.as_deref())?;
     Ok(())
@@ -623,6 +665,14 @@ fn cmd_serve_cluster(
         report.total_prefix_hit_tokens(),
         100.0 * report.prefix_hit_rate()
     );
+    if report.requests().any(|(_, r)| r.has_deadline()) {
+        println!(
+            "SLO            : {:.0}% deadline attainment, {:.1} good tokens/s ({} good tokens)",
+            100.0 * report.deadline_attainment(),
+            report.goodput_tokens_per_second(clock_hz),
+            report.total_good_tokens()
+        );
+    }
     println!(
         "{:>6} {:>9} {:>8} {:>12} {:>11} {:>9}",
         "shard", "requests", "tokens", "busy cycles", "mean TTFT", "KV hits"
@@ -642,6 +692,45 @@ fn cmd_serve_cluster(
     Ok(())
 }
 
+/// `topick trace diff A B`: loads two trace files and localizes the first
+/// diverging event (exit status 1 when the schedules differ, like `diff`).
+fn cmd_trace(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use token_picker::accel::Trace;
+
+    match args.first().map(String::as_str) {
+        Some("diff") => {
+            let (Some(path_a), Some(path_b)) = (args.get(1), args.get(2)) else {
+                return Err("usage: topick trace diff <A> <B>".into());
+            };
+            let a = Trace::load(path_a)?;
+            let b = Trace::load(path_b)?;
+            println!(
+                "A: {path_a} ({} requests, {} events, digest {:#018x})",
+                a.requests.len(),
+                a.events.len(),
+                a.digest
+            );
+            println!(
+                "B: {path_b} ({} requests, {} events, digest {:#018x})",
+                b.requests.len(),
+                b.events.len(),
+                b.digest
+            );
+            match a.diff(&b) {
+                None => {
+                    println!("schedules identical");
+                    Ok(())
+                }
+                Some(report) => {
+                    print!("{report}");
+                    Err("schedules diverge".into())
+                }
+            }
+        }
+        _ => Err("usage: topick trace diff <A> <B>".into()),
+    }
+}
+
 fn usage() {
     println!("topick — Token-Picker (DAC 2024) reproduction driver");
     println!();
@@ -656,12 +745,15 @@ fn usage() {
     println!("           [--model NAME] [--context N]");
     println!("  serve    continuous-batching serving engine");
     println!("           [--requests N] [--batch B] [--threshold T] [--seed S] [--baseline]");
-    println!("           [--policy fifo|priority|sjf|fair|all] [--preemption]");
+    println!("           [--policy fifo|priority|sjf|fair|slo|all] [--preemption]");
     println!("           [--page-size P] [--retention none|<pages>|<fraction>]");
-    println!("           [--prefix-cache] [--prefill-factor F]");
+    println!("           [--prefix-cache] [--prefill-factor F] [--prefill-chunk PAGES]");
+    println!("           [--slo-ttft STEPS] [--slo-itl STEPS]");
     println!("           [--shards N] [--routing rr|least|affinity] [--stealing] [--threads N]");
     println!("           [--scenario NAME [--scenario-seed S]] [--list-scenarios]");
     println!("           [--record PATH | --replay PATH]");
+    println!("  trace    trace-file tooling");
+    println!("           diff <A> <B>   localize the first diverging event of two traces");
 }
 
 fn main() {
@@ -674,6 +766,7 @@ fn main() {
         "accel" => cmd_accel(&flags),
         "traffic" => cmd_traffic(&flags),
         "serve" => cmd_serve(&flags),
+        "trace" => cmd_trace(&args[1..]),
         _ => {
             usage();
             Ok(())

@@ -10,9 +10,10 @@ use std::collections::BTreeSet;
 
 use token_picker::accel::serve::trace::run_recorded;
 use token_picker::accel::{
-    AccelConfig, AccelMode, AdmissionConfig, ClusterEngine, ClusterReport, PolicyKind,
-    PreemptionConfig, RetentionPolicy, RoutingKind, RunReport, ScenarioKind, ServeEvent,
-    ServingConfig, ServingEngine, ServingReport, ServingRequest, TraceMeta, TraceReplay,
+    AccelConfig, AccelMode, AdmissionConfig, ClusterEngine, ClusterEvent, ClusterReport,
+    PolicyKind, PreemptionConfig, RetentionPolicy, RoutingKind, RunReport, ScenarioKind,
+    ServeEvent, ServingConfig, ServingEngine, ServingReport, ServingRequest, TraceMeta,
+    TraceReplay,
 };
 
 fn mixed_workload() -> Vec<ServingRequest> {
@@ -1192,8 +1193,10 @@ fn engine_record_replay_record_is_a_fixed_point_for_every_scenario_and_policy() 
             let (second, report_b) = first
                 .replay()
                 .unwrap_or_else(|e| panic!("{kind}/{policy}: replay failed: {e}"));
+            if let Some(diff) = first.diff(&second) {
+                panic!("{kind}/{policy}: replay diverged from the recording:\n{diff}");
+            }
             assert_eq!(first.digest, second.digest, "{kind}/{policy}: trace digest");
-            assert_eq!(first.events, second.events, "{kind}/{policy}: event stream");
             let (RunReport::Engine(a), RunReport::Engine(b)) = (report_a, report_b) else {
                 panic!("{kind}/{policy}: shards <= 1 must run a bare engine");
             };
@@ -1269,8 +1272,10 @@ fn cluster_record_replay_is_a_fixed_point_across_routing_stealing_and_threads() 
             let (second, report_b) = first
                 .replay()
                 .unwrap_or_else(|e| panic!("{label}: replay: {e}"));
+            if let Some(diff) = first.diff(&second) {
+                panic!("{label}: replay diverged from the recording:\n{diff}");
+            }
             assert_eq!(first.digest, second.digest, "{label}: trace digest");
-            assert_eq!(first.events, second.events, "{label}: event stream");
             let (RunReport::Cluster(a), RunReport::Cluster(b)) = (report_a, report_b) else {
                 panic!("{label}: shards > 1 must run a cluster");
             };
@@ -1316,6 +1321,510 @@ fn agentic_scenario_affinity_beats_round_robin_by_the_pinned_margin() {
         "affinity hit rate {:.3} does not clear round-robin {:.3} by 0.30",
         affinity.prefix_hit_rate(),
         round_robin.prefix_hit_rate()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Chunked prefill + SLO-aware scheduling
+// ---------------------------------------------------------------------------
+
+/// The canonical skewed workload with a chunked-prefill budget layered on
+/// the [`serve_skewed_with_retention`] engine shape.
+fn serve_skewed_chunked(
+    policy: PolicyKind,
+    preemption: bool,
+    retention: RetentionPolicy,
+    chunk_pages: usize,
+) -> ServingReport {
+    use token_picker::accel::serve::workloads::skewed_elephant_mice;
+
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut builder = ServingEngine::builder(accel)
+        .heads(4)
+        .weight_bytes(10_000_000)
+        .max_batch(4)
+        .max_batch_tokens(2200)
+        .seed(7)
+        .policy(policy)
+        .prefill_chunk_pages(chunk_pages);
+    if preemption {
+        builder = builder.enable_preemption().retention(retention);
+    }
+    let mut engine = builder.build();
+    for r in skewed_elephant_mice(4, 12) {
+        engine.enqueue(r).expect("valid request");
+    }
+    engine.run_to_completion(2048).expect("workload completes")
+}
+
+/// Records the long-doc-summarize scenario (the canonical chunked-prefill
+/// workload: 384-816 token prompts, prefill priced at full weight, every
+/// request carrying TTFT/ITL deadlines) through the trace layer, with the
+/// chunk budget, policy, preemption, arrival compression and cluster
+/// topology under test.
+fn long_doc_recorded(
+    docs: u64,
+    policy: PolicyKind,
+    chunk_pages: usize,
+    preemption: bool,
+    zero_arrivals: bool,
+    cluster: Option<(usize, RoutingKind)>,
+) -> (token_picker::accel::Trace, RunReport) {
+    use token_picker::accel::serve::scenario::{LongDocSummarize, Scenario};
+
+    let scenario = LongDocSummarize { docs };
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut cfg = scenario.serving_config(accel);
+    cfg.prefill_chunk_pages = chunk_pages;
+    if preemption {
+        cfg.preemption =
+            PreemptionConfig::enabled().with_retention(RetentionPolicy::Fraction(0.75));
+    }
+    let mut meta = TraceMeta::new(&cfg, policy.name()).for_scenario(scenario.name(), 11);
+    if let Some((shards, routing)) = cluster {
+        meta = meta.for_cluster(shards, routing.name(), false, 1);
+    }
+    let mut requests = scenario.generate(11);
+    if zero_arrivals {
+        for r in &mut requests {
+            *r = r.arriving_at(0);
+        }
+    }
+    run_recorded(&meta, &requests)
+        .unwrap_or_else(|e| panic!("long-doc run (chunk {chunk_pages}) failed: {e}"))
+}
+
+fn engine_report(report: RunReport, label: &str) -> ServingReport {
+    match report {
+        RunReport::Engine(r) => r,
+        RunReport::Cluster(_) => panic!("{label}: expected a bare engine run"),
+    }
+}
+
+#[test]
+fn finite_but_unbinding_chunk_budgets_reproduce_every_golden_schedule() {
+    // The equivalence matrix's first face: on the canonical skewed
+    // workload prefill is unpriced (`prefill_factor` 0), so *no* chunk
+    // budget — generous or absurdly tight — may perturb the schedule.
+    // Every policy × preemption golden must come back bit-identical under
+    // both a never-binding budget and a 1-page budget.
+    for &(policy, preemption, digest) in &GOLDEN_POLICY_DIGESTS {
+        for chunk_pages in [1024, 1] {
+            let report = serve_skewed_chunked(
+                policy,
+                preemption,
+                RetentionPolicy::Fraction(0.75),
+                chunk_pages,
+            );
+            assert_eq!(
+                schedule_digest(&report),
+                digest,
+                "{policy} (preemption: {preemption}, chunk: {chunk_pages} pages) \
+                 diverged from the PR 3 golden schedule"
+            );
+        }
+    }
+}
+
+#[test]
+fn unbinding_chunk_budget_is_event_identical_on_priced_prefill_for_every_policy() {
+    // The matrix's second face, where prefill actually costs cycles: the
+    // long-doc scenario prices prefill at full weight, and its batch
+    // budget is 2048 tokens = 128 pages — so a 128-page chunk budget can
+    // never bind. For every policy, with and without preemption, the
+    // finite-budget run must replay the unlimited run's event stream (and
+    // digest) exactly.
+    for policy in PolicyKind::all() {
+        for preemption in [false, true] {
+            let label = format!("{policy} (preemption: {preemption})");
+            let (unlimited, report_a) = long_doc_recorded(8, policy, 0, preemption, false, None);
+            let (bounded, report_b) = long_doc_recorded(8, policy, 128, preemption, false, None);
+            assert_eq!(
+                unlimited.digest,
+                bounded.digest,
+                "{label}: trace digest moved under an unbinding budget:\n{}",
+                unlimited.diff(&bounded).unwrap_or_default()
+            );
+            assert_eq!(unlimited.events, bounded.events, "{label}: event stream");
+            let a = engine_report(report_a, &label);
+            let b = engine_report(report_b, &label);
+            assert_eq!(
+                schedule_digest(&a),
+                schedule_digest(&b),
+                "{label}: schedule digest"
+            );
+        }
+    }
+}
+
+#[test]
+fn unbinding_chunk_budget_is_schedule_identical_across_every_router() {
+    // The matrix's cluster face: at four shards, each router must produce
+    // the same per-shard schedules whether the budget is unlimited or
+    // finite-but-unbinding.
+    for routing in RoutingKind::all() {
+        let label = format!("cluster/{routing}");
+        let (unlimited, report_a) =
+            long_doc_recorded(8, PolicyKind::Fifo, 0, false, false, Some((4, routing)));
+        let (bounded, report_b) =
+            long_doc_recorded(8, PolicyKind::Fifo, 128, false, false, Some((4, routing)));
+        assert_eq!(
+            unlimited.digest,
+            bounded.digest,
+            "{label}: trace digest moved under an unbinding budget:\n{}",
+            unlimited.diff(&bounded).unwrap_or_default()
+        );
+        let (RunReport::Cluster(a), RunReport::Cluster(b)) = (report_a, report_b) else {
+            panic!("{label}: four shards must run a cluster");
+        };
+        assert_same_schedule(&a, &b, &label);
+    }
+}
+
+#[test]
+fn chunked_prefill_conserves_tokens_and_the_exact_prefill_bill() {
+    // Chunk charges telescope: splitting a prompt across pure-prefill
+    // steps must leave every request's generated-token count *and* its
+    // total prefill bill exactly where the one-lump engine put them — the
+    // budget reshapes when the cycles land, never how many there are.
+    let unchunked = engine_report(
+        long_doc_recorded(8, PolicyKind::Fifo, 0, false, false, None).1,
+        "unchunked",
+    );
+    let chunked = engine_report(
+        long_doc_recorded(8, PolicyKind::Fifo, 8, false, false, None).1,
+        "chunked",
+    );
+    assert_eq!(unchunked.tokens_generated, chunked.tokens_generated);
+    assert_eq!(unchunked.requests.len(), chunked.requests.len());
+    for lump in &unchunked.requests {
+        let split = chunked
+            .requests
+            .iter()
+            .find(|r| r.id == lump.id)
+            .expect("request finished under chunking");
+        assert_eq!(
+            split.generated, lump.generated,
+            "request {}: tokens",
+            lump.id
+        );
+        assert_eq!(
+            split.prefill_cycles, lump.prefill_cycles,
+            "request {}: chunk charges must telescope to the lump prefill bill",
+            lump.id
+        );
+        assert_eq!(
+            split.attention_cycles, lump.attention_cycles,
+            "request {}: decode attention is untouched by chunking",
+            lump.id
+        );
+    }
+    // Chunking genuinely spread the work: more, smaller steps.
+    assert!(chunked.steps.len() > unchunked.steps.len());
+}
+
+#[test]
+fn chunked_prefill_cuts_the_max_decode_stall_at_least_3x_at_equal_tokens() {
+    // The acceptance bar: on long-doc-summarize an 816-token prompt lands
+    // a 712-cycle prefill lump into whatever step admits it, stalling
+    // every co-resident decode. An 8-page (128-token) budget caps the
+    // worst per-step prefill charge at 144 cycles (measured at seed 11;
+    // pinned at the required 3x, well under the observed 4.9x) without
+    // changing a single generated token.
+    let unchunked = engine_report(
+        long_doc_recorded(8, PolicyKind::Fifo, 0, false, false, None).1,
+        "unchunked",
+    );
+    let chunked = engine_report(
+        long_doc_recorded(8, PolicyKind::Fifo, 8, false, false, None).1,
+        "chunked",
+    );
+    assert_eq!(unchunked.tokens_generated, chunked.tokens_generated);
+    let (lump, capped) = (
+        unchunked.max_prefill_stall_cycles(),
+        chunked.max_prefill_stall_cycles(),
+    );
+    assert!(capped > 0, "chunked run charged no prefill at all");
+    assert!(
+        lump >= 3 * capped,
+        "max decode-step prefill stall must drop >= 3x: {lump} unchunked vs {capped} chunked"
+    );
+}
+
+#[test]
+fn prefill_chunk_events_walk_a_monotone_frontier_to_the_prompt_boundary() {
+    use std::collections::HashMap;
+    use token_picker::accel::serve::scenario::{LongDocSummarize, Scenario};
+
+    // Every chunk event advances its request's frontier strictly, the
+    // frontier and remainder always tile the prompt exactly, and no chunk
+    // is ever built after the request's first token (the step completing
+    // the prompt emits TokenGenerated instead). Unlimited budgets emit no
+    // chunk events at all.
+    let prompts: HashMap<u64, usize> = LongDocSummarize { docs: 8 }
+        .generate(11)
+        .into_iter()
+        .map(|r| (r.id, r.prompt_len))
+        .collect();
+    let (trace, _) = long_doc_recorded(8, PolicyKind::Fifo, 4, false, false, None);
+    let mut frontier: HashMap<u64, usize> = HashMap::new();
+    let mut first_token: HashMap<u64, usize> = HashMap::new();
+    let mut chunk_events = 0usize;
+    for event in &trace.events {
+        let ClusterEvent::Shard { event, .. } = *event else {
+            continue;
+        };
+        match event {
+            ServeEvent::PrefillChunk {
+                id,
+                step,
+                built_tokens,
+                remaining_tokens,
+            } => {
+                chunk_events += 1;
+                assert!(
+                    !first_token.contains_key(&id),
+                    "request {id}: chunk built at step {step} after its first token"
+                );
+                let prev = frontier.insert(id, built_tokens).unwrap_or(0);
+                assert!(
+                    built_tokens > prev,
+                    "request {id}: frontier moved {prev} -> {built_tokens}"
+                );
+                assert_eq!(
+                    built_tokens + remaining_tokens,
+                    prompts[&id],
+                    "request {id}: frontier + remainder must tile the prompt"
+                );
+                assert!(remaining_tokens > 0, "a completing chunk decodes instead");
+            }
+            ServeEvent::TokenGenerated { id, step, .. } => {
+                first_token.entry(id).or_insert(step);
+            }
+            _ => {}
+        }
+    }
+    assert!(chunk_events > 0, "a 4-page budget must split these prompts");
+    // Unlimited budget: whole-prompt prefill, zero chunk events.
+    let (unlimited, _) = long_doc_recorded(8, PolicyKind::Fifo, 0, false, false, None);
+    assert!(
+        !unlimited.events.iter().any(|e| matches!(
+            e,
+            ClusterEvent::Shard {
+                event: ServeEvent::PrefillChunk { .. },
+                ..
+            }
+        )),
+        "unlimited chunking must never emit PrefillChunk"
+    );
+}
+
+#[test]
+fn ttft_is_judged_at_the_first_token_not_at_admission() {
+    // One 256-token prompt with a 3-step TTFT deadline, admitted at step 0
+    // either way. Unchunked, prefill and the first token land in step 0:
+    // TTFT 1, attained. Under a 2-page (32-token) budget the first token
+    // waits for 7 pure-prefill steps: TTFT 8 blows the deadline even
+    // though admission was just as instant — and every token the request
+    // goes on to generate is excluded from goodput.
+    let run = |chunk_pages: usize| {
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+        let mut engine = ServingEngine::builder(accel)
+            .heads(4)
+            .weight_bytes(10_000_000)
+            .max_batch(2)
+            .max_batch_tokens(2048)
+            .page_size(16)
+            .prefill_factor(1.0)
+            .prefill_chunk_pages(chunk_pages)
+            .seed(7)
+            .build();
+        engine
+            .enqueue(ServingRequest::new(0, 256, 4).with_ttft_deadline(3))
+            .expect("valid request");
+        engine.run_to_completion(256).expect("completes")
+    };
+
+    let instant = run(0);
+    let delayed = run(2);
+    for (label, report) in [("unchunked", &instant), ("chunked", &delayed)] {
+        let r = &report.requests[0];
+        assert_eq!(r.admitted_at, Some(0), "{label}: admission was instant");
+        assert_eq!(r.generated, 4, "{label}: the deadline never stops decoding");
+    }
+
+    let on_time = &instant.requests[0];
+    assert!(on_time.slo_attained());
+    assert_eq!(on_time.first_token_at, Some(0));
+    assert_eq!(on_time.good_tokens, on_time.generated);
+    assert!((instant.deadline_attainment() - 1.0).abs() < f64::EPSILON);
+
+    let late = &delayed.requests[0];
+    assert!(late.slo_violated, "TTFT must be judged at the first token");
+    assert!(late.first_token_at.unwrap() + 1 > 3, "first token was late");
+    assert_eq!(
+        late.good_tokens, 0,
+        "a missed TTFT means even the first token was already late"
+    );
+    assert_eq!(delayed.deadline_attainment(), 0.0);
+    assert_eq!(delayed.total_good_tokens(), 0);
+    assert!(delayed.goodput_tokens_per_second(500e6) == 0.0);
+}
+
+#[test]
+fn deadline_free_requests_trivially_attain_and_count_every_token_as_good() {
+    // The mixed workload predates SLOs entirely: with no deadlines
+    // declared, attainment is vacuously perfect and goodput equals
+    // throughput.
+    let report = serve(AccelMode::OutOfOrder, 1e-3);
+    assert!(report.requests.iter().all(|r| !r.has_deadline()));
+    assert!((report.deadline_attainment() - 1.0).abs() < f64::EPSILON);
+    assert_eq!(report.total_good_tokens(), report.tokens_generated);
+    for r in &report.requests {
+        assert!(r.slo_attained());
+        assert_eq!(r.good_tokens, r.generated);
+    }
+}
+
+#[test]
+fn a_blown_inter_token_deadline_stops_goodput_but_not_generation() {
+    // Request 0 decodes with a 2-step inter-token deadline; a
+    // higher-priority arrival preempts it from the single slot, and the
+    // re-admission gap blows the ITL budget. Its early tokens stay good,
+    // everything after the gap does not, and generation still runs to the
+    // target.
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut engine = ServingEngine::builder(accel)
+        .heads(4)
+        .weight_bytes(10_000_000)
+        .max_batch(1)
+        .max_batch_tokens(2048)
+        .seed(7)
+        .policy(PolicyKind::PriorityAging)
+        .enable_preemption()
+        .build();
+    engine
+        .enqueue(
+            ServingRequest::new(0, 64, 8)
+                .with_priority(0)
+                .with_itl_deadline(2),
+        )
+        .expect("valid request");
+    engine
+        .enqueue(
+            ServingRequest::new(1, 64, 2)
+                .with_priority(5)
+                .arriving_at(2),
+        )
+        .expect("valid request");
+    let report = engine.run_to_completion(256).expect("completes");
+    assert!(report.preemptions > 0, "the arrival must evict the decoder");
+
+    let victim = report
+        .requests
+        .iter()
+        .find(|r| r.id == 0)
+        .expect("finished");
+    assert_eq!(victim.generated, 8, "a blown SLO never stops decoding");
+    assert!(
+        victim.slo_violated,
+        "the re-admission gap blew the ITL budget"
+    );
+    assert!(
+        victim.good_tokens >= 1 && victim.good_tokens < victim.generated,
+        "pre-gap tokens stay good, post-gap tokens do not: {} of {}",
+        victim.good_tokens,
+        victim.generated
+    );
+
+    let usurper = report
+        .requests
+        .iter()
+        .find(|r| r.id == 1)
+        .expect("finished");
+    assert!(
+        usurper.slo_attained(),
+        "the deadline-free usurper can't violate"
+    );
+    assert!(report.deadline_attainment() < 1.0);
+}
+
+#[test]
+fn slo_aware_preempts_on_slack_where_deadline_blind_policies_sit_still() {
+    // Sixteen long documents arriving simultaneously into three slots:
+    // the SLO-aware policy sees negative-slack arrivals and evicts the
+    // slackest residents, while FIFO and SJF (preemption *enabled* but
+    // deadline-blind) never find a victim worth the re-prefill.
+    let run = |policy: PolicyKind| {
+        engine_report(
+            long_doc_recorded(16, policy, 0, true, true, None).1,
+            policy.name(),
+        )
+    };
+    let fifo = run(PolicyKind::Fifo);
+    let sjf = run(PolicyKind::ShortestJobFirst);
+    let slo = run(PolicyKind::SloAware);
+    assert_eq!(fifo.preemptions, 0);
+    assert_eq!(sjf.preemptions, 0);
+    assert!(
+        slo.preemptions > 0,
+        "SLO-aware scheduling must preempt on slack under deadline pressure"
+    );
+    // Same tokens delivered regardless of who got evicted along the way.
+    assert_eq!(slo.tokens_generated, fifo.tokens_generated);
+}
+
+#[test]
+fn slo_aware_beats_sjf_on_ttft_p99_under_contention_at_equal_tokens() {
+    // Sixteen simultaneous documents through a 16-page chunk budget: SJF
+    // orders by remaining work, so the longest documents queue behind
+    // every shorter one and the TTFT tail stretches; deadline-ordered
+    // admission bounds it. Equal tokens either way — the policies move
+    // latency, not work (56 tokens, p99 39 vs 40 steps at seed 11).
+    let sjf = engine_report(
+        long_doc_recorded(16, PolicyKind::ShortestJobFirst, 16, false, true, None).1,
+        "sjf",
+    );
+    let slo = engine_report(
+        long_doc_recorded(16, PolicyKind::SloAware, 16, false, true, None).1,
+        "slo",
+    );
+    assert_eq!(sjf.tokens_generated, slo.tokens_generated, "equal work");
+    assert!(
+        slo.ttft_p99_steps() < sjf.ttft_p99_steps(),
+        "SLO-aware TTFT p99 {} must beat SJF {}",
+        slo.ttft_p99_steps(),
+        sjf.ttft_p99_steps()
+    );
+}
+
+#[test]
+fn trace_diff_pinpoints_the_first_divergence_between_recorded_runs() {
+    // Identical runs diff to None; runs that genuinely diverge (an 8-page
+    // budget against unlimited) are localized to their first differing
+    // event with `<`/`>` markers — the same report `topick trace diff`
+    // prints and replay-digest failures embed.
+    let (a, _) = long_doc_recorded(8, PolicyKind::Fifo, 0, false, false, None);
+    let (same, _) = long_doc_recorded(8, PolicyKind::Fifo, 0, false, false, None);
+    assert_eq!(a.diff(&same), None, "identical runs must not diff");
+
+    let (b, _) = long_doc_recorded(8, PolicyKind::Fifo, 8, false, false, None);
+    let report = a.diff(&b).expect("an 8-page budget changes the schedule");
+    assert!(
+        report.contains("diverge at event"),
+        "diff must localize the divergence:\n{report}"
+    );
+    assert!(
+        report.contains("< ["),
+        "diff must print the left event:\n{report}"
+    );
+    assert!(
+        report.contains("> ["),
+        "diff must print the right event:\n{report}"
+    );
+    assert!(
+        report.contains("note: trace metas differ"),
+        "the chunk budget lives in the meta, so the diff must flag it:\n{report}"
     );
 }
 
