@@ -80,6 +80,21 @@ pub(crate) struct ActiveRequest {
     /// frontier (tokens of prompt KV that exist) is
     /// `context - prefill_tokens`.
     pub(crate) prefill_tokens: usize,
+    /// KV tokens whose contents survive in the modeled host tier: a
+    /// contiguous region directly above the retained prefix, swapped out
+    /// at eviction (or retained-page reclaim) when
+    /// [`host_pages`](super::ServingConfig::host_pages) provisions room.
+    /// The next rebuild copies them back at
+    /// [`swap_cost_factor`](super::ServingConfig::swap_cost_factor) of the
+    /// prefill price instead of recomputing them.
+    pub(crate) swapped_tokens: usize,
+    /// KV tokens whose pages arrived (or are arriving) from a sibling
+    /// shard: a migrated running request's whole built context, or a
+    /// prefix pulled at enqueue. The first decode step charges the
+    /// modeled transfer at
+    /// [`ship_cost_factor`](super::ServingConfig::ship_cost_factor) and
+    /// the tokens leave the rebuild debt.
+    pub(crate) shipped_tokens: usize,
     /// Step of the most recent generated token, if any — the baseline the
     /// inter-token SLO races against.
     pub(crate) last_token_at: Option<usize>,
@@ -126,11 +141,12 @@ pub(crate) struct BatchState {
 }
 
 impl BatchState {
-    pub(crate) fn new(limits: AdmissionConfig) -> Self {
+    pub(crate) fn new(limits: AdmissionConfig, host_pages: usize) -> Self {
         Self {
             running: Vec::new(),
             pager: KvPager::new(limits.page_size, limits.max_batch_tokens)
-                .with_prefix_cache(limits.prefix_cache),
+                .with_prefix_cache(limits.prefix_cache)
+                .with_host_tier(host_pages),
             limits,
         }
     }
@@ -194,6 +210,23 @@ impl BatchState {
             // shrinks the outstanding debt token for token.
             if r.needs_reprefill {
                 r.dropped_tokens = r.dropped_tokens.saturating_sub(cached_tokens);
+                if r.swapped_tokens > 0 {
+                    // The adopted pages sit at the bottom of the dropped
+                    // region — exactly where the host-tier holding starts —
+                    // so adoption supersedes that much of the holding. The
+                    // surviving holding still starts right above the (now
+                    // longer) valid prefix, keeping it contiguous; the
+                    // freed host pages return to capacity immediately.
+                    let overlap = r.swapped_tokens.min(cached_tokens);
+                    r.swapped_tokens -= overlap;
+                    let need = self.pager.pages_needed(r.swapped_tokens);
+                    if self.pager.host_pages_of(r.arrival_seq) > need {
+                        self.pager.swap_in(r.arrival_seq);
+                        // Guaranteed grant: the discard just freed more
+                        // capacity than this asks back.
+                        self.pager.swap_out(r.arrival_seq, need);
+                    }
+                }
             } else if r.needs_prefill {
                 r.prefill_tokens = r.prefill_tokens.saturating_sub(cached_tokens);
             }
@@ -239,6 +272,8 @@ impl BatchState {
         for r in self.running.drain(..) {
             if r.stats.generated >= r.req.max_new_tokens {
                 self.pager.release(r.arrival_seq);
+                // A finished request can no longer copy anything back.
+                self.pager.host_discard(r.arrival_seq);
                 done.push(r);
             } else {
                 kept.push(r);

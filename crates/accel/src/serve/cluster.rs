@@ -17,9 +17,25 @@
 //!    recovers the sharing a random split would destroy.
 //! 2. **Work stealing** (optional): before each cluster step, queued
 //!    requests that have *never run* migrate from the most-loaded shard to
-//!    idle shards, with deterministic tie-breaking. Running requests are
-//!    never migrated — their KV pages live in one shard's pager and moving
-//!    them would mean a cross-shard KV transfer the model does not price.
+//!    idle shards, with deterministic tie-breaking. With cross-shard page
+//!    shipping priced
+//!    ([`ship_cost_factor`](ServingConfig::ship_cost_factor) `> 0`),
+//!    stealing may also migrate a *running* request to a fully idle shard
+//!    when no queued work is movable: the donor releases the request's
+//!    pages and its whole built context travels as shipped KV, re-priced
+//!    on the receiver at the transfer cost instead of a re-prefill
+//!    ([`ClusterEvent::Shipped`]). With shipping unpriced (the default),
+//!    running requests never move and the schedule is unchanged.
+//!
+//! Shipping also serves routing: when [`PrefixAffinity`](super::router::PrefixAffinity)
+//! (or any router) lands a request on a shard whose cache misses its
+//! prompt prefix, the front door pulls the shared full-prefix pages from
+//! the sibling shard holding the longest resident run, at the same modeled
+//! transfer cost — see [`enqueue`](ClusterEngine::enqueue).
+//!
+//! Every shipping decision happens on the coordinator thread between step
+//! barriers, so threaded schedules stay digest-identical to sequential
+//! ones.
 //!
 //! Shards step in **lockstep**: one cluster step steps every shard once
 //! (idle shards record a zero-cycle tick so their clocks stay aligned),
@@ -74,6 +90,24 @@ pub enum ClusterEvent {
         /// Cluster step of the migration.
         step: usize,
     },
+    /// KV pages moved between shards at the modeled transfer cost
+    /// ([`ship_cost_factor`](ServingConfig::ship_cost_factor)): a running
+    /// request migrated with its whole built context, or shared
+    /// full-prefix pages pulled at enqueue from the sibling whose cache
+    /// holds them. The request pays the transfer on its first decode step
+    /// on the receiving shard.
+    Shipped {
+        /// The request whose KV moved (or is being pulled for).
+        id: u64,
+        /// The shard the pages left.
+        from: usize,
+        /// The shard they landed on.
+        to: usize,
+        /// Cluster step of the transfer.
+        step: usize,
+        /// KV tokens' worth of pages shipped.
+        tokens: usize,
+    },
 }
 
 /// What one cluster step did, across all shards.
@@ -101,6 +135,10 @@ pub struct ClusterReport {
     pub stealing: bool,
     /// Queued-request migrations work stealing performed.
     pub steals: usize,
+    /// Running-request migrations performed over priced page shipping
+    /// (0 whenever [`ship_cost_factor`](ServingConfig::ship_cost_factor)
+    /// leaves shipping unpriced).
+    pub ships: usize,
     /// Cluster steps executed (shards run in lockstep, so this is also
     /// every shard's step count).
     pub cluster_steps: usize,
@@ -220,20 +258,73 @@ impl ClusterReport {
     }
 
     /// Cluster-wide share of prompt-prefill demand the per-shard prefix
-    /// caches served, in `[0, 1]` — the same normalization as
-    /// [`ServingReport::prefix_hit_rate`], summed over shards. Per-shard
-    /// caches are independent, so this is the number prefix-affinity
-    /// routing exists to defend.
+    /// caches served, in `[0, 1]`. Per-shard caches are independent, so
+    /// this is the number prefix-affinity routing exists to defend.
+    ///
+    /// Both sides of the ratio are counted *at admission* — every
+    /// admission (first or after a preemption) adds the request's prompt
+    /// to the demand and whatever the cache served to the hits — so the
+    /// rate is well-formed on truncated runs too. The previous
+    /// normalization derived both sides from *finished* requests only
+    /// (demand as `prompt × (preemptions + 1)`), which reported 0.0 on
+    /// any snapshot taken before the first completion no matter how many
+    /// hits had landed, ignored all in-flight demand, and counted
+    /// rejected requests (which never prefill) as demand. On a drained
+    /// run without rejections the two normalizations agree.
     #[must_use]
     pub fn prefix_hit_rate(&self) -> f64 {
-        let demanded: usize = self
-            .requests()
-            .map(|(_, r)| r.prompt_len * (r.preemptions as usize + 1))
-            .sum();
+        let demanded: usize = self.shards.iter().map(|s| s.admitted_prompt_tokens).sum();
         if demanded == 0 {
             return 0.0;
         }
-        self.total_prefix_hit_tokens() as f64 / demanded as f64
+        let hits: usize = self.shards.iter().map(|s| s.admitted_hit_tokens).sum();
+        hits as f64 / demanded as f64
+    }
+
+    /// The p99 time-to-first-token across the whole cluster, in steps:
+    /// every shard's TTFT samples pooled into one population before the
+    /// nearest-rank percentile (0 when nothing produced a token).
+    /// Averaging or maxing per-shard p99s skews the tail — a shard with
+    /// three requests contributes a "p99" that is really its max — so the
+    /// cluster number must come from the pooled samples.
+    #[must_use]
+    pub fn ttft_p99_steps(&self) -> usize {
+        let mut ttfts: Vec<usize> = self
+            .requests()
+            .filter_map(|(_, r)| Some(r.first_token_at? - r.enqueued_at + 1))
+            .collect();
+        if ttfts.is_empty() {
+            return 0;
+        }
+        ttfts.sort_unstable();
+        let rank = (ttfts.len() as f64 * 0.99).ceil() as usize;
+        ttfts[rank.clamp(1, ttfts.len()) - 1]
+    }
+
+    /// Total host-tier copy-back cycles charged across all shards.
+    #[must_use]
+    pub fn total_swap_cycles(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(ServingReport::total_swap_cycles)
+            .sum()
+    }
+
+    /// Total cross-shard transfer cycles charged across all shards.
+    #[must_use]
+    pub fn total_ship_cycles(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(ServingReport::total_ship_cycles)
+            .sum()
+    }
+
+    /// Queued requests rejected for an already-blown TTFT deadline,
+    /// across all shards (see
+    /// [`reject_expired_ttft`](ServingConfig::reject_expired_ttft)).
+    #[must_use]
+    pub fn rejections(&self) -> usize {
+        self.shards.iter().map(|s| s.rejections).sum()
     }
 
     /// Load imbalance across shards: the busiest shard's total cycles over
@@ -368,6 +459,39 @@ impl ClusterEngineBuilder {
         self
     }
 
+    /// Sets each shard's host-tier capacity in KV pages (see
+    /// [`ServingConfig::host_pages`]; `0` disables the tier).
+    #[must_use]
+    pub fn host_pages(mut self, pages: usize) -> Self {
+        self.cfg.host_pages = pages;
+        self
+    }
+
+    /// Sets the host-tier copy-back charge factor (see
+    /// [`ServingConfig::swap_cost_factor`]).
+    #[must_use]
+    pub fn swap_cost_factor(mut self, factor: f64) -> Self {
+        self.cfg.swap_cost_factor = factor;
+        self
+    }
+
+    /// Sets the cross-shard page-shipping charge factor (see
+    /// [`ServingConfig::ship_cost_factor`]; `0.0` disables shipping).
+    #[must_use]
+    pub fn ship_cost_factor(mut self, factor: f64) -> Self {
+        self.cfg.ship_cost_factor = factor;
+        self
+    }
+
+    /// Enables admission-time rejection of requests whose TTFT deadline
+    /// already elapsed in the queue (see
+    /// [`ServingConfig::reject_expired_ttft`]).
+    #[must_use]
+    pub fn reject_expired_ttft(mut self, reject: bool) -> Self {
+        self.cfg.reject_expired_ttft = reject;
+        self
+    }
+
     /// Sets the attention head count per request per step.
     #[must_use]
     pub fn heads(mut self, heads: usize) -> Self {
@@ -484,6 +608,7 @@ impl ClusterEngineBuilder {
             record_events: self.record_events,
             step_index: 0,
             steals: 0,
+            ships: 0,
             total_cycles: 0,
             wall_nanos: 0,
             steps: Vec::new(),
@@ -506,6 +631,7 @@ pub struct ClusterEngine {
     record_events: bool,
     step_index: usize,
     steals: usize,
+    ships: usize,
     total_cycles: u64,
     wall_nanos: u64,
     steps: Vec<ClusterStepReport>,
@@ -583,6 +709,20 @@ impl ClusterEngine {
         self.steals
     }
 
+    /// Running-request migrations shipped between shards so far.
+    #[must_use]
+    pub fn ships(&self) -> usize {
+        self.ships
+    }
+
+    /// Whether cross-shard page shipping is active: a priced transfer
+    /// (`ship_cost_factor > 0`) and more than one shard. Prefix pulling
+    /// additionally needs a prefix cache to land pages in; running-request
+    /// migration additionally needs stealing enabled.
+    fn shipping_enabled(&self) -> bool {
+        self.shards.len() > 1 && self.shards[0].config().ship_cost_factor > 0.0
+    }
+
     /// Whether every shard has drained (nothing pending or running).
     #[must_use]
     pub fn is_idle(&self) -> bool {
@@ -649,7 +789,8 @@ impl ClusterEngine {
         // not advance routing state (round-robin's rotation, an affinity
         // binding) for work that never enters the cluster.
         self.shards[0].validate_request(&req)?;
-        let keys = if self.router.wants_page_keys() {
+        let wants_pull = self.shipping_enabled() && self.shards[0].config().admission.prefix_cache;
+        let keys = if self.router.wants_page_keys() || wants_pull {
             req.page_keys(self.shards[0].config().admission.page_size)
         } else {
             Vec::new()
@@ -658,9 +799,98 @@ impl ClusterEngine {
         let shard = self.router.route(&req, &keys, &views).min(
             self.shards.len() - 1, // a routing policy cannot route off the cluster
         );
-        self.shards[shard].enqueue(req)?;
+        let pulled = if wants_pull {
+            self.pull_prefix(shard, &keys)
+        } else {
+            None
+        };
+        if let Some((donor, shipped_tokens)) = pulled {
+            let id = req.id;
+            self.shards[shard].enqueue_with_shipped(req, shipped_tokens)?;
+            if self.record_events {
+                self.events.push(ClusterEvent::Shipped {
+                    id,
+                    from: donor,
+                    to: shard,
+                    step: self.step_index,
+                    tokens: shipped_tokens,
+                });
+            }
+        } else {
+            self.shards[shard].enqueue(req)?;
+        }
         self.sweep_shard_events();
         Ok(shard)
+    }
+
+    /// Pulls the longest resident run of `keys` a sibling shard holds
+    /// beyond what the landing shard already has, moving/copying the pages
+    /// into the landing shard's prefix cache so admission can adopt them.
+    /// Returns the donor and the tokens' worth of pages that actually
+    /// landed (`None` on a local hit at least as long, no sibling hit, or
+    /// a full free list). Deterministic: the donor is the sibling with the
+    /// longest run, lowest shard id on ties.
+    fn pull_prefix(&mut self, to: usize, keys: &[u64]) -> Option<(usize, usize)> {
+        if keys.is_empty() {
+            return None;
+        }
+        // `adoptable` with an unused owner counts the leading resident run
+        // of the chain without touching any allocation state.
+        const PROBE: u64 = u64::MAX;
+        let own = self.shards[to].kv_pager().adoptable(PROBE, keys).0;
+        let (donor, donor_run) = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| s != to)
+            .map(|(s, e)| (s, e.kv_pager().adoptable(PROBE, keys).0))
+            .filter(|&(_, run)| run > own)
+            .max_by_key(|&(s, run)| (run, std::cmp::Reverse(s)))?;
+        debug_assert!(donor_run > own);
+        // Only the suffix beyond the local run travels: re-shipping pages
+        // the receiver already holds would evict the donor's cached copies
+        // for nothing.
+        let shipped = self.shards[donor]
+            .kv_pager_mut()
+            .export_prefix(&keys[own..]);
+        let landed = self.shards[to].kv_pager_mut().import_prefix(&shipped);
+        if landed == 0 {
+            return None;
+        }
+        Some((donor, landed * self.shards[to].config().admission.page_size))
+    }
+
+    /// The between-barriers face of prefix pulling: a request enqueued
+    /// before any sibling had *built* its prefix finds the pages only
+    /// once they publish after the builder's prefill step, so every
+    /// queued, never-admitted request re-probes the cluster each step
+    /// until its prefix is local (then the local-run check makes further
+    /// probes no-ops) or it admits. Deterministic — shards in index
+    /// order, requests in arrival order, donor choice as
+    /// [`pull_prefix`](Self::pull_prefix) — and it runs on the
+    /// coordinator before the shard-step fan-out, so threaded schedules
+    /// see identical pulls.
+    fn pull_pending_prefixes(&mut self) {
+        if !self.shards[0].config().admission.prefix_cache {
+            return;
+        }
+        for to in 0..self.shards.len() {
+            for (id, seq, keys) in self.shards[to].pull_candidates() {
+                let Some((donor, tokens)) = self.pull_prefix(to, &keys) else {
+                    continue;
+                };
+                self.shards[to].credit_shipped(seq, tokens);
+                if self.record_events {
+                    self.events.push(ClusterEvent::Shipped {
+                        id,
+                        from: donor,
+                        to,
+                        step: self.step_index,
+                        tokens,
+                    });
+                }
+            }
+        }
     }
 
     /// Migrates queued, never-admitted requests from the most-loaded shard
@@ -723,6 +953,66 @@ impl ClusterEngine {
                 });
             }
         }
+        if self.shipping_enabled() {
+            self.ship_running(&mut received);
+        }
+    }
+
+    /// The priced escalation of work stealing: when a shard is *fully*
+    /// idle (nothing queued, nothing running) and no donor has queued work
+    /// to move cheaply, migrate the youngest fully-built *running* request
+    /// from the most-loaded shard that can spare one. The donor frees its
+    /// pages, the whole built context travels as shipped KV, and the
+    /// receiver re-prices it at
+    /// [`ship_cost_factor`](ServingConfig::ship_cost_factor) instead of a
+    /// re-prefill. One migration per thief per step, each shard touched at
+    /// most once — same determinism discipline as queued stealing.
+    fn ship_running(&mut self, received: &mut [bool]) {
+        loop {
+            let views = self.shard_views();
+            let Some(thief) = views
+                .iter()
+                .filter(|v| v.pending == 0 && v.running == 0 && !received[v.shard_id])
+                .map(|v| v.shard_id)
+                .min()
+            else {
+                break;
+            };
+            // A donor keeps decoding after the migration (≥ 2 running) and
+            // has no queued request the cheap path could have moved.
+            let Some(donor) = views
+                .iter()
+                .filter(|v| {
+                    v.shard_id != thief
+                        && !received[v.shard_id]
+                        && v.running >= 2
+                        && !self.shards[v.shard_id].has_stealable_queued()
+                })
+                .max_by_key(|v| (v.load(), std::cmp::Reverse(v.shard_id)))
+                .map(|v| v.shard_id)
+            else {
+                break;
+            };
+            let Some(migrant) = self.shards[donor].ship_out_youngest_running() else {
+                break;
+            };
+            received[thief] = true;
+            // Donating a running request costs the donor a transfer; it
+            // sits out the rest of this step's migrations.
+            received[donor] = true;
+            let (id, tokens) = (migrant.req.id, migrant.shipped_tokens);
+            self.shards[thief].receive_shipped(migrant);
+            self.ships += 1;
+            if self.record_events {
+                self.events.push(ClusterEvent::Shipped {
+                    id,
+                    from: donor,
+                    to: thief,
+                    step: self.step_index,
+                    tokens,
+                });
+            }
+        }
     }
 
     /// Runs one cluster step: steals (when enabled), then steps every
@@ -746,6 +1036,9 @@ impl ClusterEngine {
         let start = std::time::Instant::now();
         if self.stealing && self.shards.len() > 1 {
             self.steal();
+        }
+        if self.shipping_enabled() && self.shards.len() > 1 {
+            self.pull_pending_prefixes();
         }
         let (critical_cycles, batch) = if self.threads > 1 && self.shards.len() > 1 {
             // Coordinator fans the shards out in contiguous slices, one
@@ -825,6 +1118,7 @@ impl ClusterEngine {
                 .map_or_else(String::new, |s| s.policy_name().to_string()),
             stealing: self.stealing,
             steals: self.steals,
+            ships: self.ships,
             cluster_steps: self.steps.len(),
             total_cycles: self.total_cycles,
             threads: self.threads,
@@ -1053,5 +1347,169 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ServeError::InvalidRequest(_)));
         assert!(cluster.is_idle());
+    }
+
+    /// A finished-request record with the given TTFT in steps and every
+    /// other field inert, for synthesizing reports with known samples.
+    fn request_with_ttft(id: u64, ttft_steps: usize) -> crate::serve::stats::RequestStats {
+        crate::serve::stats::RequestStats {
+            id,
+            prompt_len: 16,
+            generated: 1,
+            priority: 0,
+            client_id: 0,
+            enqueued_at: 0,
+            admitted_at: Some(0),
+            first_token_at: Some(ttft_steps - 1),
+            finished_at: Some(ttft_steps - 1),
+            preemptions: 0,
+            attention_cycles: 0,
+            prefill_cycles: 0,
+            reprefill_cycles: 0,
+            prefix_hit_tokens: 0,
+            retained_tokens: 0,
+            reprefilled_tokens: 0,
+            swapped_tokens: 0,
+            swap_cycles: 0,
+            shipped_tokens: 0,
+            ship_cycles: 0,
+            ttft_deadline: None,
+            itl_deadline: None,
+            good_tokens: 1,
+            slo_violated: false,
+        }
+    }
+
+    fn shard_with_ttfts(ttfts: &[usize]) -> ServingReport {
+        ServingReport {
+            policy: "fifo".to_string(),
+            steps: Vec::new(),
+            requests: ttfts
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| request_with_ttft(i as u64, t))
+                .collect(),
+            total_cycles: 0,
+            tokens_generated: ttfts.len(),
+            preemptions: 0,
+            admitted_prompt_tokens: 0,
+            admitted_hit_tokens: 0,
+            rejections: 0,
+            prune: topick_core::PruneStats::new(0, 0),
+        }
+    }
+
+    #[test]
+    fn cluster_ttft_p99_pools_samples_instead_of_aggregating_shard_p99s() {
+        // 98 one-step TTFTs on shard 0, {500, 1000} on shard 1: the pooled
+        // population is 100 samples, nearest-rank p99 = ceil(100 × 0.99)
+        // = rank 99 = the 99th sorted sample = 500. Any per-shard
+        // aggregation gets this wrong: shard 0's own p99 is 98, shard 1's
+        // is 1000, so max reports 1000 and the mean 549.
+        let report = ClusterReport {
+            routing: "round-robin".to_string(),
+            policy: "fifo".to_string(),
+            stealing: false,
+            steals: 0,
+            ships: 0,
+            cluster_steps: 0,
+            total_cycles: 0,
+            threads: 1,
+            wall_seconds: 0.0,
+            shards: vec![
+                shard_with_ttfts(&(1..=98).collect::<Vec<_>>()),
+                shard_with_ttfts(&[500, 1000]),
+            ],
+        };
+        assert_eq!(report.shards[0].ttft_p99_steps(), 98);
+        assert_eq!(report.shards[1].ttft_p99_steps(), 1000);
+        assert_eq!(report.ttft_p99_steps(), 500);
+
+        // Degenerate populations: a single sample is its own p99; no
+        // samples at all report 0.
+        let one = ClusterReport {
+            shards: vec![shard_with_ttfts(&[7]), shard_with_ttfts(&[])],
+            ..report
+        };
+        assert_eq!(one.ttft_p99_steps(), 7);
+        let none = ClusterReport {
+            shards: vec![shard_with_ttfts(&[])],
+            ..one
+        };
+        assert_eq!(none.ttft_p99_steps(), 0);
+    }
+
+    #[test]
+    fn priced_shipping_migrates_a_running_request_to_an_idle_shard() {
+        // Two long requests run on shard 0 while shard 1 burns down one
+        // short one. When shard 1 drains, shard 0 has *nothing queued* —
+        // the shape queue-only stealing cannot fix. With shipping priced,
+        // the coordinator must move one admitted request across, charge
+        // ship cycles for the move, and still deliver every token.
+        #[derive(Debug)]
+        struct ByIdRange;
+        impl RoutingPolicy for ByIdRange {
+            fn name(&self) -> &'static str {
+                "by-id-range"
+            }
+            fn route(&mut self, r: &ServingRequest, _k: &[u64], _s: &[ShardView]) -> usize {
+                usize::from(r.id >= 2)
+            }
+        }
+        let run = |ship: f64| {
+            let mut cluster = small_builder()
+                .shards(2)
+                .routing_boxed(Box::new(ByIdRange))
+                .stealing(true)
+                .ship_cost_factor(ship)
+                .build();
+            cluster.enqueue(ServingRequest::new(0, 64, 20)).unwrap();
+            cluster.enqueue(ServingRequest::new(1, 64, 20)).unwrap();
+            cluster.enqueue(ServingRequest::new(2, 64, 2)).unwrap();
+            let report = cluster.run_to_completion(128).unwrap();
+            let shipped: Vec<u64> = cluster
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    ClusterEvent::Shipped { id, from, to, .. } => {
+                        assert_eq!((*from, *to), (0, 1), "only shard 1 goes idle");
+                        Some(*id)
+                    }
+                    _ => None,
+                })
+                .collect();
+            (report, shipped)
+        };
+
+        let (unpriced, no_ships) = run(0.0);
+        assert_eq!(unpriced.ships, 0, "unpriced shipping must stay off");
+        assert!(no_ships.is_empty());
+        assert_eq!(unpriced.steals, 0, "nothing was ever queued to steal");
+        assert_eq!(
+            unpriced.shards[1].requests.len(),
+            1,
+            "without shipping the drained shard keeps only its own request"
+        );
+
+        let (priced, shipped) = run(0.25);
+        assert_eq!(priced.ships, 1, "exactly one resident moves");
+        assert_eq!(priced.steals, 0, "the migration is a ship, not a steal");
+        assert_eq!(shipped.len(), 1);
+        assert_eq!(
+            priced.tokens_generated(),
+            unpriced.tokens_generated(),
+            "shipping changes placement, not the work done"
+        );
+        // The migrated request finishes on the receiving shard and pays a
+        // transfer bill there.
+        let migrant = shipped[0];
+        assert!(priced.total_ship_cycles() > 0, "the move must be priced");
+        let moved = priced.shards[1]
+            .requests
+            .iter()
+            .find(|r| r.id == migrant)
+            .expect("the migrant finishes on the receiving shard");
+        assert!(moved.shipped_tokens > 0);
+        assert!(moved.ship_cycles > 0);
     }
 }

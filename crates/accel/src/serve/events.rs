@@ -83,6 +83,45 @@ pub enum ServeEvent {
         /// Total tokens it generated.
         generated: usize,
     },
+    /// Admission refused a queued request whose TTFT deadline had already
+    /// elapsed — prefilling it could only produce zero-goodput tokens.
+    /// Only emitted under the opt-in
+    /// [`reject_expired_ttft`](super::ServingConfig::reject_expired_ttft)
+    /// flag; the request still counts against
+    /// [`deadline_attainment`](super::ServingReport::deadline_attainment).
+    Rejected {
+        /// The request's id.
+        id: u64,
+        /// Engine step of the rejection.
+        step: usize,
+        /// Steps the request had waited past its TTFT deadline.
+        overdue_steps: usize,
+    },
+    /// Reclaimed KV pages moved to the modeled host tier instead of being
+    /// dropped: re-admission will pay a priced copy-back
+    /// ([`SwappedIn`](Self::SwappedIn)) for these tokens instead of
+    /// re-prefilling them. Only emitted with a host tier provisioned
+    /// ([`host_pages`](super::ServingConfig::host_pages) > 0).
+    SwappedOut {
+        /// The request's id.
+        id: u64,
+        /// Engine step of the swap-out.
+        step: usize,
+        /// KV tokens whose contents moved to the host tier.
+        tokens: usize,
+    },
+    /// A re-admitted request copied its swapped KV back from the host
+    /// tier, charged at
+    /// [`swap_cost_factor`](super::ServingConfig::swap_cost_factor) of the
+    /// equivalent prefill instead of the full re-prefill price.
+    SwappedIn {
+        /// The request's id.
+        id: u64,
+        /// Engine step of the copy-back.
+        step: usize,
+        /// KV tokens copied back from the host tier.
+        tokens: usize,
+    },
 }
 
 impl ServeEvent {
@@ -95,7 +134,10 @@ impl ServeEvent {
             | Self::PrefillChunk { id, .. }
             | Self::TokenGenerated { id, .. }
             | Self::Preempted { id, .. }
-            | Self::Finished { id, .. } => id,
+            | Self::Finished { id, .. }
+            | Self::Rejected { id, .. }
+            | Self::SwappedOut { id, .. }
+            | Self::SwappedIn { id, .. } => id,
         }
     }
 
@@ -108,7 +150,10 @@ impl ServeEvent {
             | Self::PrefillChunk { step, .. }
             | Self::TokenGenerated { step, .. }
             | Self::Preempted { step, .. }
-            | Self::Finished { step, .. } => step,
+            | Self::Finished { step, .. }
+            | Self::Rejected { step, .. }
+            | Self::SwappedOut { step, .. }
+            | Self::SwappedIn { step, .. } => step,
         }
     }
 }

@@ -51,6 +51,20 @@
 //! Refcount-0 cached pages are a best-effort cache, never a reservation:
 //! [`reserve`](KvPager::reserve) reclaims them oldest-first when the free
 //! list runs dry, so caching can only ever *add* admission capacity.
+//!
+//! # Host tier
+//!
+//! With a host tier provisioned ([`with_host_tier`](KvPager::with_host_tier)),
+//! pages reclaimed from a preemption victim can be **swapped out** to a
+//! bounded host-memory tier ([`swap_out`](KvPager::swap_out)) instead of
+//! having their contents dropped. The device page itself returns to
+//! circulation either way — the host tier models the *contents* surviving
+//! off-device, so re-admission pays a priced copy-back
+//! ([`swap_in`](KvPager::swap_in) plus the engine's
+//! `swap_cost_factor` charge) instead of a full re-prefill of those
+//! tokens. Host occupancy is bookkept per owner and bounded by the
+//! configured capacity; a page's contents are never resident in both
+//! tiers at once (swap-out happens only for pages leaving the device).
 
 use std::collections::BTreeMap;
 
@@ -144,6 +158,14 @@ pub struct KvPager {
     /// first — the LRU order reclamation follows.
     lru: Vec<usize>,
     cache_enabled: bool,
+    /// Host-tier capacity in pages (0 = tier disabled).
+    host_capacity: usize,
+    /// Host-tier occupancy per owner, in pages. The host tier is modeled:
+    /// it tracks how many reclaimed device pages' contents survive
+    /// off-device per owner, not concrete page indices.
+    host: BTreeMap<u64, usize>,
+    /// Total host pages in use (always the sum of `host` values).
+    host_used: usize,
 }
 
 impl KvPager {
@@ -169,6 +191,9 @@ impl KvPager {
             index: BTreeMap::new(),
             lru: Vec::new(),
             cache_enabled: false,
+            host_capacity: 0,
+            host: BTreeMap::new(),
+            host_used: 0,
         }
     }
 
@@ -185,6 +210,64 @@ impl KvPager {
     #[must_use]
     pub fn prefix_cache_enabled(&self) -> bool {
         self.cache_enabled
+    }
+
+    /// Provisions a bounded host-memory swap tier of `pages` pages
+    /// (0 disables the tier — the default, preserving the drop-and-
+    /// re-prefill behavior bit for bit).
+    #[must_use]
+    pub fn with_host_tier(mut self, pages: usize) -> Self {
+        self.host_capacity = pages;
+        self
+    }
+
+    /// Host-tier capacity in pages (0 = disabled).
+    #[must_use]
+    pub fn host_capacity(&self) -> usize {
+        self.host_capacity
+    }
+
+    /// Host-tier pages currently occupied across all owners.
+    #[must_use]
+    pub fn host_pages_used(&self) -> usize {
+        self.host_used
+    }
+
+    /// Host-tier pages held for `owner` (0 if none).
+    #[must_use]
+    pub fn host_pages_of(&self, owner: u64) -> usize {
+        self.host.get(&owner).copied().unwrap_or(0)
+    }
+
+    /// Moves up to `pages` reclaimed device pages' contents to the host
+    /// tier on behalf of `owner`, bounded by the tier's remaining
+    /// capacity. Returns the pages actually swapped out (0 while the tier
+    /// is disabled or full). Call *after* the device pages were dropped
+    /// (`truncate`/`release`): the swap models their contents surviving
+    /// off-device, so nothing is ever resident in both tiers.
+    pub fn swap_out(&mut self, owner: u64, pages: usize) -> usize {
+        let granted = pages.min(self.host_capacity.saturating_sub(self.host_used));
+        if granted > 0 {
+            *self.host.entry(owner).or_insert(0) += granted;
+            self.host_used += granted;
+        }
+        granted
+    }
+
+    /// Takes `owner`'s entire host-tier holding back for copy-back on
+    /// re-admission, freeing its host occupancy. Returns the pages copied
+    /// back (0 if the owner held none).
+    pub fn swap_in(&mut self, owner: u64) -> usize {
+        let pages = self.host.remove(&owner).unwrap_or(0);
+        self.host_used -= pages;
+        pages
+    }
+
+    /// Drops `owner`'s host-tier holding without a copy-back (the owner
+    /// retired, was rejected, or migrated to another shard). Returns the
+    /// pages discarded.
+    pub fn host_discard(&mut self, owner: u64) -> usize {
+        self.swap_in(owner)
     }
 
     /// Tokens per page.
@@ -419,6 +502,62 @@ impl KvPager {
         }
     }
 
+    /// Ships the leading resident run of `chain` out of this pager (the
+    /// donor side of cross-shard page shipping). Walks the chain in
+    /// position order, stopping at the first key with no resident page,
+    /// and returns the keys shipped. A hit that sits at refcount 0 in the
+    /// cache **moves**: it leaves this pager's LRU and index and its page
+    /// returns to the free list the same step it lands in the receiver. A
+    /// hit still mapped by a running owner is **copied** — the holder
+    /// keeps its page untouched.
+    pub fn export_prefix(&mut self, chain: &[u64]) -> Vec<u64> {
+        let mut shipped = Vec::new();
+        for &key in chain {
+            let Some(&p) = self.index.get(&key) else {
+                break;
+            };
+            if self.refs[p] == 0 {
+                let i = self
+                    .lru
+                    .iter()
+                    .position(|&c| c == p)
+                    .expect("refcount-0 indexed page is cached");
+                self.lru.remove(i);
+                self.unregister(p);
+                self.free.push(p);
+            }
+            shipped.push(key);
+        }
+        shipped
+    }
+
+    /// Lands shipped prefix pages in this pager (the receiver side of
+    /// cross-shard page shipping): each key gets a free page, is published
+    /// in the prefix index and parked in the LRU cache, ready for the
+    /// shipped request's admission to adopt. Keys already resident are
+    /// skipped; landing stops when the free list runs dry (shipping never
+    /// displaces resident state). Returns the pages landed. A no-op while
+    /// the prefix cache is disabled.
+    pub fn import_prefix(&mut self, keys: &[u64]) -> usize {
+        if !self.cache_enabled {
+            return 0;
+        }
+        let mut landed = 0;
+        for &key in keys {
+            if self.index.contains_key(&key) {
+                continue;
+            }
+            let Some(p) = self.free.pop() else {
+                break;
+            };
+            self.keys[p] = Some(key);
+            self.index.insert(key, p);
+            self.lru.push(p);
+            landed += 1;
+        }
+        landed
+    }
+
     /// Grows `owner`'s allocation until it covers `tokens`, reusing any
     /// pages it already holds (retained across a preemption, or adopted
     /// from the prefix index). Returns the pages newly allocated. When the
@@ -556,7 +695,9 @@ impl KvPager {
     ///   none is double-freed);
     /// * the prefix index and per-page keys agree both ways, and cached
     ///   pages are exactly the refcount-0 indexed pages;
-    /// * no owner is provisioned for more tokens than its pages hold.
+    /// * no owner is provisioned for more tokens than its pages hold;
+    /// * host-tier occupancy sums to its per-owner bookkeeping and never
+    ///   exceeds the tier's capacity.
     pub fn validate(&self) {
         let mut mappings = vec![0u32; self.total_pages];
         for t in &self.tables {
@@ -618,6 +759,18 @@ impl KvPager {
             self.allocated_pages() + self.cached_pages() + self.free_pages(),
             self.total_pages(),
             "page conservation violated"
+        );
+        let host_sum: usize = self.host.values().sum();
+        assert_eq!(
+            self.host_used, host_sum,
+            "host tier occupancy {} disagrees with per-owner sum {}",
+            self.host_used, host_sum
+        );
+        assert!(
+            self.host_used <= self.host_capacity,
+            "host tier over capacity: {} of {} pages",
+            self.host_used,
+            self.host_capacity
         );
     }
 
@@ -853,6 +1006,93 @@ mod tests {
         assert_eq!(pager.cached_pages(), 0);
         assert_eq!(pager.free_pages(), 4);
         pager.validate();
+    }
+
+    #[test]
+    fn host_tier_bounds_swaps_and_conserves() {
+        let mut pager = KvPager::new(16, 160).with_host_tier(3);
+        assert_eq!(pager.host_capacity(), 3);
+        pager.reserve(1, 80); // 5 pages
+        let dropped = pager.truncate(1, 1);
+        assert_eq!(dropped, 4);
+        // Only 3 of the 4 dropped pages fit the host tier.
+        assert_eq!(pager.swap_out(1, dropped), 3);
+        assert_eq!(pager.host_pages_of(1), 3);
+        assert_eq!(pager.host_pages_used(), 3);
+        pager.validate();
+        // A second victim finds the tier full.
+        pager.reserve(2, 32);
+        pager.release(2);
+        assert_eq!(pager.swap_out(2, 2), 0);
+        // Copy-back takes the whole holding and frees the tier.
+        assert_eq!(pager.swap_in(1), 3);
+        assert_eq!(pager.host_pages_used(), 0);
+        assert_eq!(pager.swap_in(1), 0);
+        pager.validate();
+    }
+
+    #[test]
+    fn disabled_host_tier_never_accepts_a_swap() {
+        let mut pager = KvPager::new(16, 64);
+        pager.reserve(1, 64);
+        pager.release(1);
+        assert_eq!(pager.swap_out(1, 4), 0);
+        assert_eq!(pager.host_pages_used(), 0);
+        pager.validate();
+    }
+
+    #[test]
+    fn host_discard_drops_without_copy_back() {
+        let mut pager = KvPager::new(16, 64).with_host_tier(8);
+        pager.reserve(1, 32);
+        pager.release(1);
+        assert_eq!(pager.swap_out(1, 2), 2);
+        assert_eq!(pager.host_discard(1), 2);
+        assert_eq!(pager.host_pages_used(), 0);
+        pager.validate();
+    }
+
+    #[test]
+    fn export_moves_cached_pages_and_copies_shared_ones() {
+        let mut donor = KvPager::new(16, 160).with_prefix_cache(true);
+        let chain = [41u64, 42, 43];
+        donor.reserve(1, 48);
+        donor.register_prefix(1, &chain);
+
+        // Shared (refcount > 0) pages are copied: the donor keeps them.
+        assert_eq!(donor.export_prefix(&chain), vec![41, 42, 43]);
+        assert_eq!(donor.pages_of(1), 3);
+        donor.validate();
+
+        // Cached (refcount 0) pages move: they leave the donor's cache
+        // and free up the same step.
+        donor.release(1);
+        assert_eq!(donor.cached_pages(), 3);
+        assert_eq!(donor.export_prefix(&chain[..2]), vec![41, 42]);
+        assert_eq!(donor.cached_pages(), 1);
+        assert_eq!(donor.free_pages(), 9);
+        assert_eq!(donor.adoptable(2, &chain), (0, 0)); // chain broken at 41
+        donor.validate();
+    }
+
+    #[test]
+    fn import_lands_shipped_keys_as_adoptable_cache() {
+        let mut receiver = KvPager::new(16, 64).with_prefix_cache(true);
+        assert_eq!(receiver.import_prefix(&[41, 42]), 2);
+        assert_eq!(receiver.cached_pages(), 2);
+        assert_eq!(receiver.adoptable(1, &[41, 42]), (2, 2));
+        // Re-importing resident keys is a no-op.
+        assert_eq!(receiver.import_prefix(&[41, 42]), 0);
+        // Landing stops when the free list runs dry.
+        receiver.reserve(9, 32);
+        assert_eq!(receiver.free_pages(), 0);
+        assert_eq!(receiver.import_prefix(&[50]), 0);
+        receiver.validate();
+
+        // Cache disabled: shipping cannot land anything.
+        let mut plain = KvPager::new(16, 64);
+        assert_eq!(plain.import_prefix(&[1]), 0);
+        plain.validate();
     }
 
     #[test]

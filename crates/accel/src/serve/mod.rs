@@ -112,6 +112,36 @@ pub struct ServingConfig {
     /// default) means unlimited — whole-prompt prefill in one step,
     /// bit-identical to the lump engine.
     pub prefill_chunk_pages: usize,
+    /// Host-memory swap tier capacity in KV pages (0 — the default —
+    /// disables the tier, keeping eviction's drop-and-re-prefill behavior
+    /// bit-identical to earlier engines). With a tier provisioned, pages
+    /// reclaimed from preemption victims move their contents off-device
+    /// instead of being dropped, and re-admission pays a priced copy-back
+    /// ([`swap_cost_factor`](Self::swap_cost_factor)) instead of
+    /// re-prefilling them.
+    pub host_pages: usize,
+    /// Cycles to copy one swapped token back from the host tier, as a
+    /// fraction of the same token's measured re-prefill cost (the charge
+    /// is `attention cycles × swap_cost_factor × swapped/context`,
+    /// mirroring the re-prefill formula). Below
+    /// [`reprefill_factor`](policy::PreemptionConfig::reprefill_factor)
+    /// the swap tier wins; above it, dropping and re-prefilling is
+    /// cheaper — the crossover the tiered bench sweeps.
+    pub swap_cost_factor: f64,
+    /// Cycles to ship one KV token between cluster shards, as a fraction
+    /// of its prefill cost (same formula shape as
+    /// [`swap_cost_factor`](Self::swap_cost_factor)). 0 — the default —
+    /// disables cross-shard page shipping entirely, keeping cluster
+    /// schedules bit-identical to earlier engines.
+    pub ship_cost_factor: f64,
+    /// Opt-in admission-time SLO rejection: refuse queued requests whose
+    /// TTFT deadline has already elapsed before they produced a token —
+    /// admitting them could only burn prefill on guaranteed-zero goodput.
+    /// Rejected requests are reported with
+    /// [`slo_violated`](RequestStats::slo_violated) set and still count
+    /// in [`deadline_attainment`](ServingReport::deadline_attainment)'s
+    /// denominator. Off by default (bit-identical schedules).
+    pub reject_expired_ttft: bool,
     /// FC/FFN weight bytes streamed once per decode step.
     pub weight_bytes: u64,
     /// Attention heads per request per step (layers × heads of the model;
@@ -124,6 +154,11 @@ pub struct ServingConfig {
 }
 
 impl ServingConfig {
+    /// Default host-tier copy-back charge factor: copying a token's KV
+    /// back from host costs a quarter of prefilling it, the ballpark of
+    /// PCIe transfer vs recompute in production swap tiers.
+    pub const DEFAULT_SWAP_COST_FACTOR: f64 = 0.25;
+
     /// A configuration around an accelerator config with paper-flavoured
     /// defaults: 50 MB of weights, 16 heads, 500 MHz core clock.
     #[must_use]
@@ -134,6 +169,10 @@ impl ServingConfig {
             preemption: PreemptionConfig::default(),
             prefill_factor: 0.0,
             prefill_chunk_pages: 0,
+            host_pages: 0,
+            swap_cost_factor: Self::DEFAULT_SWAP_COST_FACTOR,
+            ship_cost_factor: 0.0,
+            reject_expired_ttft: false,
             weight_bytes: 50_000_000,
             heads: 16,
             clock_hz: 500e6,
@@ -244,6 +283,40 @@ impl ServingEngineBuilder {
         self
     }
 
+    /// Provisions the host-memory swap tier, in KV pages (see
+    /// [`ServingConfig::host_pages`]; `0` keeps eviction dropping pages —
+    /// bit-identical to earlier engines).
+    #[must_use]
+    pub fn host_pages(mut self, pages: usize) -> Self {
+        self.cfg.host_pages = pages;
+        self
+    }
+
+    /// Sets the host-tier copy-back price (see
+    /// [`ServingConfig::swap_cost_factor`]).
+    #[must_use]
+    pub fn swap_cost_factor(mut self, factor: f64) -> Self {
+        self.cfg.swap_cost_factor = factor;
+        self
+    }
+
+    /// Sets the cross-shard KV transfer price (see
+    /// [`ServingConfig::ship_cost_factor`]; `0` disables shipping).
+    #[must_use]
+    pub fn ship_cost_factor(mut self, factor: f64) -> Self {
+        self.cfg.ship_cost_factor = factor;
+        self
+    }
+
+    /// Enables admission-time rejection of requests whose TTFT deadline
+    /// already elapsed in the queue (see
+    /// [`ServingConfig::reject_expired_ttft`]).
+    #[must_use]
+    pub fn reject_expired_ttft(mut self, reject: bool) -> Self {
+        self.cfg.reject_expired_ttft = reject;
+        self
+    }
+
     /// Sets the attention head count per request per step.
     #[must_use]
     pub fn heads(mut self, heads: usize) -> Self {
@@ -351,6 +424,9 @@ pub struct ServingEngine {
     total_cycles: u64,
     tokens_generated: usize,
     preemptions: usize,
+    admitted_prompt_tokens: usize,
+    admitted_hit_tokens: usize,
+    rejections: usize,
     step_index: usize,
     arrival_seq: u64,
     key_buf: QuantBuffer,
@@ -377,7 +453,7 @@ impl ServingEngine {
     ) -> Self {
         let chunks = cfg.accel.precision.num_chunks();
         let accel = ToPickAccelerator::new(cfg.accel.clone());
-        let batch = BatchState::new(cfg.admission);
+        let batch = BatchState::new(cfg.admission, cfg.host_pages);
         Self {
             cfg,
             accel,
@@ -392,6 +468,9 @@ impl ServingEngine {
             total_cycles: 0,
             tokens_generated: 0,
             preemptions: 0,
+            admitted_prompt_tokens: 0,
+            admitted_hit_tokens: 0,
+            rejections: 0,
             step_index: 0,
             arrival_seq: 0,
             key_buf: QuantBuffer::new(),
@@ -504,6 +583,12 @@ impl ServingEngine {
         self.batch.pager()
     }
 
+    /// Mutable pager access for the cluster's cross-shard page shipping
+    /// (export on the donor, import on the receiver).
+    pub(crate) fn kv_pager_mut(&mut self) -> &mut KvPager {
+        self.batch.pager_mut()
+    }
+
     /// Events recorded so far, in order.
     #[must_use]
     pub fn events(&self) -> &[ServeEvent] {
@@ -557,6 +642,19 @@ impl ServingEngine {
     /// Returns [`ServeError::InvalidRequest`] as
     /// [`validate_request`](Self::validate_request) would.
     pub fn enqueue(&mut self, req: ServingRequest) -> Result<(), ServeError> {
+        self.enqueue_with_shipped(req, 0)
+    }
+
+    /// [`enqueue`](Self::enqueue) with `shipped_tokens` of the request's
+    /// prompt KV already in flight from a sibling shard — the cluster's
+    /// prefix-pull path marks how many tokens' pages it shipped so the
+    /// first decode step charges the modeled transfer
+    /// ([`ship_cost_factor`](ServingConfig::ship_cost_factor)).
+    pub(crate) fn enqueue_with_shipped(
+        &mut self,
+        req: ServingRequest,
+        shipped_tokens: usize,
+    ) -> Result<(), ServeError> {
         self.validate_request(&req)?;
         // A request becomes schedulable when it both has been enqueued and
         // has arrived.
@@ -579,6 +677,8 @@ impl ServingEngine {
             dropped_tokens: 0,
             needs_prefill: self.cfg.prefill_factor > 0.0,
             prefill_tokens: req.prompt_len,
+            swapped_tokens: 0,
+            shipped_tokens,
             last_token_at: None,
             page_keys,
             stats: RequestStats {
@@ -597,6 +697,10 @@ impl ServingEngine {
                 reprefill_cycles: 0,
                 retained_tokens: 0,
                 reprefilled_tokens: 0,
+                swapped_tokens: 0,
+                swap_cycles: 0,
+                shipped_tokens: 0,
+                ship_cycles: 0,
                 prefix_hit_tokens: 0,
                 ttft_deadline: req.ttft_deadline,
                 itl_deadline: req.itl_deadline,
@@ -611,6 +715,126 @@ impl ServingEngine {
             step: self.step_index,
         });
         Ok(())
+    }
+
+    /// Removes and returns the youngest *running* request that is fully
+    /// built (no outstanding prefill or re-prefill debt) for migration to
+    /// a sibling shard, releasing its device pages and discarding any
+    /// host-tier holding here. The returned state carries its whole built
+    /// context as shipped KV; the receiver re-prices it at
+    /// [`ship_cost_factor`](ServingConfig::ship_cost_factor) via
+    /// [`receive_shipped`](Self::receive_shipped).
+    pub(crate) fn ship_out_youngest_running(&mut self) -> Option<ActiveRequest> {
+        let slot = (0..self.batch.len()).rev().find(|&i| {
+            let r = &self.batch.slots()[i];
+            !r.needs_prefill && !r.needs_reprefill
+        })?;
+        let mut shipped = self.batch.evict(slot);
+        let seq = shipped.arrival_seq;
+        self.batch.pager_mut().release(seq);
+        self.batch.pager_mut().host_discard(seq);
+        // The whole built context travels with the request; on the
+        // receiver it is rebuild debt covered entirely by the transfer.
+        shipped.needs_reprefill = true;
+        shipped.dropped_tokens = shipped.context;
+        shipped.shipped_tokens = shipped.context;
+        shipped.swapped_tokens = 0;
+        Some(shipped)
+    }
+
+    /// Lands a migrated running request from a sibling shard: it re-enters
+    /// this engine's queue with a fresh arrival sequence, keeping its
+    /// lifecycle stats (enqueue step, generated tokens, deadlines) so
+    /// cluster-level accounting stays per-request truthful.
+    pub(crate) fn receive_shipped(&mut self, mut active: ActiveRequest) {
+        active.arrival_seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        active.wait_since = self.step_index;
+        // The eviction cooldown is per-engine; a migrant is admissible
+        // immediately.
+        active.last_evicted_at = None;
+        let id = active.req.id;
+        self.pending.push(active);
+        self.emit(ServeEvent::Enqueued {
+            id,
+            step: self.step_index,
+        });
+    }
+
+    /// Queued, never-admitted requests visible at the current step whose
+    /// prompt hash chain a cluster prefix pull could still shorten, as
+    /// `(id, arrival_seq, chain)` in arrival order — the deterministic
+    /// order the cluster probes siblings in between step barriers.
+    pub(crate) fn pull_candidates(&self) -> Vec<(u64, u64, Vec<u64>)> {
+        let mut out: Vec<_> = self
+            .pending
+            .entries()
+            .iter()
+            .filter(|e| {
+                e.stats.admitted_at.is_none()
+                    && e.req.arrival_step as usize <= self.step_index
+                    && !e.page_keys.is_empty()
+            })
+            .map(|e| (e.req.id, e.arrival_seq, e.page_keys.clone()))
+            .collect();
+        out.sort_by_key(|&(_, seq, _)| seq);
+        out
+    }
+
+    /// Credits `tokens` of shipped prompt KV to a queued request after a
+    /// between-barriers prefix pull landed pages for it, so the decode
+    /// step that admits it prices the transfer
+    /// ([`ship_cost_factor`](ServingConfig::ship_cost_factor)) instead of
+    /// prefill work for the covered prefix.
+    pub(crate) fn credit_shipped(&mut self, seq: u64, tokens: usize) {
+        if let Some(e) = self.pending.get_mut_by_seq(seq) {
+            e.shipped_tokens += tokens;
+        }
+    }
+
+    /// Drops queued requests whose TTFT deadline has already elapsed while
+    /// they waited — even an immediate admission could not produce an
+    /// on-time first token, so prefilling them would only buy zero-goodput
+    /// work that crowds out requests still able to meet their deadlines.
+    /// Opt-in via [`reject_expired_ttft`](ServingConfig::reject_expired_ttft);
+    /// a reject still counts against
+    /// [`deadline_attainment`](ServingReport::deadline_attainment).
+    fn reject_expired(&mut self) {
+        let step = self.step_index;
+        let expired: Vec<u64> = self
+            .pending
+            .entries()
+            .iter()
+            .filter(|e| {
+                e.stats.first_token_at.is_none()
+                    && step >= e.stats.enqueued_at
+                    && e.req
+                        .ttft_deadline
+                        .is_some_and(|d| (step - e.stats.enqueued_at + 1) as u64 > d)
+            })
+            .map(|e| e.arrival_seq)
+            .collect();
+        for seq in expired {
+            let mut r = self.pending.remove_by_seq(seq);
+            // A preempted-then-expired request may still hold retained
+            // device pages or a host-tier holding; both go back to their
+            // pools.
+            let pager = self.batch.pager_mut();
+            pager.release(seq);
+            pager.host_discard(seq);
+            let overdue =
+                (step - r.stats.enqueued_at + 1) - r.req.ttft_deadline.unwrap_or(0) as usize;
+            r.stats.slo_violated = true;
+            r.stats.finished_at = Some(step);
+            self.rejections += 1;
+            let id = r.req.id;
+            self.finished.push(r.stats);
+            self.emit(ServeEvent::Rejected {
+                id,
+                step,
+                overdue_steps: overdue,
+            });
+        }
     }
 
     /// Admits queued requests under the policy's ordering while the batch
@@ -740,8 +964,14 @@ impl ServingEngine {
                 active.stats.admitted_at = Some(step);
             }
             active.last_admitted_at = Some(step);
-            let (id, context) = (active.req.id, active.context);
+            let (id, context, prompt_len) = (active.req.id, active.context, active.req.prompt_len);
             let cached_tokens = self.batch.admit(active);
+            // Admission-normalized hit accounting: every admission demands
+            // the full prompt once, and `cached_tokens` of it came from
+            // the cache — counting here (not at completion) keeps hit
+            // rates in [0, 1] even on truncated runs with in-flight work.
+            self.admitted_prompt_tokens += prompt_len;
+            self.admitted_hit_tokens += cached_tokens;
             self.emit(ServeEvent::Admitted {
                 id,
                 step,
@@ -789,6 +1019,33 @@ impl ServingEngine {
             .truncate(victim.arrival_seq, kept_pages);
         let retained_tokens = valid.min(kept_pages * page_size);
         let dropped_tokens = ctx - retained_tokens;
+        // Host tier: the dropped pages that held *valid* KV can survive
+        // off-device. A full grant extends the victim's holding
+        // contiguously above its retained prefix; a partial grant is only
+        // usable when no earlier holding sits above it (a hole below
+        // already-swapped pages would break the copy-back prefix, so the
+        // stale holding is discarded instead).
+        let swapped_now = if self.batch.pager().host_capacity() > 0 {
+            let seq = victim.arrival_seq;
+            let pager = self.batch.pager_mut();
+            let swappable = pager.pages_needed(valid).saturating_sub(kept_pages);
+            let granted = pager.swap_out(seq, swappable);
+            if granted == swappable {
+                let moved = valid - retained_tokens;
+                victim.swapped_tokens += moved;
+                moved
+            } else if victim.swapped_tokens == 0 {
+                let moved = valid.min((kept_pages + granted) * page_size) - retained_tokens;
+                victim.swapped_tokens = moved;
+                moved
+            } else {
+                pager.host_discard(seq);
+                victim.swapped_tokens = 0;
+                0
+            }
+        } else {
+            0
+        };
         victim.stats.preemptions += 1;
         victim.stats.retained_tokens += retained_tokens;
         victim.last_evicted_at = Some(self.step_index);
@@ -807,6 +1064,13 @@ impl ServingEngine {
             retained_tokens,
             dropped_tokens,
         });
+        if swapped_now > 0 {
+            self.emit(ServeEvent::SwappedOut {
+                id,
+                step: self.step_index,
+                tokens: swapped_now,
+            });
+        }
     }
 
     /// Pressure release for an admission candidate: retained pages are a
@@ -864,18 +1128,57 @@ impl ServingEngine {
         let kept_pages = pager.pages_of(seq) - 1;
         pager.truncate(seq, kept_pages);
         let page_size = pager.page_size();
-        let e = self
-            .pending
-            .get_mut_by_seq(seq)
-            .expect("retained-page holder is queued");
-        // A shorter prefix is still a valid prefix: only the tokens the
-        // reclaimed tail page covered move back into the re-prefill debt.
-        // Capped at the previously valid prefix — reclaiming a page a
-        // never-decoded victim hadn't materialized anyway changes nothing.
-        let old_retained = e.context - e.dropped_tokens;
-        let new_retained = old_retained.min(kept_pages * page_size);
-        e.stats.retained_tokens -= old_retained - new_retained;
-        e.dropped_tokens = e.context - new_retained;
+        // Host tier: the reclaimed tail page sits directly below any pages
+        // this holder already swapped, so a granted swap keeps its
+        // off-device holding a contiguous extension of the (now shorter)
+        // retained prefix. A refused swap below an existing holding leaves
+        // a hole, which invalidates the whole holding for copy-back.
+        let tier_on = pager.host_capacity() > 0;
+        let swap_granted = tier_on && pager.swap_out(seq, 1) == 1;
+        let mut discard_holding = false;
+        let (id, swapped_now) = {
+            let e = self
+                .pending
+                .get_mut_by_seq(seq)
+                .expect("retained-page holder is queued");
+            // A shorter prefix is still a valid prefix: only the tokens the
+            // reclaimed tail page covered move back into the re-prefill
+            // debt. Capped at the previously valid prefix — reclaiming a
+            // page a never-decoded victim hadn't materialized anyway
+            // changes nothing.
+            let old_retained = e.context - e.dropped_tokens;
+            let new_retained = old_retained.min(kept_pages * page_size);
+            e.stats.retained_tokens -= old_retained - new_retained;
+            e.dropped_tokens = e.context - new_retained;
+            let moved = old_retained - new_retained;
+            let swapped_now = if swap_granted && moved > 0 {
+                e.swapped_tokens += moved;
+                moved
+            } else {
+                if !swap_granted && e.swapped_tokens > 0 {
+                    discard_holding = true;
+                    e.swapped_tokens = 0;
+                }
+                0
+            };
+            (e.req.id, swapped_now)
+        };
+        if discard_holding {
+            self.batch.pager_mut().host_discard(seq);
+        } else if swap_granted && swapped_now == 0 {
+            // The reclaimed page held no materialized KV; nothing moved.
+            let pager = self.batch.pager_mut();
+            let held = pager.host_pages_of(seq);
+            pager.host_discard(seq);
+            pager.swap_out(seq, held - 1);
+        }
+        if swapped_now > 0 {
+            self.emit(ServeEvent::SwappedOut {
+                id,
+                step: self.step_index,
+                tokens: swapped_now,
+            });
+        }
         true
     }
 
@@ -891,6 +1194,9 @@ impl ServingEngine {
     /// reports a permanently unadmittable queue as
     /// [`ServeError::AdmissionStalled`].
     pub fn step(&mut self) -> Result<Option<StepReport>, ServeError> {
+        if self.cfg.reject_expired_ttft {
+            self.reject_expired();
+        }
         self.admit();
         if self.batch.is_empty() {
             if self.pending.is_empty() {
@@ -929,11 +1235,13 @@ impl ServingEngine {
             self.cfg.prefill_chunk_pages * self.batch.pager().page_size()
         };
 
+        let mut swap_cycles = 0u64;
+        let mut ship_cycles = 0u64;
         for slot in 0..self.batch.len() {
-            let (ctx, req_id, prefill_debt) = {
+            let (ctx, req_id, req_seq, prefill_debt) = {
                 let r = &self.batch.slots()[slot];
                 let debt = if r.needs_prefill { r.prefill_tokens } else { 0 };
-                (r.context, r.req.id, debt)
+                (r.context, r.req.id, r.arrival_seq, debt)
             };
             if prefill_debt > chunk_budget {
                 // The prompt cannot finish building this step: advance the
@@ -988,32 +1296,42 @@ impl ServingEngine {
             let result = self.simulate_attention(req_id, ctx)?;
             let request_cycles = result.0 * self.cfg.heads as u64;
             self.prune.merge(&result.1);
-            let (id, generated, rebuild_cycles, fresh_prefill_cycles, built_kv) = {
+            let (id, generated, rebuild_cycles, fresh_prefill_cycles, built_kv, swapped_in) = {
                 let r = &mut self.batch.slots_mut()[slot];
                 // Once this step's pending prefill / re-prefill charge
                 // lands, the request's prompt KV genuinely exists and its
                 // full pages may be published for sharing.
                 let built_kv = r.needs_prefill || r.needs_reprefill;
+                let was_reprefill = r.needs_reprefill;
+                let denom = if r.context == 0 {
+                    1.0
+                } else {
+                    r.context as f64
+                };
+                let mut swapped_used = 0usize;
+                let mut shipped_used = 0usize;
                 let rebuild = if r.needs_reprefill {
                     // KV rebuild priced off the measured attention cost at
                     // the request's current context, scaled by the share
                     // of that context the eviction actually dropped (all
                     // of it under full re-prefill; only the suffix beyond
-                    // the retained pages under paged retention). Floored
-                    // at one cycle: eviction is never free.
+                    // the retained pages under paged retention). Tokens
+                    // whose contents survive off-device — in the host tier
+                    // or shipped over from a sibling shard — are copied
+                    // back at their own (cheaper) price below instead of
+                    // being recomputed, so they leave the rebuild charge.
                     r.needs_reprefill = false;
-                    let dropped_frac = if r.context == 0 {
-                        1.0
-                    } else {
-                        r.dropped_tokens as f64 / r.context as f64
-                    };
-                    r.stats.reprefilled_tokens += r.dropped_tokens;
+                    let dropped = r.dropped_tokens;
+                    swapped_used = r.swapped_tokens.min(dropped);
+                    shipped_used = r.shipped_tokens.min(dropped - swapped_used);
+                    let rebuilt = dropped - swapped_used - shipped_used;
+                    r.stats.reprefilled_tokens += rebuilt;
                     r.dropped_tokens = 0;
-                    ((request_cycles as f64
+                    r.swapped_tokens = 0;
+                    (request_cycles as f64
                         * self.cfg.preemption.reprefill_factor.max(0.0)
-                        * dropped_frac)
-                        .ceil() as u64)
-                        .max(1)
+                        * (rebuilt as f64 / denom))
+                        .ceil() as u64
                 } else {
                     0
                 };
@@ -1050,9 +1368,41 @@ impl ServingEngine {
                 } else {
                     0
                 };
+                // A prefix-pull ship (pages pulled from a sibling shard at
+                // enqueue, no re-prefill debt) still pays its transfer
+                // price once, on the step the pulled pages first serve.
+                if r.shipped_tokens > 0 {
+                    if shipped_used == 0 {
+                        shipped_used = r.shipped_tokens;
+                    }
+                    r.shipped_tokens = 0;
+                }
+                let swap = (request_cycles as f64
+                    * self.cfg.swap_cost_factor.max(0.0)
+                    * (swapped_used as f64 / denom))
+                    .ceil() as u64;
+                let ship = (request_cycles as f64
+                    * self.cfg.ship_cost_factor.max(0.0)
+                    * (shipped_used as f64 / denom))
+                    .ceil() as u64;
+                // With no off-device tokens in play this reduces to the
+                // original one-cycle floor: eviction is never free. With
+                // the tier off every term except rebuild is zero, so the
+                // charge is bit-identical to the untiered engine.
+                let rebuild = if was_reprefill && rebuild + swap + ship == 0 {
+                    1
+                } else {
+                    rebuild
+                };
                 r.stats.attention_cycles += request_cycles;
                 r.stats.prefill_cycles += prefill;
                 r.stats.reprefill_cycles += rebuild;
+                r.stats.swap_cycles += swap;
+                r.stats.ship_cycles += ship;
+                r.stats.swapped_tokens += swapped_used;
+                r.stats.shipped_tokens += shipped_used;
+                swap_cycles += swap;
+                ship_cycles += ship;
                 if r.stats.first_token_at.is_none() {
                     r.stats.first_token_at = Some(step);
                 }
@@ -1077,10 +1427,31 @@ impl ServingEngine {
                 r.last_token_at = Some(step);
                 r.stats.generated += 1;
                 r.context += 1;
-                (r.req.id, r.stats.generated, rebuild, prefill, built_kv)
+                (
+                    r.req.id,
+                    r.stats.generated,
+                    rebuild,
+                    prefill,
+                    built_kv,
+                    (was_reprefill, swapped_used),
+                )
             };
             if built_kv {
                 self.batch.publish_prefix(slot);
+            }
+            let (was_reprefill, swapped_in_tokens) = swapped_in;
+            if was_reprefill {
+                // The rebuild consumed (or invalidated) whatever this
+                // request held in the host tier; the holding is gone
+                // either way and its pages return to host capacity.
+                self.batch.pager_mut().swap_in(req_seq);
+            }
+            if swapped_in_tokens > 0 {
+                self.emit(ServeEvent::SwappedIn {
+                    id: req_id,
+                    step,
+                    tokens: swapped_in_tokens,
+                });
             }
             attention_cycles += request_cycles;
             prefill_cycles += fresh_prefill_cycles;
@@ -1102,6 +1473,8 @@ impl ServingEngine {
             attention_cycles,
             prefill_cycles,
             reprefill_cycles,
+            swap_cycles,
+            ship_cycles,
         };
         self.total_cycles += report.total_cycles();
         self.tokens_generated += report.decoded;
@@ -1183,6 +1556,9 @@ impl ServingEngine {
             total_cycles: self.total_cycles,
             tokens_generated: self.tokens_generated,
             preemptions: self.preemptions,
+            admitted_prompt_tokens: self.admitted_prompt_tokens,
+            admitted_hit_tokens: self.admitted_hit_tokens,
+            rejections: self.rejections,
             prune: self.prune.clone(),
         }
     }

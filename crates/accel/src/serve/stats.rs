@@ -48,6 +48,24 @@ pub struct RequestStats {
     /// evicted contexts under full re-prefill; only the dropped suffixes
     /// under paged retention).
     pub reprefilled_tokens: usize,
+    /// KV tokens this request copied back from the modeled host tier
+    /// across re-admissions — evicted KV whose contents survived a
+    /// swap-out and so were re-priced at
+    /// [`swap_cost_factor`](super::ServingConfig::swap_cost_factor)
+    /// instead of being re-prefilled (0 without a host tier).
+    pub swapped_tokens: usize,
+    /// Host-tier copy-back cycles charged to this request across
+    /// re-admissions (0 without a host tier).
+    pub swap_cycles: u64,
+    /// KV tokens that followed this request across shards — prefix pages
+    /// pulled from a sibling shard or the built context of a migrated
+    /// running request, re-priced at
+    /// [`ship_cost_factor`](super::ServingConfig::ship_cost_factor)
+    /// instead of being re-prefilled (0 without shipping).
+    pub shipped_tokens: usize,
+    /// Cross-shard transfer cycles charged to this request (0 without
+    /// shipping).
+    pub ship_cycles: u64,
     /// The TTFT deadline the request carried, if any (steps from
     /// [`enqueued_at`](Self::enqueued_at), first-token step inclusive).
     pub ttft_deadline: Option<u64>,
@@ -156,6 +174,14 @@ pub struct StepReport {
     /// the *dropped* share of each victim's context, so paged retention
     /// shrinks it while full re-prefill pays for the whole context.
     pub reprefill_cycles: u64,
+    /// Cycles copying swapped KV back from the modeled host tier for
+    /// re-admitted requests (0 without a host tier). Replaces the
+    /// re-prefill charge for the tokens that survived off-device.
+    pub swap_cycles: u64,
+    /// Cycles transferring shipped KV pages across shards (0 without
+    /// shipping). Replaces the prefill/re-prefill charge for the tokens
+    /// whose pages arrived from a sibling shard.
+    pub ship_cycles: u64,
 }
 
 impl StepReport {
@@ -173,13 +199,20 @@ impl StepReport {
             attention_cycles: 0,
             prefill_cycles: 0,
             reprefill_cycles: 0,
+            swap_cycles: 0,
+            ship_cycles: 0,
         }
     }
 
     /// Total cycles of the step.
     #[must_use]
     pub fn total_cycles(&self) -> u64 {
-        self.weight_cycles + self.attention_cycles + self.prefill_cycles + self.reprefill_cycles
+        self.weight_cycles
+            + self.attention_cycles
+            + self.prefill_cycles
+            + self.reprefill_cycles
+            + self.swap_cycles
+            + self.ship_cycles
     }
 }
 
@@ -198,6 +231,21 @@ pub struct ServingReport {
     pub tokens_generated: usize,
     /// Total evictions the scheduler performed.
     pub preemptions: usize,
+    /// Prompt tokens demanded across every admission the engine performed
+    /// — each admission (first or re-) demands the request's full prompt.
+    /// Unlike a sum over finished requests, this counts in-flight
+    /// admissions too, so hit rates stay in `[0, 1]` on truncated runs.
+    pub admitted_prompt_tokens: usize,
+    /// Prompt tokens the shared-prefix cache served across every
+    /// admission — the same population as
+    /// [`admitted_prompt_tokens`](Self::admitted_prompt_tokens), so the
+    /// ratio is a well-formed rate even mid-run.
+    pub admitted_hit_tokens: usize,
+    /// Requests refused at admission time because their TTFT deadline had
+    /// already elapsed in the queue (only under the opt-in
+    /// [`reject_expired_ttft`](super::ServingConfig::reject_expired_ttft)
+    /// flag).
+    pub rejections: usize,
     /// Aggregate pruning statistics over every simulated attention step.
     pub prune: PruneStats,
 }
@@ -265,6 +313,31 @@ impl ServingReport {
             return 0.0;
         }
         self.total_prefix_hit_tokens() as f64 / demanded as f64
+    }
+
+    /// Total host-tier copy-back cycles charged across all steps — the
+    /// priced alternative to the re-prefill bill that swapping replaces.
+    #[must_use]
+    pub fn total_swap_cycles(&self) -> u64 {
+        self.steps.iter().map(|s| s.swap_cycles).sum()
+    }
+
+    /// Total cross-shard transfer cycles charged across all steps.
+    #[must_use]
+    pub fn total_ship_cycles(&self) -> u64 {
+        self.steps.iter().map(|s| s.ship_cycles).sum()
+    }
+
+    /// Total KV tokens copied back from the host tier across all requests.
+    #[must_use]
+    pub fn total_swapped_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.swapped_tokens).sum()
+    }
+
+    /// Total KV tokens shipped across shards for all requests.
+    #[must_use]
+    pub fn total_shipped_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.shipped_tokens).sum()
     }
 
     /// Total KV tokens that survived preemptions across all requests.

@@ -109,6 +109,17 @@ pub struct TraceMeta {
     /// Per-step chunked-prefill budget in pages (`0` = unlimited, the
     /// pre-chunking lump behavior).
     pub prefill_chunk_pages: usize,
+    /// Host-tier capacity in pages (`0` = no host tier, the drop-and-
+    /// re-prefill behavior).
+    pub host_pages: usize,
+    /// Host-tier copy-back charge factor (meaningful when `host_pages >
+    /// 0`).
+    pub swap_cost_factor: f64,
+    /// Cross-shard page transfer charge factor (`0` = shipping off).
+    pub ship_cost_factor: f64,
+    /// Whether admission rejected queued requests with already-blown TTFT
+    /// deadlines.
+    pub reject_expired_ttft: bool,
     /// Attention heads per request per step.
     pub heads: usize,
     /// FC/FFN weight bytes streamed per step.
@@ -159,6 +170,10 @@ impl TraceMeta {
             retention: cfg.preemption.retention.to_string(),
             prefill_factor: cfg.prefill_factor,
             prefill_chunk_pages: cfg.prefill_chunk_pages,
+            host_pages: cfg.host_pages,
+            swap_cost_factor: cfg.swap_cost_factor,
+            ship_cost_factor: cfg.ship_cost_factor,
+            reject_expired_ttft: cfg.reject_expired_ttft,
             heads: cfg.heads,
             weight_bytes: cfg.weight_bytes,
             seed: cfg.seed,
@@ -230,6 +245,10 @@ impl TraceMeta {
         };
         cfg.prefill_factor = self.prefill_factor;
         cfg.prefill_chunk_pages = self.prefill_chunk_pages;
+        cfg.host_pages = self.host_pages;
+        cfg.swap_cost_factor = self.swap_cost_factor;
+        cfg.ship_cost_factor = self.ship_cost_factor;
+        cfg.reject_expired_ttft = self.reject_expired_ttft;
         cfg.heads = self.heads;
         cfg.weight_bytes = self.weight_bytes;
         cfg.seed = self.seed;
@@ -322,6 +341,28 @@ pub fn digest_events(events: &[ClusterEvent]) -> u64 {
                         h = fnv(h, built_tokens as u64);
                         h = fnv(h, remaining_tokens as u64);
                     }
+                    ServeEvent::Rejected {
+                        id,
+                        step,
+                        overdue_steps,
+                    } => {
+                        h = fnv(h, 7);
+                        h = fnv(h, id);
+                        h = fnv(h, step as u64);
+                        h = fnv(h, overdue_steps as u64);
+                    }
+                    ServeEvent::SwappedOut { id, step, tokens } => {
+                        h = fnv(h, 8);
+                        h = fnv(h, id);
+                        h = fnv(h, step as u64);
+                        h = fnv(h, tokens as u64);
+                    }
+                    ServeEvent::SwappedIn { id, step, tokens } => {
+                        h = fnv(h, 9);
+                        h = fnv(h, id);
+                        h = fnv(h, step as u64);
+                        h = fnv(h, tokens as u64);
+                    }
                 }
             }
             ClusterEvent::Stolen { id, from, to, step } => {
@@ -330,6 +371,20 @@ pub fn digest_events(events: &[ClusterEvent]) -> u64 {
                 h = fnv(h, from as u64);
                 h = fnv(h, to as u64);
                 h = fnv(h, step as u64);
+            }
+            ClusterEvent::Shipped {
+                id,
+                from,
+                to,
+                step,
+                tokens,
+            } => {
+                h = fnv(h, 3);
+                h = fnv(h, id);
+                h = fnv(h, from as u64);
+                h = fnv(h, to as u64);
+                h = fnv(h, step as u64);
+                h = fnv(h, tokens as u64);
             }
         }
     }
@@ -643,6 +698,20 @@ impl Trace {
         if m.prefill_chunk_pages != 0 {
             meta_line = meta_line.u64_field("prefill_chunk_pages", m.prefill_chunk_pages as u64);
         }
+        // Tiered-KV and rejection knobs render only when they left their
+        // defaults, keeping pre-tiering traces (and the checked-in
+        // goldens) byte-exact.
+        if m.host_pages != 0 {
+            meta_line = meta_line
+                .u64_field("host_pages", m.host_pages as u64)
+                .f64_field("swap_cost_factor", m.swap_cost_factor);
+        }
+        if m.ship_cost_factor != 0.0 {
+            meta_line = meta_line.f64_field("ship_cost_factor", m.ship_cost_factor);
+        }
+        if m.reject_expired_ttft {
+            meta_line = meta_line.bool_field("reject_expired_ttft", true);
+        }
         let mut out = meta_line
             .u64_field("heads", m.heads as u64)
             .u64_field("weight_bytes", m.weight_bytes)
@@ -917,6 +986,19 @@ fn render_event(event: ClusterEvent) -> String {
                     .u64_field("built_tokens", built_tokens as u64)
                     .u64_field("remaining_tokens", remaining_tokens as u64)
                     .finish(),
+                ServeEvent::Rejected {
+                    id,
+                    step,
+                    overdue_steps,
+                } => base("rejected", id, step)
+                    .u64_field("overdue_steps", overdue_steps as u64)
+                    .finish(),
+                ServeEvent::SwappedOut { id, step, tokens } => base("swapped_out", id, step)
+                    .u64_field("tokens", tokens as u64)
+                    .finish(),
+                ServeEvent::SwappedIn { id, step, tokens } => base("swapped_in", id, step)
+                    .u64_field("tokens", tokens as u64)
+                    .finish(),
             }
         }
         ClusterEvent::Stolen { id, from, to, step } => JsonLine::new("event")
@@ -925,6 +1007,20 @@ fn render_event(event: ClusterEvent) -> String {
             .u64_field("from", from as u64)
             .u64_field("to", to as u64)
             .u64_field("step", step as u64)
+            .finish(),
+        ClusterEvent::Shipped {
+            id,
+            from,
+            to,
+            step,
+            tokens,
+        } => JsonLine::new("event")
+            .str_field("kind", "shipped")
+            .u64_field("id", id)
+            .u64_field("from", from as u64)
+            .u64_field("to", to as u64)
+            .u64_field("step", step as u64)
+            .u64_field("tokens", tokens as u64)
             .finish(),
     }
 }
@@ -956,6 +1052,24 @@ fn parse_meta(f: &Fields) -> Result<TraceMeta, TraceError> {
         prefill_chunk_pages: match f.get("prefill_chunk_pages") {
             Some(_) => f.parse_field("prefill_chunk_pages")?,
             None => 0,
+        },
+        host_pages: match f.get("host_pages") {
+            Some(_) => f.parse_field("host_pages")?,
+            None => 0,
+        },
+        // Absent with no host tier; the parsed meta still carries the
+        // engine default so rebuild → snapshot round-trips.
+        swap_cost_factor: match f.get("swap_cost_factor") {
+            Some(_) => f.parse_field("swap_cost_factor")?,
+            None => ServingConfig::DEFAULT_SWAP_COST_FACTOR,
+        },
+        ship_cost_factor: match f.get("ship_cost_factor") {
+            Some(_) => f.parse_field("ship_cost_factor")?,
+            None => 0.0,
+        },
+        reject_expired_ttft: match f.get("reject_expired_ttft") {
+            Some(_) => f.parse_field("reject_expired_ttft")?,
+            None => false,
         },
         heads: f.parse_field("heads")?,
         weight_bytes: f.parse_field("weight_bytes")?,
@@ -1000,6 +1114,15 @@ fn parse_event(f: &Fields) -> Result<ClusterEvent, TraceError> {
             step: f.parse_field("step")?,
         });
     }
+    if kind == "shipped" {
+        return Ok(ClusterEvent::Shipped {
+            id: f.parse_field("id")?,
+            from: f.parse_field("from")?,
+            to: f.parse_field("to")?,
+            step: f.parse_field("step")?,
+            tokens: f.parse_field("tokens")?,
+        });
+    }
     let shard_id: usize = f.parse_field("shard")?;
     let id: u64 = f.parse_field("id")?;
     let step: usize = f.parse_field("step")?;
@@ -1034,6 +1157,21 @@ fn parse_event(f: &Fields) -> Result<ClusterEvent, TraceError> {
             step,
             built_tokens: f.parse_field("built_tokens")?,
             remaining_tokens: f.parse_field("remaining_tokens")?,
+        },
+        "rejected" => ServeEvent::Rejected {
+            id,
+            step,
+            overdue_steps: f.parse_field("overdue_steps")?,
+        },
+        "swapped_out" => ServeEvent::SwappedOut {
+            id,
+            step,
+            tokens: f.parse_field("tokens")?,
+        },
+        "swapped_in" => ServeEvent::SwappedIn {
+            id,
+            step,
+            tokens: f.parse_field("tokens")?,
         },
         other => return Err(f.err(format!("unknown event kind '{other}'"))),
     };
@@ -1175,6 +1313,37 @@ mod tests {
                 from: 2,
                 to: 0,
                 step: 5,
+            },
+            ClusterEvent::Shard {
+                shard_id: 1,
+                event: ServeEvent::SwappedOut {
+                    id: 7,
+                    step: 6,
+                    tokens: 83,
+                },
+            },
+            ClusterEvent::Shard {
+                shard_id: 1,
+                event: ServeEvent::SwappedIn {
+                    id: 7,
+                    step: 7,
+                    tokens: 83,
+                },
+            },
+            ClusterEvent::Shard {
+                shard_id: 2,
+                event: ServeEvent::Rejected {
+                    id: 11,
+                    step: 8,
+                    overdue_steps: 3,
+                },
+            },
+            ClusterEvent::Shipped {
+                id: 9,
+                from: 0,
+                to: 3,
+                step: 8,
+                tokens: 96,
             },
         ]
     }

@@ -124,6 +124,7 @@ proptest! {
         preempt in any::<bool>(),
         prefill_chunk in 0usize..6,
         priced in any::<bool>(),
+        reject in any::<bool>(),
         ops in prop::collection::vec(0u8..4, 4..32),
     ) {
         let policy = PolicyKind::all()[policy_idx];
@@ -135,6 +136,7 @@ proptest! {
             .max_batch_tokens(budget)
             .prefill_factor(if priced { 1.0 } else { 0.0 })
             .prefill_chunk_pages(prefill_chunk)
+            .reject_expired_ttft(reject)
             .seed(seed)
             .policy(policy);
         if preempt {
@@ -191,6 +193,21 @@ proptest! {
 
         let report = engine.report();
         prop_assert_eq!(report.requests.len(), next_id as usize);
+        // A rejected request never admits, never decodes, and always
+        // carries a blown deadline; without the flag nothing is rejected.
+        let rejected: std::collections::HashSet<u64> = engine
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ServeEvent::Rejected { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        if !reject {
+            prop_assert!(rejected.is_empty(), "rejection fired with the flag off");
+            prop_assert_eq!(report.rejections, 0);
+        }
+        prop_assert_eq!(report.rejections, rejected.len());
         if !preempt {
             // Never-evict guarantee: no preemption events, one admission
             // per request, and every admitted request ran to its target.
@@ -202,10 +219,19 @@ proptest! {
                     .iter()
                     .filter(|e| matches!(e, ServeEvent::Admitted { id, .. } if *id == r.id))
                     .count();
-                prop_assert_eq!(admissions, 1, "request {} re-admitted", r.id);
+                let expected = usize::from(!rejected.contains(&r.id));
+                prop_assert_eq!(admissions, expected, "request {} admissions", r.id);
             }
         }
         for r in &report.requests {
+            if rejected.contains(&r.id) {
+                prop_assert_eq!(r.generated, 0, "rejected request {} decoded", r.id);
+                prop_assert_eq!(r.good_tokens, 0);
+                prop_assert!(r.slo_violated, "a reject is a blown deadline");
+                prop_assert!(r.has_deadline(), "deadline-free request rejected");
+                prop_assert!(r.finished_at.is_some());
+                continue;
+            }
             // No starvation: whatever the chunk budget did to scheduling,
             // every request ran to completion.
             prop_assert!(r.generated >= 1);
@@ -243,6 +269,7 @@ proptest! {
         retention_idx in 0usize..4,
         prefix_cache in any::<bool>(),
         prefill_chunk in 0usize..4,
+        host_tier_idx in 0usize..3,
         ops in prop::collection::vec(0u8..4, 4..32),
     ) {
         let policy = PolicyKind::all()[policy_idx];
@@ -252,6 +279,8 @@ proptest! {
             RetentionPolicy::Pages(3),
             RetentionPolicy::Fraction(0.5),
         ][retention_idx];
+        // Host tier off, tight (forces partial swaps) and roomy.
+        let host_pages = [0usize, 2, 64][host_tier_idx];
         let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr");
         let mut engine = ServingEngine::builder(accel)
             .heads(2)
@@ -263,6 +292,8 @@ proptest! {
             .prefix_cache(prefix_cache)
             .prefill_factor(if prefix_cache { 1.0 } else { 0.0 })
             .prefill_chunk_pages(prefill_chunk)
+            .host_pages(host_pages)
+            .swap_cost_factor(0.25)
             .policy(policy)
             .enable_preemption()
             .retention(retention)
@@ -271,10 +302,21 @@ proptest! {
         let check_pager = |engine: &ServingEngine| {
             let pager = engine.kv_pager();
             pager.validate();
+            // The device tiers partition capacity; the host tier holds
+            // swapped *contents*, never device pages, so it adds nothing
+            // to the partition and never exceeds its own bound.
             assert_eq!(
                 pager.allocated_pages() + pager.cached_pages() + pager.free_pages(),
                 pager.total_pages(),
                 "page leak under {policy} / {retention:?} / cache {prefix_cache}"
+            );
+            assert!(
+                pager.host_pages_used() <= pager.host_capacity(),
+                "host tier over capacity under {policy} / {retention:?}"
+            );
+            assert!(
+                host_pages > 0 || pager.host_pages_used() == 0,
+                "disabled host tier holding pages under {policy}"
             );
         };
         let mut next_id = 0u64;
@@ -308,8 +350,10 @@ proptest! {
             prop_assert!(guard < 4096, "engine failed to drain");
         }
         // Idle engine: nothing stays mapped. Without the cache every page
-        // is back on the free list; with it, pages are free or cached.
+        // is back on the free list; with it, pages are free or cached —
+        // and every host-tier holding was copied back or discarded.
         prop_assert_eq!(engine.kv_pager().allocated_pages(), 0);
+        prop_assert_eq!(engine.kv_pager().host_pages_used(), 0);
         if !prefix_cache {
             prop_assert_eq!(engine.kv_pager().cached_pages(), 0);
         }
@@ -334,10 +378,13 @@ proptest! {
         page_size in 1usize..24,
         budget in 100usize..800,
         cache_enabled in any::<bool>(),
-        ops in prop::collection::vec(0u8..8, 4..64),
+        host_cap in 0usize..6,
+        ops in prop::collection::vec(0u8..11, 4..64),
     ) {
         const OWNERS: u64 = 5;
-        let mut pager = KvPager::new(page_size, budget).with_prefix_cache(cache_enabled);
+        let mut pager = KvPager::new(page_size, budget)
+            .with_prefix_cache(cache_enabled)
+            .with_host_tier(host_cap);
         // Three content chains of up to 4 pages each; chains share no keys.
         let chains: Vec<Vec<u64>> = (0..3u64)
             .map(|c| (0..4).map(|p| c * 100 + p + 1).collect())
@@ -371,20 +418,42 @@ proptest! {
                     let keep = (mix >> 16) as usize % (pager.pages_of(owner) + 1);
                     pager.truncate(owner, keep);
                 }
-                _ => {
+                6 | 7 => {
                     // Retire / reclaim retained pages.
                     pager.release(owner);
+                }
+                8 => {
+                    // Swap out: dropped contents move to the bounded host
+                    // tier; the grant never exceeds the remaining room.
+                    let want = 1 + (mix >> 16) as usize % 4;
+                    let room = host_cap - pager.host_pages_used();
+                    let granted = pager.swap_out(owner, want);
+                    prop_assert!(granted <= want.min(room), "over-granted swap");
+                }
+                9 => {
+                    // Copy-back on re-admission empties the owner's holding.
+                    let held = pager.host_pages_of(owner);
+                    prop_assert_eq!(pager.swap_in(owner), held);
+                    prop_assert_eq!(pager.host_pages_of(owner), 0);
+                }
+                _ => {
+                    // Retire without copy-back (the owner finished or was
+                    // rejected while swapped out).
+                    pager.host_discard(owner);
+                    prop_assert_eq!(pager.host_pages_of(owner), 0);
                 }
             }
             pager.validate();
         }
-        // Releasing every owner unmaps everything.
+        // Releasing every owner (device and host tiers) unmaps everything.
         for owner in 0..OWNERS {
             pager.release(owner);
+            pager.host_discard(owner);
         }
         pager.validate();
         prop_assert_eq!(pager.allocated_pages(), 0);
         prop_assert_eq!(pager.mapped_pages(), 0);
+        prop_assert_eq!(pager.host_pages_used(), 0);
         if !cache_enabled {
             prop_assert_eq!(pager.free_pages(), pager.total_pages());
         }
@@ -409,6 +478,7 @@ proptest! {
         preempt in any::<bool>(),
         prefill_chunk in 0usize..3,
         threads in 1usize..6,
+        tiered in any::<bool>(),
         ops in prop::collection::vec(0u8..4, 4..28),
     ) {
         let routing = RoutingKind::all()[routing_idx];
@@ -429,6 +499,14 @@ proptest! {
             .routing(routing)
             .stealing(stealing)
             .threads(threads);
+        if tiered {
+            // The tiered dimensions: a bounded host swap tier and priced
+            // cross-shard page shipping on top of the same invariants.
+            builder = builder
+                .host_pages(32)
+                .swap_cost_factor(0.25)
+                .ship_cost_factor(0.25);
+        }
         if preempt {
             builder = builder
                 .enable_preemption()
@@ -473,24 +551,49 @@ proptest! {
         let mut expected: Vec<u64> = (0..next_id).collect();
         expected.sort_unstable();
         prop_assert_eq!(finished, expected, "requests lost or duplicated");
-        // No request ever decoded on two shards.
+        // No request ever decodes on two shards — unless shipping
+        // migrated it (a `Shipped` event for that id), in which case the
+        // shard may change but each id still decodes on one shard at a
+        // time, never two in the same step.
+        let shipped_ids: std::collections::HashSet<u64> = cluster
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ClusterEvent::Shipped { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
         let mut decode_shard: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        let mut decode_step: std::collections::HashMap<u64, (usize, usize)> =
             std::collections::HashMap::new();
         for e in cluster.events() {
             if let ClusterEvent::Shard {
                 shard_id,
-                event: ServeEvent::TokenGenerated { id, .. },
+                event: ServeEvent::TokenGenerated { id, step, .. },
             } = e
             {
                 let prev = decode_shard.insert(*id, *shard_id);
                 prop_assert!(
-                    prev.is_none() || prev == Some(*shard_id),
-                    "request {} decoded on shards {:?} and {}",
+                    prev.is_none() || prev == Some(*shard_id) || shipped_ids.contains(id),
+                    "request {} decoded on shards {:?} and {} without a ship",
                     id,
                     prev,
                     shard_id
                 );
+                if let Some((s, shard)) = decode_step.insert(*id, (*step, *shard_id)) {
+                    prop_assert!(
+                        s != *step || shard == *shard_id,
+                        "request {} decoded on two shards in step {}",
+                        id,
+                        step
+                    );
+                }
             }
+        }
+        if !tiered {
+            prop_assert!(shipped_ids.is_empty(), "shipping fired with the tier off");
+            prop_assert_eq!(report.ships, 0);
         }
         // With stealing off, every request finishes on its routed shard.
         if !stealing {
@@ -511,6 +614,69 @@ proptest! {
             prop_assert_eq!(pager.allocated_pages(), 0);
             prop_assert_eq!(report.shards[i].steps.len(), report.cluster_steps);
         }
+    }
+
+    /// At any truncation point of any tiered cluster run — mid-prefill,
+    /// mid-decode, before the first completion — the admission-normalized
+    /// prefix hit rate stays inside [0, 1]. The old finished-only
+    /// normalization could pin it to 0.0 with hits already landed; a
+    /// demand derived from anything narrower than admissions could push
+    /// it past 1.
+    #[test]
+    fn truncated_run_prefix_hit_rate_stays_in_unit_range(
+        seed in any::<u64>(),
+        shards in 1usize..4,
+        cutoff in 1usize..40,
+        tiered in any::<bool>(),
+    ) {
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("thr");
+        let mut builder = ClusterEngine::builder(accel)
+            .heads(2)
+            .weight_bytes(1_000_000)
+            .max_batch(2)
+            .max_batch_tokens(600)
+            .page_size(16)
+            .seed(seed)
+            .prefix_cache(true)
+            .prefill_factor(1.0)
+            .shards(shards)
+            .routing(RoutingKind::PrefixAffinity);
+        if tiered {
+            builder = builder
+                .host_pages(16)
+                .swap_cost_factor(0.25)
+                .ship_cost_factor(0.25);
+        }
+        let mut cluster = builder.build();
+        for i in 0..10u64 {
+            let mix = seed.wrapping_mul(0x9E37_79B9).wrapping_add(i);
+            cluster
+                .enqueue(
+                    ServingRequest::new(i, 32 + (mix % 64) as usize, 4 + (mix % 16) as usize)
+                        .with_shared_prefix(i % 2, 32)
+                        .arriving_at(mix % 8),
+                )
+                .expect("valid request");
+        }
+        for _ in 0..cutoff {
+            let rate = cluster.report().prefix_hit_rate();
+            prop_assert!(
+                (0.0..=1.0).contains(&rate),
+                "truncated hit rate {} left the unit range",
+                rate
+            );
+            if cluster.step().expect("step succeeds").is_none() {
+                break;
+            }
+        }
+        let mut guard = 0;
+        while !cluster.is_idle() {
+            cluster.step().expect("step succeeds");
+            guard += 1;
+            prop_assert!(guard < 4096, "cluster failed to drain");
+        }
+        let rate = cluster.report().prefix_hit_rate();
+        prop_assert!((0.0..=1.0).contains(&rate), "drained hit rate {}", rate);
     }
 
     /// Chunk charges telescope exactly: for any workload of priced

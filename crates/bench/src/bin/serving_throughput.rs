@@ -40,6 +40,14 @@
 //! chunk budgets {unlimited, 4, 16 pages/step} × {fifo, sjf, slo-aware},
 //! each record carrying TTFT p99 and the worst per-step prefill stall.
 //!
+//! `--tiered-sweep` emits the tiered-KV document checked in as
+//! `BENCH_serving_tiered.json`: the host-swap cost crossover (copy-back
+//! factors {0.25, 0.5, 1.0, 1.5} against drop-and-re-prefill on the
+//! skewed eviction workload) and the cross-shard prefix-shipping saving
+//! (ship off vs 0.25 on a 4-shard round-robin shared-prefix cluster) —
+//! both margins asserted inside the sweep, so the bench doubles as a
+//! regression gate.
+//!
 //! ```sh
 //! cargo run --release -p topick-bench --bin serving_throughput
 //! cargo run --release -p topick-bench --bin serving_throughput -- --requests 32
@@ -48,6 +56,7 @@
 //! cargo run --release -p topick-bench --bin serving_throughput -- --threads-sweep > BENCH_serving_threads.json
 //! cargo run --release -p topick-bench --bin serving_throughput -- --scenario-sweep > BENCH_serving_scenarios.json
 //! cargo run --release -p topick-bench --bin serving_throughput -- --slo-sweep > BENCH_serving_slo.json
+//! cargo run --release -p topick-bench --bin serving_throughput -- --tiered-sweep > BENCH_serving_tiered.json
 //! ```
 
 use std::collections::HashMap;
@@ -684,6 +693,192 @@ fn slo_sweep(seed: u64, quick: bool) -> JsonValue {
         .into()
 }
 
+/// One engine run of the canonical skewed workload (priority-aging +
+/// preemption + 0.75 paged retention — the eviction-heavy regime) with a
+/// host swap tier of `host_pages` priced at `swap_cost`.
+fn run_tiered_engine(host_pages: usize, swap_cost: f64, mice: u64) -> (ServingReport, f64, f64) {
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut engine = ServingEngine::builder(accel)
+        .heads(4)
+        .weight_bytes(10_000_000)
+        .max_batch(4)
+        .max_batch_tokens(2200)
+        .seed(7)
+        .record_events(false)
+        .policy(PolicyKind::PriorityAging)
+        .enable_preemption()
+        .retention(RetentionPolicy::Fraction(0.75))
+        .host_pages(host_pages)
+        .swap_cost_factor(swap_cost)
+        .build();
+    let clock_hz = engine.config().clock_hz;
+    for r in skewed_elephant_mice(4, mice) {
+        engine.enqueue(r).expect("valid request");
+    }
+    let start = Instant::now();
+    let report = engine.run_to_completion(100_000).expect("completes");
+    (report, clock_hz, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// One 4-shard round-robin run of the shared-prefix chat workload with
+/// cross-shard page shipping priced at `ship_cost` (0 disables it).
+fn run_tiered_cluster(ship_cost: f64, size: WorkloadSize) -> (ClusterReport, f64) {
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut cluster = topick_accel::serve::workloads::shared_prefix_cluster(accel, true)
+        .record_events(false)
+        .shards(4)
+        .routing(RoutingKind::RoundRobin)
+        .stealing(false)
+        .ship_cost_factor(ship_cost)
+        .build();
+    let clock_hz = cluster.shard(0).config().clock_hz;
+    for r in shared_prefix_chat(11, size.tenants, size.per_tenant) {
+        cluster.enqueue(r).expect("valid request");
+    }
+    (
+        cluster.run_to_completion(100_000).expect("completes"),
+        clock_hz,
+    )
+}
+
+/// The `--tiered-sweep` document (checked in as
+/// `BENCH_serving_tiered.json`). Two faces of tiered KV memory:
+///
+/// * **Swap sweep**: the canonical skewed workload under eviction
+///   pressure, drop-and-re-prefill (`host_pages` 0) against a host swap
+///   tier at copy-back factors {0.25, 0.5, 1.0, 1.5} — the priced
+///   crossover where swapping beats recompute below the re-prefill cost
+///   and loses above it. The sweep *asserts* the crossover: at equal
+///   generated tokens, factor 0.25 must strictly beat the baseline's
+///   total cycles and factor 1.5 must strictly lose.
+/// * **Ship sweep**: the shared-prefix chat workload scattered over 4
+///   round-robin shards, shipping off vs on at 0.25 — pulling a sibling's
+///   already-built prefix pages must strictly cut the cluster prefill
+///   bill, asserted the same way.
+fn tiered_sweep(quick: bool) -> JsonValue {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mice: u64 = if quick { 6 } else { 12 };
+    let mut swap_records = Vec::new();
+    let (baseline, clock_hz, base_wall) = run_tiered_engine(0, 0.25, mice);
+    let swap_record = |report: &ServingReport, host_pages: usize, factor: f64, wall: f64| {
+        JsonObject::new()
+            .field("host_pages", host_pages)
+            .field("swap_cost_factor", JsonValue::Prec(factor, 2))
+            .field("tokens", report.tokens_generated)
+            .field("steps", report.steps.len())
+            .field("total_cycles", report.total_cycles)
+            .field("wall_ms", JsonValue::Prec(wall, 3))
+            .field(
+                "tokens_per_s",
+                JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
+            )
+            .field("preemptions", report.preemptions)
+            .field("swapped_tokens", report.total_swapped_tokens())
+            .field("swap_cycles", report.total_swap_cycles())
+            .field("reprefill_cycles", report.total_reprefill_cycles())
+    };
+    swap_records.push(swap_record(&baseline, 0, 0.25, base_wall).into());
+    let mut cheap_swap_cycles = None;
+    for factor in [0.25f64, 0.5, 1.0, 1.5] {
+        let (report, _, wall) = run_tiered_engine(1024, factor, mice);
+        assert_eq!(
+            report.tokens_generated, baseline.tokens_generated,
+            "the host tier changed the schedule's generated tokens"
+        );
+        if factor == 0.25 {
+            assert!(
+                report.total_cycles < baseline.total_cycles,
+                "cheap copy-back ({}) failed to beat drop-and-re-prefill ({})",
+                report.total_cycles,
+                baseline.total_cycles
+            );
+            cheap_swap_cycles = Some(report.total_cycles);
+        }
+        if factor == 1.5 {
+            assert!(
+                report.total_cycles > baseline.total_cycles,
+                "overpriced copy-back ({}) failed to lose to drop-and-re-prefill ({})",
+                report.total_cycles,
+                baseline.total_cycles
+            );
+        }
+        swap_records.push(swap_record(&report, 1024, factor, wall).into());
+    }
+    let (tenants, per_tenant) = if quick { (3, 4) } else { (4, 6) };
+    let size = WorkloadSize {
+        mice,
+        tenants,
+        per_tenant,
+    };
+    let mut ship_records = Vec::new();
+    let mut prefill_bills = [0u64; 2];
+    for (i, ship) in [0.0f64, 0.25].into_iter().enumerate() {
+        let (report, clock_hz) = run_tiered_cluster(ship, size);
+        prefill_bills[i] = report.total_prefill_cycles();
+        ship_records.push(
+            JsonObject::new()
+                .field("shards", 4usize)
+                .field("routing", report.routing.as_str())
+                .field("ship_cost_factor", JsonValue::Prec(ship, 2))
+                .field("tokens", report.tokens_generated())
+                .field("cluster_steps", report.cluster_steps)
+                .field("makespan_cycles", report.total_cycles)
+                .field(
+                    "tokens_per_s",
+                    JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
+                )
+                .field("prefill_cycles", report.total_prefill_cycles())
+                .field("ship_cycles", report.total_ship_cycles())
+                .field("hit_rate", JsonValue::Prec(report.prefix_hit_rate(), 3))
+                .into(),
+        );
+    }
+    assert!(
+        prefill_bills[1] < prefill_bills[0],
+        "prefix pulls ({}) failed to cut the round-robin prefill bill ({})",
+        prefill_bills[1],
+        prefill_bills[0]
+    );
+    JsonObject::new()
+        .field("bench", "serving_tiered")
+        .field("quick", quick)
+        .field("host_parallelism", host_parallelism)
+        .field(
+            "swap_sweep",
+            JsonObject::new()
+                .field("workload", "skewed-elephant-mice")
+                .field("policy", PolicyKind::PriorityAging.name())
+                .field("retention", "paged-0.75")
+                .field("records", swap_records)
+                .field(
+                    "crossover",
+                    JsonObject::new()
+                        .field("baseline_cycles", baseline.total_cycles)
+                        .field(
+                            "swap_0_25_cycles",
+                            cheap_swap_cycles.expect("the 0.25 point always runs"),
+                        )
+                        .field("swap_beats_reprefill", true),
+                ),
+        )
+        .field(
+            "ship_sweep",
+            JsonObject::new()
+                .field("workload", "shared-prefix-chat")
+                .field("shards", 4usize)
+                .field("routing", "round-robin")
+                .field("records", ship_records)
+                .field(
+                    "prefill_saving",
+                    JsonObject::new()
+                        .field("ship_off_prefill_cycles", prefill_bills[0])
+                        .field("ship_on_prefill_cycles", prefill_bills[1])
+                        .field("shipping_cuts_prefill", true),
+                ),
+        )
+        .into()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut flags: HashMap<String, String> = HashMap::new();
@@ -707,6 +902,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1);
+    if flags.contains_key("tiered-sweep") {
+        let doc = tiered_sweep(quick);
+        println!("{}", doc.render());
+        return;
+    }
     if flags.contains_key("slo-sweep") {
         let seed: u64 = flags
             .get("scenario-seed")

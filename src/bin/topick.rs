@@ -189,6 +189,10 @@ struct ServeOpts {
     prefill_chunk: usize,
     slo_ttft: Option<u64>,
     slo_itl: Option<u64>,
+    host_pages: usize,
+    swap_cost: f64,
+    ship_cost: f64,
+    slo_reject: bool,
     shards: usize,
     routing: token_picker::accel::RoutingKind,
     stealing: bool,
@@ -265,6 +269,12 @@ fn serve_meta(
         cfg.preemption = PreemptionConfig::enabled().with_retention(opts.retention);
     }
     cfg.prefill_chunk_pages = opts.prefill_chunk;
+    // The tiered-KV knobs override whatever the scenario shipped with —
+    // all of them default to "off"/bit-identical when the flags are absent.
+    cfg.host_pages = opts.host_pages;
+    cfg.swap_cost_factor = opts.swap_cost;
+    cfg.ship_cost_factor = opts.ship_cost;
+    cfg.reject_expired_ttft = opts.slo_reject;
     let mut meta = TraceMeta::new(&cfg, policy.name());
     if opts.shards > 1 {
         meta = meta.for_cluster(
@@ -452,6 +462,22 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
             "--routing, --stealing and --threads only take effect with --shards > 1".into(),
         );
     }
+    let host_pages = flag(flags, "host-pages", 0usize);
+    if host_pages == 0 && flags.contains_key("swap-cost") {
+        return Err("--swap-cost only takes effect with --host-pages > 0".into());
+    }
+    if shards <= 1 && flags.contains_key("ship-cost") {
+        return Err("--ship-cost only takes effect with --shards > 1".into());
+    }
+    let swap_cost = flag(
+        flags,
+        "swap-cost",
+        token_picker::accel::ServingConfig::DEFAULT_SWAP_COST_FACTOR,
+    );
+    let ship_cost = flag(flags, "ship-cost", 0.0f64);
+    if !(0.0..=10.0).contains(&swap_cost) || !(0.0..=10.0).contains(&ship_cost) {
+        return Err("--swap-cost/--ship-cost must be within [0, 10]".into());
+    }
     let opts = ServeOpts {
         mode: if baseline_mode {
             AccelMode::Baseline
@@ -484,6 +510,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         prefill_chunk: flag(flags, "prefill-chunk", 0usize),
         slo_ttft: flags.get("slo-ttft").map(|v| v.parse()).transpose()?,
         slo_itl: flags.get("slo-itl").map(|v| v.parse()).transpose()?,
+        host_pages,
+        swap_cost,
+        ship_cost,
+        slo_reject: flags.contains_key("slo-reject"),
         threads,
         scenario,
         scenario_seed: flag(flags, "scenario-seed", 7u64),
@@ -568,6 +598,20 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         report.total_reprefilled_tokens(),
         report.total_retained_tokens()
     );
+    if opts.host_pages > 0 {
+        println!(
+            "host swap      : {} cycles ({} tokens copied back, {} host pages)",
+            report.total_swap_cycles(),
+            report.total_swapped_tokens(),
+            opts.host_pages
+        );
+    }
+    if opts.slo_reject {
+        println!(
+            "rejections     : {} expired-TTFT requests",
+            report.rejections
+        );
+    }
     println!(
         "prefill        : {} cycles ({} prompt tokens served from the prefix cache, {:.0}% hit rate)",
         report.total_prefill_cycles(),
@@ -658,6 +702,26 @@ fn cmd_serve_cluster(
         report.tokens_per_second(clock_hz)
     );
     println!("steals         : {}", report.steals);
+    if opts.ship_cost > 0.0 {
+        println!(
+            "page shipping  : {} running migrations, {} transfer cycles",
+            report.ships,
+            report.total_ship_cycles()
+        );
+    }
+    if opts.host_pages > 0 {
+        println!(
+            "host swap      : {} copy-back cycles ({} host pages per shard)",
+            report.total_swap_cycles(),
+            opts.host_pages
+        );
+    }
+    if opts.slo_reject {
+        println!(
+            "rejections     : {} expired-TTFT requests",
+            report.rejections()
+        );
+    }
     println!("load imbalance : {:.2}", report.load_imbalance());
     println!("preemptions    : {}", report.preemptions());
     println!(
@@ -671,6 +735,10 @@ fn cmd_serve_cluster(
             100.0 * report.deadline_attainment(),
             report.goodput_tokens_per_second(clock_hz),
             report.total_good_tokens()
+        );
+        println!(
+            "TTFT p99       : {} steps (pooled across shards)",
+            report.ttft_p99_steps()
         );
     }
     println!(
@@ -748,7 +816,8 @@ fn usage() {
     println!("           [--policy fifo|priority|sjf|fair|slo|all] [--preemption]");
     println!("           [--page-size P] [--retention none|<pages>|<fraction>]");
     println!("           [--prefix-cache] [--prefill-factor F] [--prefill-chunk PAGES]");
-    println!("           [--slo-ttft STEPS] [--slo-itl STEPS]");
+    println!("           [--slo-ttft STEPS] [--slo-itl STEPS] [--slo-reject]");
+    println!("           [--host-pages N] [--swap-cost F] [--ship-cost F]");
     println!("           [--shards N] [--routing rr|least|affinity] [--stealing] [--threads N]");
     println!("           [--scenario NAME [--scenario-seed S]] [--list-scenarios]");
     println!("           [--record PATH | --replay PATH]");

@@ -1849,3 +1849,552 @@ fn golden_trace_replays_to_its_recorded_digest() {
     assert_eq!(report.shards.len(), 4);
     assert!(report.tokens_generated() > 0);
 }
+
+// ---------------------------------------------------------------------------
+// Tiered KV memory: host swap, cross-shard shipping, SLO rejection
+// ---------------------------------------------------------------------------
+
+/// The canonical skewed workload on the [`serve_skewed_with_retention`]
+/// engine shape (priority-aging, preemption, 0.75 paged retention) with
+/// the host tier configured.
+fn serve_skewed_tiered(host_pages: usize, swap_cost_factor: f64) -> ServingReport {
+    use token_picker::accel::serve::workloads::skewed_elephant_mice;
+
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut engine = ServingEngine::builder(accel)
+        .heads(4)
+        .weight_bytes(10_000_000)
+        .max_batch(4)
+        .max_batch_tokens(2200)
+        .seed(7)
+        .policy(PolicyKind::PriorityAging)
+        .enable_preemption()
+        .retention(RetentionPolicy::Fraction(0.75))
+        .host_pages(host_pages)
+        .swap_cost_factor(swap_cost_factor)
+        .build();
+    for r in skewed_elephant_mice(4, 12) {
+        engine.enqueue(r).expect("valid request");
+    }
+    let report = engine.run_to_completion(2048).expect("workload completes");
+    engine.kv_pager().validate();
+    assert_eq!(engine.kv_pager().allocated_pages(), 0);
+    assert_eq!(
+        engine.kv_pager().host_pages_used(),
+        0,
+        "the host tier must drain with the run"
+    );
+    report
+}
+
+#[test]
+fn tier_off_cost_factors_reproduce_every_golden_schedule() {
+    // The tiered equivalence face: with `host_pages` 0 the host tier is
+    // off no matter how the cost factors are set, the ship factor is
+    // meaningless on a bare engine, and the rejection flag has nothing to
+    // reject in a deadline-free workload — every golden must come back
+    // bit-identical with all three configured.
+    use token_picker::accel::serve::workloads::skewed_elephant_mice;
+
+    for &(policy, preemption, digest) in &GOLDEN_POLICY_DIGESTS {
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+        let mut builder = ServingEngine::builder(accel)
+            .heads(4)
+            .weight_bytes(10_000_000)
+            .max_batch(4)
+            .max_batch_tokens(2200)
+            .seed(7)
+            .policy(policy)
+            .host_pages(0)
+            .swap_cost_factor(0.1)
+            .ship_cost_factor(0.25)
+            .reject_expired_ttft(true);
+        if preemption {
+            builder = builder
+                .enable_preemption()
+                .retention(RetentionPolicy::Fraction(0.75));
+        }
+        let mut engine = builder.build();
+        for r in skewed_elephant_mice(4, 12) {
+            engine.enqueue(r).expect("valid request");
+        }
+        let report = engine.run_to_completion(2048).expect("workload completes");
+        assert_eq!(report.total_swap_cycles(), 0, "{policy}: phantom swap bill");
+        assert_eq!(report.total_ship_cycles(), 0, "{policy}: phantom ship bill");
+        assert_eq!(report.rejections, 0, "{policy}: deadline-free rejection");
+        assert_eq!(
+            schedule_digest(&report),
+            digest,
+            "{policy} (preemption: {preemption}) diverged with tier-off factors set"
+        );
+    }
+}
+
+#[test]
+fn host_swap_strictly_beats_drop_and_reprefill_at_equal_tokens() {
+    // The swap-cost crossover: evicted KV copied back from the host tier
+    // at a quarter of the re-prefill price must strictly cut total cycles
+    // at equal tokens on the canonical skewed workload — and copy-back
+    // priced *above* re-prefill (1.5x) must strictly cost more, so the
+    // tier is a priced trade-off, not a free lunch.
+    let dropped = serve_skewed_with_retention(
+        PolicyKind::PriorityAging,
+        true,
+        RetentionPolicy::Fraction(0.75),
+    );
+    assert!(dropped.preemptions > 0, "no evictions — nothing to compare");
+
+    let swapped = serve_skewed_tiered(1024, 0.25);
+    assert_eq!(swapped.tokens_generated, dropped.tokens_generated);
+    assert_eq!(
+        swapped.preemptions, dropped.preemptions,
+        "pricing copy-back must not change the schedule's shape"
+    );
+    assert!(
+        swapped.total_swapped_tokens() > 0,
+        "nothing was copied back"
+    );
+    assert!(swapped.total_swap_cycles() > 0, "copy-back must be priced");
+    assert!(
+        swapped.total_reprefill_cycles() < dropped.total_reprefill_cycles(),
+        "swapping in must displace re-prefill: {} vs {} cycles",
+        swapped.total_reprefill_cycles(),
+        dropped.total_reprefill_cycles()
+    );
+    assert!(
+        swapped.total_cycles < dropped.total_cycles,
+        "cheap copy-back must beat drop-and-reprefill: {} vs {} cycles",
+        swapped.total_cycles,
+        dropped.total_cycles
+    );
+
+    let overpriced = serve_skewed_tiered(1024, 1.5);
+    assert_eq!(overpriced.tokens_generated, dropped.tokens_generated);
+    assert!(
+        overpriced.total_cycles > dropped.total_cycles,
+        "copy-back above the re-prefill price must lose: {} vs {} cycles",
+        overpriced.total_cycles,
+        dropped.total_cycles
+    );
+}
+
+#[test]
+fn swap_events_account_for_every_copied_back_token() {
+    use token_picker::accel::serve::scenario::{Scenario, SkewedElephantMice};
+
+    // Record the tiered skewed run through the trace layer: SwappedOut/
+    // SwappedIn must replay to the same digest, and the SwappedIn event
+    // tokens must sum to exactly the copy-back the requests were billed.
+    let scenario = SkewedElephantMice {
+        elephants: 4,
+        mice: 12,
+    };
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut cfg = scenario.serving_config(accel);
+    cfg.preemption = PreemptionConfig::enabled().with_retention(RetentionPolicy::Fraction(0.75));
+    cfg.host_pages = 1024;
+    cfg.swap_cost_factor = 0.25;
+    let meta = TraceMeta::new(&cfg, PolicyKind::PriorityAging.name());
+    let requests = scenario.generate(0);
+    let (first, report) = run_recorded(&meta, &requests).expect("tiered run records");
+    let (second, _) = first.replay().expect("tiered trace replays");
+    if let Some(diff) = first.diff(&second) {
+        panic!("tiered replay diverged from the recording:\n{diff}");
+    }
+    assert_eq!(
+        first.digest, second.digest,
+        "swap events must digest stably"
+    );
+
+    let report = engine_report(report, "tiered skewed");
+    let (mut out_tokens, mut in_tokens) = (0usize, 0usize);
+    for e in &first.events {
+        let ClusterEvent::Shard { event, .. } = *e else {
+            continue;
+        };
+        match event {
+            ServeEvent::SwappedOut { tokens, .. } => out_tokens += tokens,
+            ServeEvent::SwappedIn { tokens, .. } => in_tokens += tokens,
+            _ => {}
+        }
+    }
+    assert!(out_tokens > 0, "no eviction ever swapped KV out");
+    assert!(in_tokens > 0, "no re-admission ever copied KV back");
+    assert!(
+        in_tokens <= out_tokens,
+        "cannot copy back more than was swapped out: {in_tokens} vs {out_tokens}"
+    );
+    assert_eq!(
+        in_tokens,
+        report.total_swapped_tokens(),
+        "SwappedIn events and per-request accounting must agree"
+    );
+    assert!(report.total_swap_cycles() > 0);
+}
+
+/// The shared-prefix chat workload on a 4-shard round-robin cluster with
+/// prefix-pull shipping priced at `ship`.
+fn serve_shared_prefix_cluster_shipped(ship: f64) -> ClusterReport {
+    use token_picker::accel::serve::workloads::{shared_prefix_chat, shared_prefix_cluster};
+
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut cluster = shared_prefix_cluster(accel, true)
+        .shards(4)
+        .routing(RoutingKind::RoundRobin)
+        .stealing(false)
+        .ship_cost_factor(ship)
+        .build();
+    for r in shared_prefix_chat(11, 4, 6) {
+        cluster.enqueue(r).expect("valid request");
+    }
+    let report = cluster.run_to_completion(4096).expect("workload completes");
+    for i in 0..cluster.shard_count() {
+        cluster.shard(i).kv_pager().validate();
+        assert_eq!(cluster.shard(i).kv_pager().allocated_pages(), 0);
+    }
+    report
+}
+
+#[test]
+fn prefix_pull_shipping_strictly_cuts_the_round_robin_prefill_bill() {
+    // Round-robin scatters every tenant's requests across all four
+    // shards, so without shipping each shard re-prefills the tenant
+    // prefix from scratch. With shipping priced at a quarter of prefill,
+    // an arriving request pulls the already-built prefix pages from a
+    // sibling shard instead — the combined prefill + transfer bill must
+    // come in strictly under re-prefilling, at equal tokens.
+    let base = serve_shared_prefix_cluster(4, RoutingKind::RoundRobin, false);
+    let shipped = serve_shared_prefix_cluster_shipped(0.25);
+
+    assert_eq!(shipped.tokens_generated(), base.tokens_generated());
+    assert!(
+        shipped.total_ship_cycles() > 0,
+        "no prefix pages were ever pulled"
+    );
+    assert!(
+        shipped.prefix_hit_rate() > base.prefix_hit_rate(),
+        "pulled pages must land as cache hits: {:.3} vs {:.3}",
+        shipped.prefix_hit_rate(),
+        base.prefix_hit_rate()
+    );
+    for report in [&base, &shipped] {
+        let rate = report.prefix_hit_rate();
+        assert!((0.0..=1.0).contains(&rate), "hit rate {rate} out of range");
+    }
+    let base_bill = base.total_prefill_cycles() + base.total_reprefill_cycles();
+    let shipped_bill = shipped.total_prefill_cycles()
+        + shipped.total_reprefill_cycles()
+        + shipped.total_ship_cycles();
+    assert!(
+        shipped_bill < base_bill,
+        "pulling shared prefixes at transfer price must beat re-prefilling: \
+         {shipped_bill} vs {base_bill} cycles"
+    );
+}
+
+#[test]
+fn shipped_prefix_pulls_record_and_replay_to_the_same_digest() {
+    use token_picker::accel::serve::scenario::{Scenario, SharedPrefixChat};
+
+    let scenario = SharedPrefixChat {
+        tenants: 4,
+        per_tenant: 6,
+    };
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut cfg = scenario.serving_config(accel);
+    cfg.host_pages = 64;
+    cfg.swap_cost_factor = 0.25;
+    cfg.ship_cost_factor = 0.25;
+    let meta = TraceMeta::new(&cfg, PolicyKind::Fifo.name())
+        .for_scenario(scenario.name(), 11)
+        .for_cluster(4, RoutingKind::RoundRobin.name(), true, 1);
+    let requests = scenario.generate(11);
+    let (first, report) = run_recorded(&meta, &requests).expect("shipped run records");
+    let (second, _) = first.replay().expect("shipped trace replays");
+    if let Some(diff) = first.diff(&second) {
+        panic!("shipped replay diverged from the recording:\n{diff}");
+    }
+    assert_eq!(
+        first.digest, second.digest,
+        "ship events must digest stably"
+    );
+    assert!(
+        first
+            .events
+            .iter()
+            .any(|e| matches!(e, ClusterEvent::Shipped { .. })),
+        "no prefix pages were ever shipped"
+    );
+    let RunReport::Cluster(report) = report else {
+        panic!("four shards must run a cluster");
+    };
+    assert!(report.total_ship_cycles() > 0);
+}
+
+/// The canonical skewed workload on a 4-shard least-loaded cluster with
+/// preemption, paged retention, the host tier *and* priced shipping all
+/// on — the full tiered configuration.
+fn serve_skewed_cluster_tiered(threads: usize) -> ClusterReport {
+    use token_picker::accel::serve::workloads::skewed_elephant_mice;
+
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut cluster = ClusterEngine::builder(accel)
+        .heads(4)
+        .weight_bytes(10_000_000)
+        .max_batch(4)
+        .max_batch_tokens(2200)
+        .seed(7)
+        .policy(PolicyKind::PriorityAging)
+        .enable_preemption()
+        .retention(RetentionPolicy::Fraction(0.75))
+        .host_pages(256)
+        .swap_cost_factor(0.25)
+        .ship_cost_factor(0.25)
+        .shards(4)
+        .routing(RoutingKind::LeastLoaded)
+        .stealing(true)
+        .threads(threads)
+        .build();
+    for r in skewed_elephant_mice(4, 12) {
+        cluster.enqueue(r).expect("valid request");
+    }
+    let report = cluster.run_to_completion(2048).expect("workload completes");
+    for i in 0..cluster.shard_count() {
+        cluster.shard(i).kv_pager().validate();
+        assert_eq!(cluster.shard(i).kv_pager().allocated_pages(), 0);
+        assert_eq!(cluster.shard(i).kv_pager().host_pages_used(), 0);
+    }
+    report
+}
+
+#[test]
+fn tiered_threaded_cluster_is_digest_identical_to_sequential() {
+    // Swap decisions live inside each shard's step; ship decisions live
+    // on the coordinator between step barriers. Neither may depend on
+    // which worker thread stepped which shard: the full tiered cluster
+    // must be digest-identical between threads = 1 and threads ∈ {2, 4}.
+    let sequential = serve_skewed_cluster_tiered(1);
+    for threads in [2, 4] {
+        let threaded = serve_skewed_cluster_tiered(threads);
+        assert_eq!(
+            threaded.ships, sequential.ships,
+            "{threads} threads: ship count diverged"
+        );
+        assert_eq!(
+            threaded.total_swap_cycles(),
+            sequential.total_swap_cycles(),
+            "{threads} threads: swap bill diverged"
+        );
+        assert_eq!(
+            threaded.total_ship_cycles(),
+            sequential.total_ship_cycles(),
+            "{threads} threads: ship bill diverged"
+        );
+        assert_same_schedule(
+            &threaded,
+            &sequential,
+            &format!("tiered cluster, {threads} threads"),
+        );
+    }
+}
+
+#[test]
+fn expired_ttft_rejection_is_evented_and_counts_against_attainment() {
+    // One slot; request 0 holds it for 10 steps while request 1 queues
+    // behind a 3-step TTFT deadline it can no longer meet from step 3 on.
+    let run = |reject: bool| {
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+        let mut engine = ServingEngine::builder(accel)
+            .heads(2)
+            .weight_bytes(1_000_000)
+            .max_batch(1)
+            .max_batch_tokens(2048)
+            .seed(7)
+            .reject_expired_ttft(reject)
+            .build();
+        engine
+            .enqueue(ServingRequest::new(0, 64, 10))
+            .expect("valid request");
+        engine
+            .enqueue(ServingRequest::new(1, 64, 4).with_ttft_deadline(3))
+            .expect("valid request");
+        let report = engine.run_to_completion(64).expect("completes");
+        let rejected: Vec<(u64, usize, usize)> = engine
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ServeEvent::Rejected {
+                    id,
+                    step,
+                    overdue_steps,
+                } => Some((*id, *step, *overdue_steps)),
+                _ => None,
+            })
+            .collect();
+        (report, rejected)
+    };
+
+    // Off (the default): the late request still runs to target, blows its
+    // deadline, and contributes nothing to goodput.
+    let (off, no_events) = run(false);
+    assert!(no_events.is_empty(), "rejection must be opt-in");
+    assert_eq!(off.rejections, 0);
+    let late = off.requests.iter().find(|r| r.id == 1).expect("finished");
+    assert_eq!(late.generated, 4, "without rejection the late request runs");
+    assert!(late.slo_violated);
+    assert_eq!(off.deadline_attainment(), 0.0);
+
+    // On: rejected the moment the deadline became unmeetable (step 3 =
+    // one step overdue), never decoded, still in the report — and still
+    // in the attainment denominator.
+    let (on, events) = run(true);
+    assert_eq!(on.rejections, 1);
+    assert_eq!(events, vec![(1, 3, 1)], "wrong rejection moment");
+    let turned_away = on
+        .requests
+        .iter()
+        .find(|r| r.id == 1)
+        .expect("rejected requests stay in the report");
+    assert_eq!(turned_away.generated, 0);
+    assert_eq!(turned_away.first_token_at, None);
+    assert!(turned_away.slo_violated);
+    assert!(turned_away.finished_at.is_some());
+    assert_eq!(
+        on.deadline_attainment(),
+        0.0,
+        "a rejection is a missed deadline, not a vanished one"
+    );
+    // Shedding the hopeless request costs no goodput and skips its work.
+    assert_eq!(on.total_good_tokens(), off.total_good_tokens());
+    assert_eq!(on.tokens_generated, off.tokens_generated - 4);
+}
+
+#[test]
+fn rejecting_expired_queueing_never_costs_goodput_under_deadline_pressure() {
+    use token_picker::accel::serve::scenario::{LongDocSummarize, Scenario};
+
+    // Sixteen deadline-carrying documents arriving simultaneously into
+    // three slots: the queue tail blows its TTFT budget long before
+    // admission. Turning rejection on must shed exactly that hopeless
+    // work — goodput may not drop — and the Rejected events must replay.
+    let run = |reject: bool| {
+        let scenario = LongDocSummarize { docs: 16 };
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+        let mut cfg = scenario.serving_config(accel);
+        cfg.reject_expired_ttft = reject;
+        let mut requests = scenario.generate(11);
+        for r in &mut requests {
+            *r = r.arriving_at(0);
+        }
+        let meta = TraceMeta::new(&cfg, PolicyKind::Fifo.name());
+        let (trace, report) = run_recorded(&meta, &requests).expect("slo run records");
+        let (second, _) = trace.replay().expect("slo trace replays");
+        if let Some(diff) = trace.diff(&second) {
+            panic!("reject={reject}: replay diverged:\n{diff}");
+        }
+        (trace, engine_report(report, "slo workload"))
+    };
+
+    let (_, off) = run(false);
+    let (trace_on, on) = run(true);
+    assert!(
+        on.rejections > 0,
+        "16 simultaneous documents against 3 slots must reject someone"
+    );
+    assert!(
+        trace_on.events.iter().any(|e| matches!(
+            e,
+            ClusterEvent::Shard {
+                event: ServeEvent::Rejected { .. },
+                ..
+            }
+        )),
+        "rejections must be evented"
+    );
+    assert_eq!(
+        on.requests.len(),
+        off.requests.len(),
+        "rejected requests stay in the report"
+    );
+    assert!(
+        on.total_good_tokens() >= off.total_good_tokens(),
+        "rejection must never cost goodput: {} vs {} good tokens",
+        on.total_good_tokens(),
+        off.total_good_tokens()
+    );
+    assert!(
+        on.tokens_generated < off.tokens_generated,
+        "rejection must shed the hopeless work"
+    );
+    for report in [&off, &on] {
+        let attainment = report.deadline_attainment();
+        assert!((0.0..=1.0).contains(&attainment));
+    }
+}
+
+#[test]
+fn truncated_cluster_snapshots_keep_the_prefix_hit_rate_in_unit_range() {
+    // Two tenants' requests share 64-token prefixes and decode for 32
+    // steps, so cache hits land at admission long before anything can
+    // finish. Snapshot the cluster report after every one of the first
+    // six steps: the admission-normalized rate must sit inside [0, 1]
+    // with hits already visible — the old finished-only normalization
+    // reported 0.0 on every one of these snapshots because its
+    // denominator only counted finished requests.
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut cluster = ClusterEngine::builder(accel)
+        .heads(2)
+        .weight_bytes(1_000_000)
+        .max_batch(4)
+        .max_batch_tokens(1600)
+        .page_size(16)
+        .prefix_cache(true)
+        .prefill_factor(1.0)
+        .seed(7)
+        .shards(2)
+        .routing(RoutingKind::PrefixAffinity)
+        .build();
+    for i in 0..8u64 {
+        let tenant = i % 2;
+        // Pairs arrive two steps apart: with prefill priced, a builder's
+        // prefix pages publish only after its prefill step, so same-step
+        // admissions cannot adopt each other — the stagger lets every
+        // later pair hit the prefix its tenant's first request built.
+        cluster
+            .enqueue(
+                ServingRequest::new(i, 80 + (i as usize % 3) * 16, 32)
+                    .with_shared_prefix(tenant, 64)
+                    .arriving_at((i / 2) * 2),
+            )
+            .expect("valid request");
+    }
+    let mut saw_hits_before_any_completion = false;
+    for step in 0..6 {
+        cluster
+            .step()
+            .expect("step")
+            .expect("a 32-token decode outlives six steps");
+        let snapshot = cluster.report();
+        let rate = snapshot.prefix_hit_rate();
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "truncated-run hit rate {rate} left the unit range at step {step}"
+        );
+        assert_eq!(
+            snapshot.requests().count(),
+            0,
+            "nothing can finish within six steps of a 32-token decode"
+        );
+        if rate > 0.0 {
+            saw_hits_before_any_completion = true;
+        }
+    }
+    assert!(
+        saw_hits_before_any_completion,
+        "the cache never hit inside the truncated window"
+    );
+    // Drained, the rate stays in range and strictly positive.
+    let report = cluster.run_to_completion(4096).expect("completes");
+    let rate = report.prefix_hit_rate();
+    assert!(rate > 0.0 && rate <= 1.0, "drained hit rate {rate}");
+}
