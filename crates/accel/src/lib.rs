@@ -58,11 +58,11 @@ pub use layout::KvLayout;
 pub use prompt::{run_prompt_phase, PromptPhaseResult};
 pub use result::AttentionStepResult;
 pub use serve::{
-    AdmissionConfig, ClusterEngine, ClusterEngineBuilder, ClusterEvent, ClusterReport,
-    ClusterStepReport, FairRoundRobin, Fifo, KvPager, PendingView, PolicyKind, PreemptionConfig,
-    PriorityAging, RequestStats, RetentionPolicy, RoutingKind, RoutingPolicy, RunReport,
-    RunningView, Scenario, ScenarioKind, SchedulerPolicy, ServeError, ServeEvent, ServingConfig,
-    ServingEngine, ServingEngineBuilder, ServingReport, ServingRequest, SessionStats, ShardView,
-    ShortestJobFirst, SloAware, StepReport, Trace, TraceError, TraceMeta, TraceRecorder,
-    TraceReplay,
+    run_token_backed, AdmissionConfig, ClusterEngine, ClusterEngineBuilder, ClusterEvent,
+    ClusterReport, ClusterStepReport, FairRoundRobin, Fifo, KvPager, PendingView, PolicyKind,
+    PreemptionConfig, PriorityAging, RequestStats, RetentionPolicy, RoutingKind, RoutingPolicy,
+    RunReport, RunningView, Scenario, ScenarioKind, SchedulerPolicy, ServeError, ServeEvent,
+    ServingConfig, ServingEngine, ServingEngineBuilder, ServingReport, ServingRequest,
+    SessionStats, ShardView, ShortestJobFirst, SloAware, StepReport, TokenBackedBatch,
+    TokenBackedRun, Trace, TraceError, TraceMeta, TraceRecorder, TraceReplay,
 };

@@ -55,6 +55,7 @@ pub mod queue;
 pub mod router;
 pub mod scenario;
 pub mod stats;
+pub mod token_backed;
 pub mod trace;
 pub mod workloads;
 
@@ -73,6 +74,7 @@ pub use queue::ServingRequest;
 pub use router::{LeastLoaded, PrefixAffinity, RoundRobin, RoutingKind, RoutingPolicy, ShardView};
 pub use scenario::{Scenario, ScenarioKind};
 pub use stats::{RequestStats, ServingReport, SessionStats, StepReport};
+pub use token_backed::{run_token_backed, TokenBackedBatch, TokenBackedRun};
 pub use trace::{RunReport, Trace, TraceError, TraceMeta, TraceRecorder, TraceReplay};
 
 use topick_core::{PruneStats, QVector, QuantBuffer};
@@ -587,6 +589,14 @@ impl ServingEngine {
     /// (export on the donor, import on the receiver).
     pub(crate) fn kv_pager_mut(&mut self) -> &mut KvPager {
         self.batch.pager_mut()
+    }
+
+    /// Whether the engine records [`ServeEvent`]s (on by default;
+    /// disabled via the builder's `record_events(false)` for hot loops).
+    /// The token-backed mirror refuses to run without it.
+    #[must_use]
+    pub fn records_events(&self) -> bool {
+        self.record_events
     }
 
     /// Events recorded so far, in order.

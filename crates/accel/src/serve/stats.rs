@@ -290,6 +290,16 @@ impl ServingReport {
         self.steps.iter().map(|s| s.prefill_cycles).sum()
     }
 
+    /// Total batched-attention cycles charged across all steps — together
+    /// with [`total_prefill_cycles`](Self::total_prefill_cycles) and
+    /// [`total_reprefill_cycles`](Self::total_reprefill_cycles), the
+    /// charged side of the charged-vs-measured cycle cross-check the
+    /// real-token serving path pins.
+    #[must_use]
+    pub fn total_attention_cycles(&self) -> u64 {
+        self.steps.iter().map(|s| s.attention_cycles).sum()
+    }
+
     /// Total prompt tokens the shared-prefix cache served across all
     /// requests.
     #[must_use]
@@ -298,21 +308,23 @@ impl ServingReport {
     }
 
     /// Share of all prompt-prefill demand the shared-prefix cache served,
-    /// in `[0, 1]` (0 when no request carried a prompt). Every admission
-    /// demands the request's prompt once — a preempted request re-demands
-    /// it at each re-admission (and may hit the cache again), so the
-    /// denominator is `prompt_len × (preemptions + 1)` per request.
+    /// in `[0, 1]` (0 when nothing was admitted). Both sides are counted
+    /// *at admission* — demand by
+    /// [`admitted_prompt_tokens`](Self::admitted_prompt_tokens), service
+    /// by [`admitted_hit_tokens`](Self::admitted_hit_tokens) — so the
+    /// ratio is well-formed even on truncated runs, mirroring the
+    /// cluster-side accounting. The previous normalization derived demand
+    /// as `prompt_len × (preemptions + 1)` over *finished* requests,
+    /// which reported 0 before the first completion, ignored in-flight
+    /// demand, and overcounted re-admissions that re-prefill only the
+    /// suffix dropped past the retained/swapped prefix. On a drained run
+    /// without rejections the two normalizations agree.
     #[must_use]
     pub fn prefix_hit_rate(&self) -> f64 {
-        let demanded: usize = self
-            .requests
-            .iter()
-            .map(|r| r.prompt_len * (r.preemptions as usize + 1))
-            .sum();
-        if demanded == 0 {
+        if self.admitted_prompt_tokens == 0 {
             return 0.0;
         }
-        self.total_prefix_hit_tokens() as f64 / demanded as f64
+        self.admitted_hit_tokens as f64 / self.admitted_prompt_tokens as f64
     }
 
     /// Total host-tier copy-back cycles charged across all steps — the
@@ -453,5 +465,89 @@ impl ServingReport {
             return 0.0;
         }
         sessions.iter().map(f).sum::<f64>() / sessions.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A finished-request record with the given prompt/preemption/hit
+    /// shape and every other field inert.
+    fn request(id: u64, prompt_len: usize, preemptions: u32, hits: usize) -> RequestStats {
+        RequestStats {
+            id,
+            prompt_len,
+            generated: 1,
+            priority: 0,
+            client_id: 0,
+            enqueued_at: 0,
+            admitted_at: Some(0),
+            first_token_at: Some(0),
+            finished_at: Some(0),
+            preemptions,
+            attention_cycles: 0,
+            prefill_cycles: 0,
+            reprefill_cycles: 0,
+            prefix_hit_tokens: hits,
+            retained_tokens: 0,
+            reprefilled_tokens: 0,
+            swapped_tokens: 0,
+            swap_cycles: 0,
+            shipped_tokens: 0,
+            ship_cycles: 0,
+            ttft_deadline: None,
+            itl_deadline: None,
+            good_tokens: 1,
+            slo_violated: false,
+        }
+    }
+
+    fn report(requests: Vec<RequestStats>, admitted: usize, hits: usize) -> ServingReport {
+        ServingReport {
+            policy: "fifo".to_string(),
+            steps: Vec::new(),
+            requests,
+            total_cycles: 0,
+            tokens_generated: 0,
+            preemptions: 0,
+            admitted_prompt_tokens: admitted,
+            admitted_hit_tokens: hits,
+            rejections: 0,
+            prune: topick_core::PruneStats::default(),
+        }
+    }
+
+    /// Hand-computed retention scenario: a 10-token request is admitted,
+    /// preempted with 8 tokens of its prompt KV retained, and re-admitted
+    /// adopting those 8 tokens from the cache. Demand is 10 + 10 = 20
+    /// admitted prompt tokens, service is 0 + 8 = 8, so the rate is
+    /// exactly 0.4.
+    #[test]
+    fn prefix_hit_rate_is_exact_on_a_retention_scenario() {
+        let r = report(vec![request(0, 10, 1, 8)], 20, 8);
+        assert!((r.prefix_hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    /// The old normalization (`prompt_len × (preemptions + 1)` over
+    /// finished requests) reported 0.0 on a truncated run with every
+    /// request still in flight; admission-normalized accounting reports
+    /// the true in-flight rate and stays in `[0, 1]`.
+    #[test]
+    fn prefix_hit_rate_is_well_formed_mid_run() {
+        // Nothing finished yet: 2 admissions of 16-token prompts, one of
+        // them fully served by the cache.
+        let r = report(Vec::new(), 32, 16);
+        assert!((r.prefix_hit_rate() - 0.5).abs() < 1e-12);
+
+        // Retention re-admissions can serve most of a prompt repeatedly;
+        // the rate must still never leave [0, 1].
+        let r = report(vec![request(0, 16, 3, 48)], 64, 48);
+        let rate = r.prefix_hit_rate();
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of range");
+        assert!((rate - 0.75).abs() < 1e-12);
+
+        // And an empty run divides to 0, not NaN.
+        assert_eq!(report(Vec::new(), 0, 0).prefix_hit_rate(), 0.0);
     }
 }

@@ -40,6 +40,18 @@
 //! chunk budgets {unlimited, 4, 16 pages/step} × {fifo, sjf, slo-aware},
 //! each record carrying TTFT p99 and the worst per-step prefill stall.
 //!
+//! `--e2e-sweep` emits the real-token end-to-end document checked in as
+//! `BENCH_serving_e2e.json`: the shared-prefix chat workload (cache on,
+//! cache off, chunked prefill) and the skewed eviction workload under
+//! priority-aging preemption with paged retention, each served through
+//! the token-backed mirror so a real synth model generates every token
+//! out of one shared paged KV store. Each record carries the engine's
+//! charged cycles next to the kernel cycles the mirror measured, the
+//! peak/drained shared-page counts, and *asserts* (not just reports)
+//! that every request's tokens are byte-identical to a private
+//! unsharded `generate` — the checked-in document doubles as the e2e
+//! regression gate.
+//!
 //! `--tiered-sweep` emits the tiered-KV document checked in as
 //! `BENCH_serving_tiered.json`: the host-swap cost crossover (copy-back
 //! factors {0.25, 0.5, 1.0, 1.5} against drop-and-re-prefill on the
@@ -57,6 +69,7 @@
 //! cargo run --release -p topick-bench --bin serving_throughput -- --scenario-sweep > BENCH_serving_scenarios.json
 //! cargo run --release -p topick-bench --bin serving_throughput -- --slo-sweep > BENCH_serving_slo.json
 //! cargo run --release -p topick-bench --bin serving_throughput -- --tiered-sweep > BENCH_serving_tiered.json
+//! cargo run --release -p topick-bench --bin serving_throughput -- --e2e-sweep > BENCH_serving_e2e.json
 //! ```
 
 use std::collections::HashMap;
@@ -69,6 +82,7 @@ use topick_accel::{
     RetentionPolicy, RoutingKind, ScenarioKind, ServingEngine, ServingReport, ServingRequest,
 };
 use topick_bench::json::{JsonObject, JsonValue};
+use topick_model::ModelSpec;
 
 fn run_point(
     mode: AccelMode,
@@ -879,6 +893,149 @@ fn tiered_sweep(quick: bool) -> JsonValue {
         .into()
 }
 
+/// One record of the `--e2e-sweep`: `requests` served on `engine` with
+/// the token-backed mirror generating real synth-model tokens out of the
+/// shared paged KV store. Token equivalence against a per-request
+/// unsharded `generate` — and the expected sharing/preemption posture —
+/// are asserted, not just reported.
+fn e2e_record(
+    label: &'static str,
+    requests: Vec<ServingRequest>,
+    mut engine: ServingEngine,
+    expect_sharing: bool,
+    expect_preemptions: bool,
+) -> JsonValue {
+    // The CLI/bench workloads outgrow the toy spec's 256-token window,
+    // so the served model is toy-shaped with a longer context.
+    let mut spec = ModelSpec::toy();
+    spec.max_context = 1024;
+    let clock_hz = engine.config().clock_hz;
+    let start = Instant::now();
+    let run =
+        topick_accel::serve::run_token_backed(&mut engine, requests.clone(), spec, 11, 100_000)
+            .expect("e2e run completes");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    for req in &requests {
+        let got = run.batch.generated(req.id).expect("request was served");
+        assert_eq!(
+            got,
+            run.batch.reference_generate(req).as_slice(),
+            "{label}: request {} diverged from its unsharded generate",
+            req.id
+        );
+    }
+    if expect_sharing {
+        assert!(
+            run.batch.peak_shared_pages() > 0,
+            "{label}: the prefix cache produced no physical page sharing"
+        );
+    } else {
+        assert_eq!(
+            run.batch.peak_shared_pages(),
+            0,
+            "{label}: pages were shared without a prefix cache"
+        );
+    }
+    if expect_preemptions {
+        assert!(
+            run.report.preemptions > 0,
+            "{label}: the eviction regime never preempted"
+        );
+    }
+    run.batch.validate();
+    let report = &run.report;
+    JsonObject::new()
+        .field("config", label)
+        .field("requests", requests.len())
+        .field("tokens", report.tokens_generated)
+        .field("steps", report.steps.len())
+        .field("preemptions", report.preemptions)
+        .field("wall_ms", JsonValue::Prec(wall_ms, 3))
+        .field(
+            "tokens_per_s",
+            JsonValue::Prec(report.tokens_per_second(clock_hz), 1),
+        )
+        .field("hit_rate", JsonValue::Prec(report.prefix_hit_rate(), 3))
+        .field("peak_shared_pages", run.batch.peak_shared_pages())
+        .field("drained_shared_pages", run.batch.shared_pages())
+        .field("charged_cycles", run.charged_cycles())
+        .field("measured_build_cycles", run.batch.measured_build_cycles())
+        .field("measured_decode_cycles", run.batch.measured_decode_cycles())
+        .field("cycle_ratio", JsonValue::Prec(run.cycle_ratio(), 4))
+        .field("byte_identical", true)
+        .into()
+}
+
+/// The `--e2e-sweep` document (checked in as `BENCH_serving_e2e.json`):
+/// real-token serving across the regimes that stress the paged store
+/// differently — prefix sharing (cache on/off), chunked prefill, and
+/// preemption with paged retention. See the module docs for what each
+/// record asserts.
+fn e2e_sweep(quick: bool) -> JsonValue {
+    use topick_accel::serve::workloads::shared_prefix_engine;
+    let host_parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let (tenants, per_tenant) = if quick { (3, 4) } else { (4, 6) };
+    let mice: u64 = if quick { 4 } else { 8 };
+    let accel = || AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let chat = shared_prefix_chat(11, tenants, per_tenant);
+    let mut records = vec![
+        e2e_record(
+            "shared-prefix-cache-on",
+            chat.clone(),
+            shared_prefix_engine(accel(), true).build(),
+            true,
+            false,
+        ),
+        e2e_record(
+            "shared-prefix-cache-off",
+            chat.clone(),
+            shared_prefix_engine(accel(), false).build(),
+            false,
+            false,
+        ),
+        e2e_record(
+            "shared-prefix-chunked-prefill",
+            chat,
+            shared_prefix_engine(accel(), true)
+                .prefill_chunk_pages(2)
+                .build(),
+            true,
+            false,
+        ),
+    ];
+    records.push(e2e_record(
+        "skewed-preemptive-retention",
+        skewed_elephant_mice(4, mice),
+        ServingEngine::builder(accel())
+            .heads(4)
+            .weight_bytes(10_000_000)
+            .max_batch(4)
+            .max_batch_tokens(2200)
+            .seed(7)
+            .policy(PolicyKind::PriorityAging)
+            .enable_preemption()
+            .retention(RetentionPolicy::Fraction(0.75))
+            .build(),
+        false,
+        true,
+    ));
+    JsonObject::new()
+        .field("bench", "serving_e2e")
+        .field("quick", quick)
+        .field(
+            "model",
+            "toy (d_model 64, 2 layers, 4 heads, max_context 1024)",
+        )
+        .field("model_seed", 11u64)
+        .field("host_parallelism", host_parallelism)
+        .field(
+            "token_equivalence",
+            "asserted per record: served tokens byte-identical to a per-request unsharded generate",
+        )
+        .field("records", records)
+        .into()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut flags: HashMap<String, String> = HashMap::new();
@@ -902,6 +1059,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1);
+    if flags.contains_key("e2e-sweep") {
+        let doc = e2e_sweep(quick);
+        println!("{}", doc.render());
+        return;
+    }
     if flags.contains_key("tiered-sweep") {
         let doc = tiered_sweep(quick);
         println!("{}", doc.render());

@@ -61,8 +61,8 @@ pub use attention::{
 };
 pub use kvcache::{HeadCache, KvCache, KvView};
 pub use memory::TrafficBreakdown;
-pub use model::{sample_token, TransformerModel};
-pub use paged::{PagedKvStore, PagedSeq};
+pub use model::{argmax_token, sample_token, DecodeKv, TransformerModel};
+pub use paged::{PagedKvBinding, PagedKvStore, PagedSeq};
 pub use perplexity::{
     delta_ppl, evaluate_perplexity, nll_from_logits, teacher_corpus,
     teacher_corpus_with_temperature, PerplexityReport,

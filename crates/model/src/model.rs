@@ -11,6 +11,56 @@ use crate::layers::{Embedding, FeedForward, LayerNorm, Linear};
 use crate::specs::ModelSpec;
 use crate::tensor::add_assign;
 
+/// KV storage the resumable decode path writes into and attends over.
+///
+/// The model's forward loop only ever needs two storage operations per
+/// `(layer, head)`: append one token's key/value rows, and attend over
+/// everything cached so far. Abstracting those two behind this trait lets
+/// the *same* loop run over the contiguous per-request [`KvCache`] and
+/// over [`PagedKvBinding`](crate::PagedKvBinding), whose rows live in a
+/// shared copy-on-write [`PagedKvStore`](crate::PagedKvStore) — which is
+/// how a serving batch physically shares system-prompt KV while the
+/// model code stays oblivious.
+pub trait DecodeKv {
+    /// Number of tokens whose K/V rows are currently materialised. The
+    /// next [`decode_step`](TransformerModel::decode_step) appends at
+    /// exactly this position.
+    fn context_len(&self) -> usize;
+
+    /// Appends one token's key and value rows for `(layer, head)`.
+    fn push_row(&mut self, layer: usize, head: usize, key: &[f32], value: &[f32]);
+
+    /// Runs `kernel` over every cached row of `(layer, head)` for query
+    /// `q`, returning the attention output.
+    fn attend(
+        &mut self,
+        layer: usize,
+        head: usize,
+        q: &[f32],
+        kernel: &mut dyn AttentionBackend,
+    ) -> Vec<f32>;
+}
+
+impl DecodeKv for KvCache {
+    fn context_len(&self) -> usize {
+        KvCache::context_len(self)
+    }
+
+    fn push_row(&mut self, layer: usize, head: usize, key: &[f32], value: &[f32]) {
+        self.head_mut(layer, head).push(key, value);
+    }
+
+    fn attend(
+        &mut self,
+        layer: usize,
+        head: usize,
+        q: &[f32],
+        kernel: &mut dyn AttentionBackend,
+    ) -> Vec<f32> {
+        kernel.attend(q, self.head(layer, head).view())
+    }
+}
+
 /// One decoder layer's weights.
 #[derive(Debug, Clone)]
 struct DecoderLayer {
@@ -107,9 +157,22 @@ impl TransformerModel {
         cache: &mut KvCache,
         kernel: &mut dyn AttentionBackend,
     ) -> Vec<f32> {
+        self.forward_with(token, pos, cache, kernel)
+    }
+
+    /// The forward pass over any [`DecodeKv`] storage — the single code
+    /// path behind [`forward`](Self::forward) (contiguous cache) and the
+    /// paged serving path, so the two cannot drift.
+    fn forward_with(
+        &self,
+        token: usize,
+        pos: usize,
+        kv: &mut dyn DecodeKv,
+        kernel: &mut dyn AttentionBackend,
+    ) -> Vec<f32> {
         assert!(token < self.spec.vocab, "token id out of vocabulary");
         assert!(pos < self.spec.max_context, "position beyond max context");
-        assert_eq!(cache.context_len(), pos, "cache length must equal pos");
+        assert_eq!(kv.context_len(), pos, "cache length must equal pos");
         let d = self.spec.d_model;
         let hd = self.spec.head_dim();
 
@@ -125,9 +188,8 @@ impl TransformerModel {
             let mut attn_cat = vec![0.0f32; d];
             for head in 0..self.spec.n_heads {
                 let range = head * hd..(head + 1) * hd;
-                let hc = cache.head_mut(li, head);
-                hc.push(&k[range.clone()], &v[range.clone()]);
-                let out = kernel.attend(&q[range.clone()], hc.view());
+                kv.push_row(li, head, &k[range.clone()], &v[range.clone()]);
+                let out = kv.attend(li, head, &q[range.clone()], kernel);
                 attn_cat[range].copy_from_slice(&out);
             }
             let attn_out = layer.w_o.forward(&attn_cat);
@@ -141,6 +203,49 @@ impl TransformerModel {
 
         let hf = self.ln_f.forward(&h);
         self.token_emb.tied_logits(&hf)
+    }
+
+    /// Resumable prefill: feeds `tokens` starting at the storage's
+    /// current context length and returns the logits after the last one.
+    /// On empty storage this is ordinary prompt ingestion; on non-empty
+    /// storage it extends the cached context (e.g. rebuilding the suffix
+    /// a preemption dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or any forwarded position violates the
+    /// [`forward`](Self::forward) invariants.
+    pub fn prefill(
+        &self,
+        tokens: &[usize],
+        kv: &mut dyn DecodeKv,
+        kernel: &mut dyn AttentionBackend,
+    ) -> Vec<f32> {
+        assert!(!tokens.is_empty(), "prefill needs at least one token");
+        let mut logits = Vec::new();
+        for &t in tokens {
+            logits = self.decode_step(t, kv, kernel);
+        }
+        logits
+    }
+
+    /// One resumable decode step: appends `token` at the storage's
+    /// current context length and returns next-token logits. Unlike
+    /// [`generate`](Self::generate), the caller owns the KV storage, so
+    /// decoding can stop, be truncated or swapped, and resume later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forwarded position violates the
+    /// [`forward`](Self::forward) invariants.
+    pub fn decode_step(
+        &self,
+        token: usize,
+        kv: &mut dyn DecodeKv,
+        kernel: &mut dyn AttentionBackend,
+    ) -> Vec<f32> {
+        let pos = kv.context_len();
+        self.forward_with(token, pos, kv, kernel)
     }
 
     /// Teacher-forced forward over a whole sequence, returning the logits
@@ -162,6 +267,13 @@ impl TransformerModel {
     /// tokens greedily (argmax) or with temperature via `temperature > 0`.
     ///
     /// Returns the generated continuation (not including the prompt).
+    /// This is a thin wrapper over [`prefill`](Self::prefill) and
+    /// [`decode_step`](Self::decode_step) against a private [`KvCache`];
+    /// the sampled tokens are byte-identical to the pre-resumable
+    /// implementation (pinned by seeded goldens). Unlike that
+    /// implementation, the final sampled token *is* forwarded into the
+    /// cache, so a caller-owned storage left behind by the resumable path
+    /// can continue generating from where this stopped.
     ///
     /// # Panics
     ///
@@ -182,24 +294,40 @@ impl TransformerModel {
         );
         let mut cache = KvCache::new(self.spec.n_layers, self.spec.n_heads, self.spec.head_dim());
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut logits = Vec::new();
-        for (pos, &t) in prompt.iter().enumerate() {
-            logits = self.forward(t, pos, &mut cache, kernel);
-        }
+        let mut logits = self.prefill(prompt, &mut cache, kernel);
         let mut out = Vec::with_capacity(steps);
-        for step in 0..steps {
+        for _ in 0..steps {
             let next = sample_token(&logits, temperature, &mut rng);
             out.push(next);
-            if step + 1 < steps {
-                logits = self.forward(next, prompt.len() + step, &mut cache, kernel);
-            }
+            logits = self.decode_step(next, &mut cache, kernel);
         }
         out
     }
 }
 
-/// Samples a token from logits: argmax when `temperature == 0`, otherwise
-/// softmax sampling at the given temperature.
+/// The greedy sampling decision: the index of the maximal logit, with
+/// ties broken toward the highest index. This *is* [`sample_token`]'s
+/// temperature-0 path (they share this function), so greedy serving
+/// paths that argmax directly can never drift from `generate`'s
+/// tie-breaking.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+#[must_use]
+pub fn argmax_token(logits: &[f32]) -> usize {
+    assert!(!logits.is_empty(), "empty logits");
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .expect("non-empty")
+        .0
+}
+
+/// Samples a token from logits: argmax when `temperature == 0` (via
+/// [`argmax_token`]), otherwise softmax sampling at the given
+/// temperature.
 ///
 /// # Panics
 ///
@@ -208,12 +336,7 @@ impl TransformerModel {
 pub fn sample_token<R: Rng + ?Sized>(logits: &[f32], temperature: f64, rng: &mut R) -> usize {
     assert!(!logits.is_empty(), "empty logits");
     if temperature <= 0.0 {
-        return logits
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-            .expect("non-empty")
-            .0;
+        return argmax_token(logits);
     }
     let scaled: Vec<f64> = logits.iter().map(|&l| f64::from(l) / temperature).collect();
     let probs = topick_core::softmax(&scaled);
@@ -270,6 +393,76 @@ mod tests {
         let a = model.generate(&[5, 6], 6, 0.0, 0, &mut exact);
         let b = model.generate(&[5, 6], 6, 0.0, 0, &mut tp);
         assert_eq!(a, b, "tight-threshold pruning changed greedy outputs");
+    }
+
+    /// Seeded goldens captured from the pre-resumable `generate`
+    /// implementation: the refactor onto `prefill`/`decode_step` must
+    /// reproduce these byte-identically.
+    #[test]
+    fn generate_matches_pre_refactor_goldens() {
+        let m7 = TransformerModel::new_random(ModelSpec::toy(), 7);
+        let mut k = ExactAttention::new();
+        assert_eq!(
+            m7.generate(&[1, 2, 3], 8, 0.0, 0, &mut k),
+            vec![3, 3, 3, 3, 50, 50, 50, 50]
+        );
+        let m3 = TransformerModel::new_random(ModelSpec::toy(), 3);
+        let mut k = ExactAttention::new();
+        assert_eq!(m3.generate(&[5, 6], 6, 0.0, 0, &mut k), vec![6; 6]);
+        // Temperature sampling threads through the same RNG stream.
+        let m11 = TransformerModel::new_random(ModelSpec::toy(), 11);
+        let mut k = ExactAttention::new();
+        assert_eq!(m11.generate(&[9, 8, 7, 6], 10, 0.8, 5, &mut k), vec![6; 10]);
+    }
+
+    /// The resumable API can stop mid-generation and continue on the same
+    /// caller-owned cache, reproducing an uninterrupted greedy run — the
+    /// capability the old `generate` (throwaway cache, final token never
+    /// forwarded) could not offer.
+    #[test]
+    fn decode_resumes_mid_sequence_exactly() {
+        let spec = ModelSpec::toy();
+        let model = TransformerModel::new_random(spec.clone(), 7);
+        let mut k = ExactAttention::new();
+        let full = model.generate(&[1, 2, 3], 8, 0.0, 0, &mut k);
+
+        let mut cache = KvCache::new(spec.n_layers, spec.n_heads, spec.head_dim());
+        let mut k = ExactAttention::new();
+        let mut logits = model.prefill(&[1, 2, 3], &mut cache, &mut k);
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            let next = sample_token(&logits, 0.0, &mut StdRng::seed_from_u64(0));
+            out.push(next);
+            logits = model.decode_step(next, &mut cache, &mut k);
+        }
+        // "Pause": the cache already holds prompt + 3 generated tokens.
+        assert_eq!(cache.context_len(), 3 + 3);
+        // Resume on the same cache for the remaining 5 steps.
+        for _ in 0..5 {
+            let next = sample_token(&logits, 0.0, &mut StdRng::seed_from_u64(0));
+            out.push(next);
+            logits = model.decode_step(next, &mut cache, &mut k);
+        }
+        assert_eq!(out, full);
+    }
+
+    /// `prefill` extends a non-empty cache from its current frontier —
+    /// truncate-then-reprefill lands on the exact same logits.
+    #[test]
+    fn prefill_extends_a_truncated_cache_exactly() {
+        let spec = ModelSpec::toy();
+        let model = TransformerModel::new_random(spec.clone(), 5);
+        let tokens = [4usize, 9, 2, 7, 1, 8];
+
+        let mut cache = KvCache::new(spec.n_layers, spec.n_heads, spec.head_dim());
+        let mut k = ExactAttention::new();
+        let full = model.prefill(&tokens, &mut cache, &mut k);
+
+        cache.truncate(2);
+        let mut k = ExactAttention::new();
+        let rebuilt = model.prefill(&tokens[2..], &mut cache, &mut k);
+        assert_eq!(rebuilt, full);
+        assert_eq!(cache.context_len(), tokens.len());
     }
 
     #[test]

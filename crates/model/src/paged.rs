@@ -244,13 +244,25 @@ impl PagedKvStore {
     /// (pages are not contiguous, so this copies).
     #[must_use]
     pub fn gather(&self, seq: &PagedSeq) -> (Vec<f32>, Vec<f32>) {
-        let mut keys = Vec::with_capacity(seq.len * self.dim);
-        let mut values = Vec::with_capacity(seq.len * self.dim);
+        let mut keys = Vec::new();
+        let mut values = Vec::new();
+        self.gather_into(seq, &mut keys, &mut values);
+        (keys, values)
+    }
+
+    /// [`gather`](Self::gather) into caller-owned buffers, clearing them
+    /// first — the allocation-free variant the per-step decode loop uses
+    /// so gathering every head each step reuses one pair of scratch
+    /// buffers instead of allocating per attend.
+    pub fn gather_into(&self, seq: &PagedSeq, keys: &mut Vec<f32>, values: &mut Vec<f32>) {
+        keys.clear();
+        values.clear();
+        keys.reserve(seq.len * self.dim);
+        values.reserve(seq.len * self.dim);
         for i in 0..seq.len {
             keys.extend_from_slice(self.key_row(seq, i));
             values.extend_from_slice(self.value_row(seq, i));
         }
-        (keys, values)
     }
 
     /// Checks refcount conservation: every page's refcount equals the
@@ -313,6 +325,91 @@ impl PagedKvStore {
         if self.pages[p].refs == 0 {
             self.free.push(p);
         }
+    }
+}
+
+/// Binds a layer-major bundle of [`PagedSeq`] rows inside a shared
+/// [`PagedKvStore`] to the model's [`DecodeKv`](crate::DecodeKv)
+/// interface: `seqs[layer * n_heads + head]` is the `(layer, head)` row
+/// sequence. This is what lets
+/// [`decode_step`](crate::TransformerModel::decode_step) run over
+/// copy-on-write paged storage — forked prefixes are physically shared
+/// across requests while each request's binding reads only its own
+/// logical rows.
+///
+/// Attention reads gather the (non-contiguous) pages into two reusable
+/// scratch buffers and hand the kernel an ordinary
+/// [`KvView`](crate::KvView); because [`PagedKvStore::gather_into`]
+/// preserves row order, the kernel sees bit-identical inputs to the
+/// contiguous [`KvCache`](crate::KvCache) path.
+#[derive(Debug)]
+pub struct PagedKvBinding<'a> {
+    store: &'a mut PagedKvStore,
+    seqs: &'a mut [PagedSeq],
+    n_heads: usize,
+    key_scratch: Vec<f32>,
+    value_scratch: Vec<f32>,
+}
+
+impl<'a> PagedKvBinding<'a> {
+    /// Binds `seqs` (layer-major, `n_layers * n_heads` entries) in
+    /// `store` for one request's decode steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs` is empty, its length is not a multiple of
+    /// `n_heads`, or the sequences disagree on length (every head of
+    /// every layer must hold the same number of tokens).
+    #[must_use]
+    pub fn new(store: &'a mut PagedKvStore, seqs: &'a mut [PagedSeq], n_heads: usize) -> Self {
+        assert!(n_heads > 0, "n_heads must be positive");
+        assert!(!seqs.is_empty(), "binding needs at least one sequence");
+        assert_eq!(
+            seqs.len() % n_heads,
+            0,
+            "sequence count must be n_layers * n_heads"
+        );
+        let len = seqs[0].len();
+        assert!(
+            seqs.iter().all(|s| s.len() == len),
+            "all head sequences must hold the same number of tokens"
+        );
+        Self {
+            store,
+            seqs,
+            n_heads,
+            key_scratch: Vec::new(),
+            value_scratch: Vec::new(),
+        }
+    }
+}
+
+impl crate::DecodeKv for PagedKvBinding<'_> {
+    fn context_len(&self) -> usize {
+        self.seqs[0].len()
+    }
+
+    fn push_row(&mut self, layer: usize, head: usize, key: &[f32], value: &[f32]) {
+        let seq = &mut self.seqs[layer * self.n_heads + head];
+        self.store.push(seq, key, value);
+    }
+
+    fn attend(
+        &mut self,
+        layer: usize,
+        head: usize,
+        q: &[f32],
+        kernel: &mut dyn crate::AttentionBackend,
+    ) -> Vec<f32> {
+        let seq = &self.seqs[layer * self.n_heads + head];
+        self.store
+            .gather_into(seq, &mut self.key_scratch, &mut self.value_scratch);
+        let dim = self.store.dim();
+        let view = crate::KvView::new(
+            topick_core::Rows::new(&self.key_scratch, dim),
+            topick_core::Rows::new(&self.value_scratch, dim),
+        );
+        kernel.attend(q, view)
     }
 }
 
@@ -475,6 +572,81 @@ mod tests {
         c_rows.push((k, v));
         assert_matches_oracle(&store, &c, &c_rows);
         store.validate(&[&a, &b, &c]);
+    }
+
+    /// Regression pin for the audited truncate-into-shared-page case:
+    /// after a fork shares a page and `truncate` makes it the (partial)
+    /// tail, the next `push` must copy-on-write that page — mutating it
+    /// in place would corrupt rows the sibling still reads.
+    #[test]
+    fn push_after_truncate_into_shared_page_cows_and_spares_the_sibling() {
+        let mut store = PagedKvStore::new(3, 4);
+        let rows: Vec<_> = (0..8).map(|i| row(i, 0.0)).collect();
+        let mut a = store.new_seq();
+        for (k, v) in &rows {
+            store.push(&mut a, k, v);
+        }
+        // Fork at the full 8 tokens: both pages shared.
+        let b = store.fork(&a, 8);
+        // Truncate the parent into the middle of shared page 1...
+        store.truncate(&mut a, 6);
+        assert_eq!(store.shared_pages(), 2, "truncate kept the tail mapped");
+        // ...then append. The tail page still has refs == 2, so this must
+        // COW; the sibling's rows 6 and 7 must survive untouched.
+        let (k, v) = row(60, 0.5);
+        store.push(&mut a, &k, &v);
+        let mut a_rows = rows[..6].to_vec();
+        a_rows.push((k, v));
+        assert_matches_oracle(&store, &a, &a_rows);
+        assert_matches_oracle(&store, &b, &rows);
+        store.validate(&[&a, &b]);
+
+        // Same shape one level deeper: truncate to a page boundary drops
+        // the shared tail entirely, and the re-append opens a fresh page.
+        let mut c = store.fork(&b, 8);
+        store.truncate(&mut c, 4);
+        let (k, v) = row(70, 0.25);
+        store.push(&mut c, &k, &v);
+        let mut c_rows = rows[..4].to_vec();
+        c_rows.push((k, v));
+        assert_matches_oracle(&store, &c, &c_rows);
+        assert_matches_oracle(&store, &b, &rows);
+        store.validate(&[&a, &b, &c]);
+    }
+
+    /// The paged binding drives the *model* to the same logits as the
+    /// contiguous cache — bit-identical, because gather preserves row
+    /// order and the kernel is shared.
+    #[test]
+    fn paged_binding_matches_contiguous_cache_logits_bit_for_bit() {
+        use crate::{ExactAttention, KvCache, ModelSpec, PagedKvBinding, TransformerModel};
+        let spec = ModelSpec::toy();
+        let model = TransformerModel::new_random(spec.clone(), 7);
+        let tokens = [1usize, 2, 3, 44, 5];
+
+        let mut cache = KvCache::new(spec.n_layers, spec.n_heads, spec.head_dim());
+        let mut k = ExactAttention::new();
+        let contiguous = model.prefill(&tokens, &mut cache, &mut k);
+
+        let mut store = PagedKvStore::new(spec.head_dim(), 4);
+        let mut seqs = vec![store.new_seq(); spec.n_layers * spec.n_heads];
+        let mut k = ExactAttention::new();
+        let mut binding = PagedKvBinding::new(&mut store, &mut seqs, spec.n_heads);
+        let paged = model.prefill(&tokens, &mut binding, &mut k);
+        assert_eq!(contiguous, paged);
+
+        // And a forked child continues from the shared prefix with the
+        // exact same logits as an unshared rebuild of the same tokens.
+        // Forking at the page boundary (4 tokens, page_size 4) keeps the
+        // shared page physically shared: the child's appends open a fresh
+        // page instead of copy-on-writing the prefix.
+        let forked: Vec<_> = seqs.iter().map(|s| store.fork(s, 4)).collect();
+        let mut forked_seqs = forked;
+        let mut k = ExactAttention::new();
+        let mut child = PagedKvBinding::new(&mut store, &mut forked_seqs, spec.n_heads);
+        let child_logits = model.prefill(&tokens[4..], &mut child, &mut k);
+        assert_eq!(child_logits, contiguous);
+        assert!(store.shared_pages() > 0, "the fork physically shares");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!                [--slo-ttft STEPS] [--slo-itl STEPS]
 //!                [--shards N] [--routing rr|least|affinity] [--stealing] [--threads N]
 //!                [--scenario NAME [--scenario-seed S]] [--list-scenarios]
-//!                [--record PATH | --replay PATH]
+//!                [--record PATH | --replay PATH] [--real-tokens]
 //! topick trace   diff A B
 //! topick help
 //! ```
@@ -246,11 +246,13 @@ fn serve_requests(opts: &ServeOpts) -> Vec<token_picker::accel::ServingRequest> 
 /// Builds the trace meta describing the run the flags ask for — the
 /// single source both the live run and any `--record`/`--replay` of it
 /// execute through.
-fn serve_meta(
+/// Builds the `ServingConfig` the flags describe — the single source
+/// both the trace-recorded cost-model run and the `--real-tokens`
+/// token-backed run configure their engines from.
+fn serve_config(
     opts: &ServeOpts,
-    policy: token_picker::accel::PolicyKind,
-) -> Result<token_picker::accel::TraceMeta, Box<dyn std::error::Error>> {
-    use token_picker::accel::{PreemptionConfig, ServingConfig, TraceMeta};
+) -> Result<token_picker::accel::ServingConfig, Box<dyn std::error::Error>> {
+    use token_picker::accel::{PreemptionConfig, ServingConfig};
 
     let accel = AccelConfig::paper(opts.mode, opts.threshold)?;
     let mut cfg = match opts.scenario {
@@ -275,6 +277,16 @@ fn serve_meta(
     cfg.swap_cost_factor = opts.swap_cost;
     cfg.ship_cost_factor = opts.ship_cost;
     cfg.reject_expired_ttft = opts.slo_reject;
+    Ok(cfg)
+}
+
+fn serve_meta(
+    opts: &ServeOpts,
+    policy: token_picker::accel::PolicyKind,
+) -> Result<token_picker::accel::TraceMeta, Box<dyn std::error::Error>> {
+    use token_picker::accel::TraceMeta;
+
+    let cfg = serve_config(opts)?;
     let mut meta = TraceMeta::new(&cfg, policy.name());
     if opts.shards > 1 {
         meta = meta.for_cluster(
@@ -369,6 +381,76 @@ fn cmd_serve_replay(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `serve --real-tokens`: the engine schedules (and charges cycles)
+/// exactly as in the cost-model-only run, while a token-backed mirror
+/// generates real synth-model tokens out of one shared copy-on-write
+/// paged KV store. Prints the token-equivalence, physical-sharing and
+/// charged-vs-measured cross-checks the mirror affords.
+fn cmd_serve_real_tokens(
+    opts: &ServeOpts,
+    policy: token_picker::accel::PolicyKind,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use token_picker::accel::{run_token_backed, ServingEngine};
+
+    let cfg = serve_config(opts)?;
+    let mut engine = ServingEngine::builder(cfg.accel.clone())
+        .config(cfg)
+        .policy(policy)
+        .build();
+    let requests = serve_requests(opts);
+    // The CLI workload's prompts outgrow the toy spec's 256-token
+    // window, so serve a toy-shaped model with a longer context.
+    let mut spec = ModelSpec::toy();
+    spec.max_context = 1024;
+    let run = run_token_backed(&mut engine, requests.clone(), spec, opts.seed, 100_000)?;
+    let report = &run.report;
+    println!(
+        "mode {:?}, policy {}: {} requests, {} real tokens in {} steps",
+        opts.mode,
+        report.policy,
+        report.requests.len(),
+        report.tokens_generated,
+        report.steps.len()
+    );
+    let mut matched = 0usize;
+    for req in &requests {
+        let got = run
+            .batch
+            .generated(req.id)
+            .ok_or("a request was never served")?;
+        if got == run.batch.reference_generate(req).as_slice() {
+            matched += 1;
+        }
+    }
+    println!(
+        "token equivalence: {matched}/{} requests byte-identical to unsharded generate",
+        requests.len()
+    );
+    if matched != requests.len() {
+        return Err("served tokens diverged from per-request generate".into());
+    }
+    println!(
+        "shared KV pages  : {} at peak, {} after drain (page size {})",
+        run.batch.peak_shared_pages(),
+        run.batch.shared_pages(),
+        opts.page_size
+    );
+    println!(
+        "prefix cache     : {:.0}% admission hit rate ({} hit tokens)",
+        100.0 * report.prefix_hit_rate(),
+        report.total_prefix_hit_tokens()
+    );
+    println!(
+        "cycle cross-check: charged {} vs measured {} kernel cycles (ratio {:.4})",
+        run.charged_cycles(),
+        run.batch.measured_cycles(),
+        run.cycle_ratio()
+    );
+    println!("preemptions      : {}", report.preemptions);
+    run.batch.validate();
+    Ok(())
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
     use token_picker::accel::{PolicyKind, RetentionPolicy, RoutingKind, ScenarioKind};
 
@@ -404,6 +486,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
             "prefill-chunk",
             "slo-ttft",
             "slo-itl",
+            "real-tokens",
         ] {
             if flags.contains_key(shaped) {
                 return Err(format!(
@@ -522,6 +605,26 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
     let policy_flag = flags.get("policy").map_or("fifo", String::as_str);
     if opts.record.is_some() && policy_flag == "all" {
         return Err("--record requires a single --policy (not 'all')".into());
+    }
+
+    if flags.contains_key("real-tokens") {
+        if shards > 1 {
+            return Err("--real-tokens drives a single engine (not with --shards > 1)".into());
+        }
+        if opts.scenario.is_some() {
+            return Err("--real-tokens uses the built-in workload (not with --scenario)".into());
+        }
+        if opts.record.is_some() {
+            return Err(
+                "--real-tokens cannot be combined with --record (the mirror drives the engine directly)"
+                    .into(),
+            );
+        }
+        if policy_flag == "all" {
+            return Err("--real-tokens requires a single --policy (not 'all')".into());
+        }
+        let policy: PolicyKind = policy_flag.parse()?;
+        return cmd_serve_real_tokens(&opts, policy);
     }
 
     if shards > 1 {
@@ -821,6 +924,7 @@ fn usage() {
     println!("           [--shards N] [--routing rr|least|affinity] [--stealing] [--threads N]");
     println!("           [--scenario NAME [--scenario-seed S]] [--list-scenarios]");
     println!("           [--record PATH | --replay PATH]");
+    println!("           [--real-tokens]  serve real synth-model tokens from the paged KV store");
     println!("  trace    trace-file tooling");
     println!("           diff <A> <B>   localize the first diverging event of two traces");
 }

@@ -2398,3 +2398,191 @@ fn truncated_cluster_snapshots_keep_the_prefix_hit_rate_in_unit_range() {
     let rate = report.prefix_hit_rate();
     assert!(rate > 0.0 && rate <= 1.0, "drained hit rate {rate}");
 }
+
+// ---------------------------------------------------------------------------
+// Real-token serving: the paged KV store under the serving loop
+// ---------------------------------------------------------------------------
+
+/// Serves the canonical 4-tenant `shared_prefix_chat` workload through the
+/// token-backed mirror: the engine schedules (and charges) as usual while a
+/// `TokenBackedBatch` generates real synth-model tokens whose KV rows live
+/// in one shared copy-on-write paged store.
+fn run_real_token_chat(
+    prefix_cache: bool,
+    chunk_pages: usize,
+) -> (token_picker::accel::TokenBackedRun, Vec<ServingRequest>) {
+    let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+    let mut builder =
+        token_picker::accel::serve::workloads::shared_prefix_engine(accel, prefix_cache);
+    if chunk_pages > 0 {
+        builder = builder.prefill_chunk_pages(chunk_pages);
+    }
+    let mut engine = builder.build();
+    let requests = token_picker::accel::serve::workloads::shared_prefix_chat(11, 4, 6);
+    let run = token_picker::accel::run_token_backed(
+        &mut engine,
+        requests.clone(),
+        token_picker::model::ModelSpec::toy(),
+        11,
+        4096,
+    )
+    .expect("workload completes");
+    (run, requests)
+}
+
+/// Every request's served tokens must equal a private, unsharded
+/// `generate` on the same prompt — token equivalence under physical
+/// prefix sharing.
+fn assert_token_equivalence(
+    run: &token_picker::accel::TokenBackedRun,
+    requests: &[ServingRequest],
+) {
+    for req in requests {
+        let got = run.batch.generated(req.id).expect("request was served");
+        assert_eq!(
+            got.len(),
+            req.max_new_tokens,
+            "request {} under-generated",
+            req.id
+        );
+        assert_eq!(
+            got,
+            run.batch.reference_generate(req).as_slice(),
+            "request {} diverged from its unsharded generate",
+            req.id
+        );
+    }
+}
+
+#[test]
+fn real_tokens_physically_share_prefix_kv_and_match_unsharded_generate() {
+    let (run, requests) = run_real_token_chat(true, 0);
+    // The acceptance criterion: system-prompt KV was physically shared
+    // while requests were resident...
+    assert!(
+        run.batch.peak_shared_pages() > 0,
+        "no page was ever shared across sequences"
+    );
+    // ...and still is after draining (finished sequences stay donors).
+    assert!(
+        run.batch.shared_pages() > 0,
+        "drained store lost all sharing"
+    );
+    run.batch.validate();
+    // Tokens are byte-identical to per-request unsharded generation.
+    assert_token_equivalence(&run, &requests);
+    // And the engine's own token accounting agrees with the mirror.
+    let expected: usize = requests.iter().map(|r| r.max_new_tokens).sum();
+    assert_eq!(run.report.tokens_generated, expected);
+    let hit_rate = run.report.prefix_hit_rate();
+    assert!(
+        hit_rate > 0.3 && hit_rate <= 1.0,
+        "admission-normalized hit rate {hit_rate} out of the expected band"
+    );
+}
+
+#[test]
+fn real_tokens_without_prefix_cache_share_nothing_but_emit_the_same_tokens() {
+    let (off, requests) = run_real_token_chat(false, 0);
+    assert_eq!(
+        off.batch.peak_shared_pages(),
+        0,
+        "cache off must mean zero physical sharing"
+    );
+    assert_token_equivalence(&off, &requests);
+    // Same tokens as the cache-on run, request by request.
+    let (on, _) = run_real_token_chat(true, 0);
+    for req in &requests {
+        assert_eq!(
+            off.batch.generated(req.id),
+            on.batch.generated(req.id),
+            "prefix cache changed request {}'s tokens",
+            req.id
+        );
+    }
+}
+
+#[test]
+fn real_tokens_survive_chunked_prefill_byte_identically() {
+    let (chunked, requests) = run_real_token_chat(true, 2);
+    assert!(chunked.batch.peak_shared_pages() > 0);
+    assert_token_equivalence(&chunked, &requests);
+}
+
+/// Preemption with paged retention (and optionally a host swap tier)
+/// becomes a real truncate/release of the mirror's pages; re-admission
+/// rebuilds exactly, so tokens stay byte-identical.
+#[test]
+fn real_tokens_survive_preemption_retention_and_host_swap() {
+    for host_pages in [0usize, 64] {
+        let accel = AccelConfig::paper(AccelMode::OutOfOrder, 1e-3).expect("valid threshold");
+        let mut builder = ServingEngine::builder(accel)
+            .heads(4)
+            .weight_bytes(1_000_000)
+            .max_batch(3)
+            .max_batch_tokens(192)
+            .page_size(16)
+            .prefix_cache(true)
+            .policy(PolicyKind::PriorityAging)
+            .preemption(
+                token_picker::accel::PreemptionConfig::enabled()
+                    .with_retention(RetentionPolicy::Fraction(0.8)),
+            );
+        if host_pages > 0 {
+            builder = builder.host_pages(host_pages);
+        }
+        let mut engine = builder.build();
+        let requests = vec![
+            ServingRequest::new(0, 64, 8)
+                .with_priority(5)
+                .with_shared_prefix(1, 64),
+            ServingRequest::new(1, 64, 6)
+                .with_priority(1)
+                .with_shared_prefix(1, 64),
+            ServingRequest::new(2, 96, 8)
+                .with_priority(9)
+                .arriving_at(2),
+            ServingRequest::new(3, 64, 4)
+                .with_priority(7)
+                .with_shared_prefix(1, 64)
+                .arriving_at(3),
+        ];
+        let run = token_picker::accel::run_token_backed(
+            &mut engine,
+            requests.clone(),
+            token_picker::model::ModelSpec::toy(),
+            3,
+            4096,
+        )
+        .expect("workload completes");
+        assert!(
+            run.report.preemptions > 0,
+            "the tight budget must force at least one eviction (host_pages {host_pages})"
+        );
+        assert_token_equivalence(&run, &requests);
+        let rate = run.report.prefix_hit_rate();
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "hit rate {rate} left the unit range under retention"
+        );
+    }
+}
+
+/// The charged-vs-measured cycle cross-check on `shared-prefix-chat`: the
+/// engine's charged prefill + re-prefill + attention cycles, over the
+/// kernel cycles `SimulatedAttention` actually measured in the mirror, is
+/// a deterministic constant for this pinned workload and config. The pin
+/// (with a ±20% band for headroom against cost-model retuning) trips if
+/// either layer's accounting drifts from the other.
+#[test]
+fn charged_cycles_track_measured_cycles_on_shared_prefix_chat() {
+    let (run, _) = run_real_token_chat(true, 0);
+    assert!(run.charged_cycles() > 0, "nothing was charged");
+    assert!(run.batch.measured_cycles() > 0, "nothing was measured");
+    let ratio = run.cycle_ratio();
+    const PINNED_RATIO: f64 = 0.0685;
+    assert!(
+        (ratio - PINNED_RATIO).abs() <= PINNED_RATIO * 0.2,
+        "charged/measured cycle ratio {ratio} strayed from the pinned {PINNED_RATIO}"
+    );
+}
